@@ -1,0 +1,122 @@
+// Command crowd-agent runs one or many smartphone agents against a
+// crowd-platform server. Each agent joins after a random delay, submits
+// a bid drawn from the configured cost distribution, and logs the
+// assignments and payments it receives.
+//
+// Usage:
+//
+//	crowd-agent [flags]
+//
+//	-addr host:port   platform address (default 127.0.0.1:7381)
+//	-n count          number of agents to simulate (default 1)
+//	-cost c           claimed cost; with -n > 1, the mean of U[0, 2c] (default 25)
+//	-duration slots   active time in slots; with -n > 1, mean (default 5)
+//	-join-spread d    agents join uniformly within this window (default 10s)
+//	-seed n           randomness seed (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/platform"
+	"dynacrowd/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7381", "platform address")
+	n := flag.Int("n", 1, "number of agents")
+	cost := flag.Float64("cost", 25, "claimed cost (mean when -n > 1)")
+	duration := flag.Int("duration", 5, "active slots (mean when -n > 1)")
+	joinSpread := flag.Duration("join-spread", 10*time.Second, "join-time window")
+	seed := flag.Uint64("seed", 1, "randomness seed")
+	flag.Parse()
+
+	if err := run(*addr, *n, *cost, *duration, *joinSpread, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "crowd-agent:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, n int, cost float64, duration int, joinSpread time.Duration, seed uint64) error {
+	if n < 1 {
+		return fmt.Errorf("need at least one agent, got %d", n)
+	}
+	rng := workload.NewRNG(seed)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("agent-%d", i)
+		c, d, delay := cost, duration, time.Duration(0)
+		if n > 1 {
+			c = rng.Uniform(0, 2*cost)
+			d = rng.UniformInt(1, 2*duration-1)
+			delay = time.Duration(rng.Float64() * float64(joinSpread))
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			time.Sleep(delay)
+			if err := runAgent(addr, name, core.Slot(d), c); err != nil {
+				errs <- fmt.Errorf("%s: %w", name, err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err // report the first failure
+	}
+	return nil
+}
+
+// runAgent plays one phone's life: hello, bid, consume events to the end.
+func runAgent(addr, name string, duration core.Slot, cost float64) error {
+	a, err := platform.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer a.Close()
+
+	st, err := a.Hello()
+	if err != nil {
+		return err
+	}
+	log.Printf("%s: joined round at slot %d/%d (ν=%g); bidding cost %.2f for %d slots",
+		name, st.Slot, st.Slots, st.Value, cost, duration)
+	if err := a.SubmitBid(name, duration, cost); err != nil {
+		return err
+	}
+
+	phone := core.NoPhone
+	for ev := range a.Events() {
+		switch ev.Kind {
+		case platform.EventWelcome:
+			phone = ev.Phone
+			log.Printf("%s: admitted as phone %d, active slots %d..%d", name, phone, ev.Slot, ev.Departure)
+		case platform.EventAssign:
+			log.Printf("%s: assigned task %d in slot %d", name, ev.Task, ev.Slot)
+		case platform.EventPayment:
+			log.Printf("%s: paid %.2f in slot %d (utility %.2f at real cost %.2f)",
+				name, ev.Amount, ev.Slot, ev.Amount-cost, cost)
+		case platform.EventEnd:
+			log.Printf("%s: round %d over (welfare %.2f, total paid %.2f)", name, ev.Round, ev.Welfare, ev.Payments)
+		case platform.EventRound:
+			// Multi-round platform: the next round opened, bid again.
+			log.Printf("%s: round %d opened, re-bidding", name, ev.Round)
+			if err := a.SubmitBid(name, duration, cost); err != nil {
+				return err
+			}
+		case platform.EventError:
+			return ev.Err
+		}
+		// A phone past its departure with no task learns nothing more;
+		// keep listening anyway for the end-of-round summary.
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+// Command crowd-audit adversarially audits a mechanism for
+// truthfulness: for every phone in a workload (or archived trace), it
+// exhaustively searches the feasible misreport space — delayed arrivals,
+// advanced departures, scaled costs — for a report that beats honesty,
+// and reports any exploit it finds.
+//
+// Usage:
+//
+//	crowd-audit [flags]
+//
+//	-mechanism m    online | offline | second-price (default online)
+//	-trace file     audit an archived trace instead of a generated round
+//	-seed n         workload seed when generating (default 1)
+//	-slots m        round length when generating (default 10; audits are
+//	                O(phones · window² · cost grid · mechanism runs))
+//	-phone-rate λ   phone arrivals per slot when generating (default 2)
+//	-task-rate λt   task arrivals per slot when generating (default 1.5)
+//	-max-span n     cap window combinations searched per phone (0 = all)
+//	-rounds n       audit n generated instances (seeds seed..seed+n-1)
+//	                and report the worst misreport gain found (default 1)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dynacrowd/internal/baseline"
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/strategy"
+	"dynacrowd/internal/workload"
+)
+
+func main() {
+	exploitable, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crowd-audit:", err)
+		os.Exit(1)
+	}
+	if exploitable {
+		os.Exit(2) // distinct exit code so scripts can branch on the verdict
+	}
+}
+
+// run returns whether the mechanism was found exploitable.
+func run(args []string, out io.Writer) (bool, error) {
+	fs := flag.NewFlagSet("crowd-audit", flag.ContinueOnError)
+	mechName := fs.String("mechanism", "online", "online | offline | second-price")
+	tracePath := fs.String("trace", "", "audit this archived trace")
+	seed := fs.Uint64("seed", 1, "workload seed")
+	slots := fs.Int("slots", 10, "round length when generating")
+	phoneRate := fs.Float64("phone-rate", 2, "phone arrivals per slot")
+	taskRate := fs.Float64("task-rate", 1.5, "task arrivals per slot")
+	maxSpan := fs.Int("max-span", 0, "cap window combinations per phone (0 = exhaustive)")
+	rounds := fs.Int("rounds", 1, "number of generated instances to audit")
+	if err := fs.Parse(args); err != nil {
+		return false, err
+	}
+
+	var mech core.Mechanism
+	switch *mechName {
+	case "online":
+		mech = &core.OnlineMechanism{}
+	case "offline":
+		mech = &core.OfflineMechanism{}
+	case "second-price":
+		mech = &baseline.SecondPricePerSlot{}
+	default:
+		return false, fmt.Errorf("unknown mechanism %q", *mechName)
+	}
+
+	if *rounds > 1 && *tracePath == "" {
+		return runCampaign(out, mech, *seed, *rounds, *slots, *phoneRate, *taskRate, *maxSpan)
+	}
+
+	in, err := loadInstance(*tracePath, *seed, *slots, *phoneRate, *taskRate)
+	if err != nil {
+		return false, err
+	}
+	fmt.Fprintf(out, "auditing %s on %d phones, %d tasks, %d slots\n",
+		mech.Name(), in.NumPhones(), in.NumTasks(), in.Slots)
+
+	results, err := strategy.Audit(mech, in, strategy.AuditOptions{MaxWindowSpan: *maxSpan})
+	if err != nil {
+		return false, err
+	}
+
+	searched, exploits := 0, 0
+	for _, r := range results {
+		searched += r.ReportsSearched
+		if r.Gain() <= 1e-9 {
+			continue
+		}
+		exploits++
+		truth := in.Bids[r.Phone]
+		fmt.Fprintf(out, "EXPLOITABLE phone %d: true (window [%d,%d], cost %.2f)\n",
+			r.Phone, truth.Arrival, truth.Departure, truth.Cost)
+		fmt.Fprintf(out, "  best lie: window [%d,%d], cost %.2f -> utility %.2f vs honest %.2f (gain %.2f)\n",
+			r.BestBid.Arrival, r.BestBid.Departure, r.BestBid.Cost,
+			r.BestUtility, r.TruthfulUtility, r.Gain())
+	}
+	fmt.Fprintf(out, "searched %d reports across %d phones\n", searched, len(results))
+	if exploits == 0 {
+		fmt.Fprintln(out, "verdict: TRUTHFUL on this instance (no profitable misreport found)")
+		return false, nil
+	}
+	fmt.Fprintf(out, "verdict: NOT truthful — %d exploitable phone(s)\n", exploits)
+	return true, nil
+}
+
+func loadInstance(tracePath string, seed uint64, slots int, phoneRate, taskRate float64) (*core.Instance, error) {
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		tr, err := workload.ReadTrace(f)
+		if err != nil {
+			return nil, err
+		}
+		return tr.Materialize()
+	}
+	scn := workload.DefaultScenario()
+	scn.Slots = core.Slot(slots)
+	scn.PhoneRate = phoneRate
+	scn.TaskRate = taskRate
+	return scn.Generate(seed)
+}
+
+// runCampaign audits the mechanism across several generated instances.
+func runCampaign(out io.Writer, mech core.Mechanism, seed uint64, rounds, slots int, phoneRate, taskRate float64, maxSpan int) (bool, error) {
+	scn := workload.DefaultScenario()
+	scn.Slots = core.Slot(slots)
+	scn.PhoneRate = phoneRate
+	scn.TaskRate = taskRate
+	seeds := make([]uint64, rounds)
+	for i := range seeds {
+		seeds[i] = seed + uint64(i)
+	}
+	res, err := strategy.AuditCampaign(mech,
+		func(s uint64) (*core.Instance, error) { return scn.Generate(s) },
+		seeds, strategy.AuditOptions{MaxWindowSpan: maxSpan})
+	if err != nil {
+		return false, err
+	}
+	fmt.Fprintf(out, "audited %s across %d instances: %d phones, %d reports searched\n",
+		mech.Name(), res.Instances, res.PhonesAudited, res.ReportsSearched)
+	if res.Truthful() {
+		fmt.Fprintln(out, "verdict: TRUTHFUL across the campaign")
+		return false, nil
+	}
+	fmt.Fprintf(out, "verdict: NOT truthful — worst gain %.3f (seed %d, phone %d)\n",
+		res.WorstGain, res.WorstSeed, res.WorstPhone)
+	return true, nil
+}

@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dynacrowd/internal/workload"
+)
+
+func TestAuditTruthfulMechanisms(t *testing.T) {
+	for _, mech := range []string{"online", "offline"} {
+		var buf bytes.Buffer
+		exploitable, err := run([]string{"-mechanism", mech, "-slots", "6", "-phone-rate", "1.5", "-task-rate", "1"}, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exploitable {
+			t.Fatalf("%s flagged exploitable:\n%s", mech, buf.String())
+		}
+		if !strings.Contains(buf.String(), "TRUTHFUL") {
+			t.Fatalf("%s verdict missing:\n%s", mech, buf.String())
+		}
+	}
+}
+
+func TestAuditExposesSecondPrice(t *testing.T) {
+	var buf bytes.Buffer
+	exploitable, err := run([]string{"-mechanism", "second-price", "-slots", "8", "-seed", "1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exploitable {
+		t.Fatalf("second-price not flagged:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "EXPLOITABLE") || !strings.Contains(buf.String(), "best lie") {
+		t.Fatalf("exploit details missing:\n%s", buf.String())
+	}
+}
+
+func TestAuditFromTrace(t *testing.T) {
+	scn := workload.DefaultScenario()
+	scn.Slots = 6
+	scn.PhoneRate = 1.5
+	scn.TaskRate = 1
+	in, err := scn.Generate(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := workload.NewTrace(scn, 9, in).Write(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var buf bytes.Buffer
+	exploitable, err := run([]string{"-trace", path}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exploitable {
+		t.Fatalf("online mechanism exploitable on trace:\n%s", buf.String())
+	}
+}
+
+func TestAuditErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := run([]string{"-mechanism", "warble"}, &buf); err == nil {
+		t.Fatal("want unknown-mechanism error")
+	}
+	if _, err := run([]string{"-trace", "/no/such/file"}, &buf); err == nil {
+		t.Fatal("want file error")
+	}
+	if _, err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Fatal("want flag error")
+	}
+}
+
+func TestAuditMaxSpanReducesWork(t *testing.T) {
+	var full, capped bytes.Buffer
+	if _, err := run([]string{"-slots", "6", "-phone-rate", "1.5"}, &full); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run([]string{"-slots", "6", "-phone-rate", "1.5", "-max-span", "1"}, &capped); err != nil {
+		t.Fatal(err)
+	}
+	if full.String() == capped.String() {
+		t.Fatal("-max-span had no effect")
+	}
+}
+
+func TestAuditCampaignFlag(t *testing.T) {
+	var buf bytes.Buffer
+	exploitable, err := run([]string{"-rounds", "2", "-slots", "6", "-phone-rate", "1.5", "-task-rate", "1"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exploitable {
+		t.Fatalf("online exploitable across campaign:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "across 2 instances") {
+		t.Fatalf("campaign summary missing:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	exploitable, err = run([]string{"-rounds", "2", "-mechanism", "second-price", "-slots", "6"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exploitable || !strings.Contains(buf.String(), "worst gain") {
+		t.Fatalf("second-price campaign verdict:\n%s", buf.String())
+	}
+}

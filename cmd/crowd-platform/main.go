@@ -1,0 +1,101 @@
+// Command crowd-platform runs the networked crowdsourcing platform: a
+// TCP server hosting one online-auction round. Smartphone agents connect
+// with crowd-agent (or anything speaking the line protocol; see
+// internal/protocol). Tasks arrive Poisson per slot and the slot clock
+// runs on wall time.
+//
+// Usage:
+//
+//	crowd-platform [flags]
+//
+//	-addr host:port   listen address (default 127.0.0.1:7381)
+//	-slots m          round length in slots (default 50)
+//	-value v          per-task value ν (default 30)
+//	-task-rate λ      mean tasks per slot (default 3)
+//	-slot-every d     slot duration, e.g. 500ms (default 1s)
+//	-seed n           task arrival seed (default 1)
+//	-rounds n         consecutive auction rounds to play (default 1)
+//	-checkpoint f     write the auction state to f after every slot and,
+//	                  if f already exists at startup, resume from it
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"os"
+	"time"
+
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/platform"
+	"dynacrowd/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7381", "listen address")
+	slots := flag.Int("slots", 50, "round length in slots")
+	value := flag.Float64("value", 30, "per-task value ν")
+	taskRate := flag.Float64("task-rate", 3, "mean tasks per slot (Poisson)")
+	slotEvery := flag.Duration("slot-every", time.Second, "slot duration")
+	seed := flag.Uint64("seed", 1, "task arrival seed")
+	rounds := flag.Int("rounds", 1, "consecutive auction rounds")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file (resume if present)")
+	flag.Parse()
+
+	if err := run(*addr, *slots, *value, *taskRate, *slotEvery, *seed, *rounds, *checkpoint); err != nil {
+		fmt.Fprintln(os.Stderr, "crowd-platform:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, slots int, value, taskRate float64, slotEvery time.Duration, seed uint64, rounds int, checkpoint string) error {
+	cfg := platform.Config{
+		Slots:  core.Slot(slots),
+		Value:  value,
+		Rounds: rounds,
+		Logger: slog.Default(),
+	}
+	var srv *platform.Server
+	var err error
+	if checkpoint != "" {
+		if data, readErr := os.ReadFile(checkpoint); readErr == nil {
+			srv, err = platform.Resume(addr, cfg, data)
+			if err != nil {
+				return fmt.Errorf("resume from %s: %w", checkpoint, err)
+			}
+			log.Printf("resumed round from checkpoint %s", checkpoint)
+		}
+	}
+	if srv == nil {
+		srv, err = platform.Listen(addr, cfg)
+		if err != nil {
+			return err
+		}
+	}
+	defer srv.Close()
+	log.Printf("platform listening on %s: %d slots of %v, ν=%g, task rate %g/slot",
+		srv.Addr(), slots, slotEvery, value, taskRate)
+
+	rng := workload.NewRNG(seed)
+	err = srv.RunClock(slotEvery, func(s core.Slot) int {
+		if checkpoint != "" {
+			if data, snapErr := srv.Checkpoint(); snapErr == nil {
+				if writeErr := os.WriteFile(checkpoint, data, 0o644); writeErr != nil {
+					log.Printf("checkpoint write failed: %v", writeErr)
+				}
+			}
+		}
+		n := rng.Poisson(taskRate)
+		log.Printf("slot %d: announcing %d task(s)", s, n)
+		return n
+	})
+	if err != nil {
+		return err
+	}
+
+	st := srv.Stats()
+	log.Printf("all %d round(s) complete: %d tasks announced, %d served, total paid %.2f",
+		rounds, st.TasksAnnounced, st.TasksServed, st.TotalPaid)
+	return nil
+}

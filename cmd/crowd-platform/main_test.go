@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestRunPlaysRoundOnWallClock: the server CLI plays an unattended
+// round to completion, writing checkpoints along the way.
+func TestRunPlaysRoundOnWallClock(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "round.ckpt")
+	err := run("127.0.0.1:0", 3, 10, 1, 3*time.Millisecond, 1, 1, ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty checkpoint")
+	}
+}
+
+// TestRunResumesFromCheckpoint: a second invocation picks the round up
+// from the checkpoint file instead of starting over.
+func TestRunResumesFromCheckpoint(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "round.ckpt")
+	if err := run("127.0.0.1:0", 4, 10, 1, 3*time.Millisecond, 1, 1, ckpt); err != nil {
+		t.Fatal(err)
+	}
+	// The final checkpoint captures the last pre-completion state;
+	// resuming finishes the remaining slots and exits cleanly.
+	if err := run("127.0.0.1:0", 4, 10, 1, 3*time.Millisecond, 1, 1, ckpt); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadAddress(t *testing.T) {
+	if err := run("256.0.0.1:99999", 3, 10, 1, time.Millisecond, 1, 1, ""); err == nil {
+		t.Fatal("want listen error")
+	}
+}
+
+func TestRunMultiRound(t *testing.T) {
+	if err := run("127.0.0.1:0", 2, 10, 0.5, 3*time.Millisecond, 2, 2, ""); err != nil {
+		t.Fatal(err)
+	}
+}

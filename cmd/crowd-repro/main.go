@@ -1,0 +1,145 @@
+// Command crowd-repro regenerates the full reproduction report in one
+// shot: every paper figure (Figs. 6-11) with shape checks, plus the
+// extension experiments (baselines, robustness, reserve, anytime,
+// quality) — as a self-contained Markdown document on stdout. It is the
+// single command behind EXPERIMENTS.md.
+//
+// Usage:
+//
+//	crowd-repro [-seeds n] [-seed base] > report.md
+//
+// With the default 20 seeds the run takes a few minutes on one core
+// (the offline VCG sweeps dominate); -seeds 5 gives a quick draft.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"dynacrowd/internal/experiments"
+	"dynacrowd/internal/stats"
+	"dynacrowd/internal/workload"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 20, "replications per sweep point")
+	seed := flag.Uint64("seed", 1, "base seed")
+	flag.Parse()
+	if err := run(*seeds, *seed, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "crowd-repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seeds int, seed uint64, out io.Writer) error {
+	opt := experiments.Options{Seeds: seeds, BaseSeed: seed, Scenario: workload.DefaultScenario()}
+	start := time.Now()
+
+	fmt.Fprintf(out, "# dynacrowd reproduction report\n\n")
+	fmt.Fprintf(out, "%d seeds per point, base seed %d, scenario: paper Table I defaults.\n\n",
+		seeds, seed)
+
+	// --- the paper's six figures, two per sweep ---
+	fmt.Fprintf(out, "## Paper figures (Figs. 6-11)\n\n")
+	results, err := experiments.RunAll(opt)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		for _, fig := range []*stats.Figure{res.Welfare, res.Overpayment} {
+			fmt.Fprintf(out, "```\n")
+			if err := fig.WriteTable(out); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "```\n\n")
+		}
+	}
+
+	fmt.Fprintf(out, "### Shape checks vs the paper's findings\n\n")
+	for _, rep := range experiments.CheckShapes(results) {
+		for _, c := range rep.Checks {
+			fmt.Fprintf(out, "- %s: PASS — %s\n", rep.Figure, c)
+		}
+		for _, v := range rep.Violations {
+			fmt.Fprintf(out, "- %s: **FAIL** — %s\n", rep.Figure, v)
+		}
+	}
+	fmt.Fprintln(out)
+
+	// --- extensions ---
+	fmt.Fprintf(out, "## Extension: all mechanisms compared\n\n```\n")
+	base, err := experiments.RunBaselines(opt)
+	if err != nil {
+		return err
+	}
+	if err := base.Welfare.WriteTable(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\n")
+	if err := base.Overpayment.WriteTable(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "```\n\n")
+
+	fmt.Fprintf(out, "## Extension: robustness across workload variants\n\n")
+	rows, err := experiments.RunRobustness(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "| variant | welfare on | welfare off | worst ratio | σ on | σ off | σ distinguishable? | claims |\n")
+	fmt.Fprintf(out, "|---|---|---|---|---|---|---|---|\n")
+	for _, r := range rows {
+		dist := "no"
+		if r.SigmaTTest.Distinguishable(0.05) {
+			dist = fmt.Sprintf("yes (p=%.3f)", r.SigmaTTest.P)
+		}
+		claims := "OK"
+		if !r.CompetitiveOK || !r.DominanceOK || !r.IndividuallyRat {
+			claims = "VIOLATED"
+		}
+		fmt.Fprintf(out, "| %s | %.1f | %.1f | %.3f | %.3f | %.3f | %s | %s |\n",
+			r.Variant, r.OnlineWelfare.Mean, r.OfflineWelfare.Mean, r.WorstRatio,
+			r.OnlineSigma.Mean, r.OfflineSigma.Mean, dist, claims)
+	}
+	fmt.Fprintln(out)
+
+	fmt.Fprintf(out, "## Extension: reserve-price profit curve\n\n```\n")
+	reserve, err := experiments.RunReserveSweep(opt)
+	if err != nil {
+		return err
+	}
+	if err := reserve.WriteTable(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "```\n\n")
+
+	fmt.Fprintf(out, "## Extension: anytime competitive ratio\n\n```\n")
+	anyOpt := opt
+	scn := opt.Scenario
+	scn.Slots = 25
+	anyOpt.Scenario = scn
+	anytime, err := experiments.RunAnytime(anyOpt)
+	if err != nil {
+		return err
+	}
+	if err := anytime.WriteChart(out, 60, 12); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "```\n\n")
+
+	fmt.Fprintf(out, "## Extension: auction supply vs data quality\n\n```\n")
+	quality, err := experiments.RunQualitySweep(opt)
+	if err != nil {
+		return err
+	}
+	if err := quality.WriteTable(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "```\n\n")
+
+	fmt.Fprintf(out, "Generated in %s.\n", time.Since(start).Round(time.Second))
+	return nil
+}

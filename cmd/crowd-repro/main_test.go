@@ -1,0 +1,43 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestReportQuick generates a small-seed report and checks every
+// section renders.
+func TestReportQuick(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(2, 3, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# dynacrowd reproduction report",
+		"## Paper figures",
+		"fig6", "fig9", "fig11",
+		"Shape checks",
+		"all mechanisms compared",
+		"robustness across workload variants",
+		"reserve-price profit curve",
+		"anytime competitive ratio",
+		"data quality",
+		"Generated in",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+	// Per-seed hard guarantees (competitive ratio, dominance, IR) must
+	// hold at any seed count. The σ-ordering shape check is statistical
+	// and legitimately noisy at 2 seeds, so FAIL lines are tolerated
+	// here; the 20-seed runs behind EXPERIMENTS.md pass it.
+	if strings.Contains(out, "VIOLATED") {
+		t.Fatalf("hard guarantees violated:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL") && !strings.Contains(out, "σ") {
+		t.Fatalf("non-statistical shape check failed:\n%s", out)
+	}
+}

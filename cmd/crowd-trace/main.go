@@ -1,0 +1,196 @@
+// Command crowd-trace generates, inspects, and replays archived auction
+// rounds (JSON traces; see internal/workload).
+//
+// Usage:
+//
+//	crowd-trace gen  [-seed n] [-slots m] [-phone-rate λ] [-task-rate λt]
+//	                 [-mean-cost c] [-value ν] [-out file]
+//	crowd-trace info [-in file]
+//	crowd-trace run  [-in file] [-mechanism online|offline]
+//	crowd-trace compare [-in file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dynacrowd/internal/baseline"
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "crowd-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: crowd-trace gen|info|run|compare [flags]")
+	}
+	switch args[0] {
+	case "gen":
+		return runGen(args[1:], out)
+	case "info":
+		return runInfo(args[1:], out)
+	case "run":
+		return runMechanism(args[1:], out)
+	case "compare":
+		return runCompare(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want gen, info, run, or compare)", args[0])
+	}
+}
+
+func runGen(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	seed := fs.Uint64("seed", 1, "generation seed")
+	slots := fs.Int("slots", 50, "round length m")
+	phoneRate := fs.Float64("phone-rate", 6, "smartphone arrivals per slot")
+	taskRate := fs.Float64("task-rate", 3, "task arrivals per slot")
+	meanCost := fs.Float64("mean-cost", 25, "average real cost c̄")
+	value := fs.Float64("value", 30, "per-task value ν")
+	out := fs.String("out", "-", "output file (- for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	scn := workload.DefaultScenario()
+	scn.Slots = core.Slot(*slots)
+	scn.PhoneRate = *phoneRate
+	scn.TaskRate = *taskRate
+	scn.MeanCost = *meanCost
+	scn.Value = *value
+	in, err := scn.Generate(*seed)
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return workload.NewTrace(scn, *seed, in).Write(w)
+}
+
+func readTrace(path string) (*workload.Trace, error) {
+	r := io.Reader(os.Stdin)
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return workload.ReadTrace(r)
+}
+
+func runInfo(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("info", flag.ContinueOnError)
+	in := fs.String("in", "-", "trace file (- for stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, err := readTrace(*in)
+	if err != nil {
+		return err
+	}
+	inst, err := tr.Materialize()
+	if err != nil {
+		return err
+	}
+	perSlot := inst.TasksPerSlot()
+	busiest, busiestSlot := 0, core.Slot(0)
+	for s, n := range perSlot {
+		if n > busiest {
+			busiest, busiestSlot = n, core.Slot(s+1)
+		}
+	}
+	fmt.Fprintf(out, "trace: seed %d, %d slots, ν=%g\n", tr.Seed, inst.Slots, inst.Value)
+	fmt.Fprintf(out, "phones: %d (rate %g/slot), tasks: %d (rate %g/slot)\n",
+		inst.NumPhones(), tr.Scenario.PhoneRate, inst.NumTasks(), tr.Scenario.TaskRate)
+	fmt.Fprintf(out, "busiest slot: %d with %d tasks\n", busiestSlot, busiest)
+	return nil
+}
+
+func runMechanism(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	in := fs.String("in", "-", "trace file (- for stdin)")
+	mechName := fs.String("mechanism", "online", "online | offline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, err := readTrace(*in)
+	if err != nil {
+		return err
+	}
+	inst, err := tr.Materialize()
+	if err != nil {
+		return err
+	}
+	var mech core.Mechanism
+	switch *mechName {
+	case "online":
+		mech = &core.OnlineMechanism{}
+	case "offline":
+		mech = &core.OfflineMechanism{}
+	default:
+		return fmt.Errorf("unknown mechanism %q", *mechName)
+	}
+	res, err := mech.Run(inst)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "mechanism: %s\n", mech.Name())
+	fmt.Fprintf(out, "served: %d/%d tasks\n", res.Allocation.NumServed(), inst.NumTasks())
+	fmt.Fprintf(out, "social welfare: %.2f\n", res.Welfare)
+	fmt.Fprintf(out, "total payment: %.2f (overpayment ratio %.3f)\n",
+		res.TotalPayment(), res.OverpaymentRatio(inst))
+	return nil
+}
+
+// runCompare runs every mechanism on the trace and prints one row each.
+func runCompare(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	in := fs.String("in", "-", "trace file (- for stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, err := readTrace(*in)
+	if err != nil {
+		return err
+	}
+	inst, err := tr.Materialize()
+	if err != nil {
+		return err
+	}
+	mechs := []core.Mechanism{
+		&core.OnlineMechanism{},
+		&core.OfflineMechanism{},
+		&baseline.SecondPricePerSlot{},
+		&baseline.FirstPricePerSlot{},
+		&baseline.Random{Seed: int64(tr.Seed)},
+		&baseline.GreedyByCost{},
+	}
+	fmt.Fprintf(out, "%-24s %8s %12s %12s %8s\n", "mechanism", "served", "welfare", "paid", "sigma")
+	for _, mech := range mechs {
+		res, err := mech.Run(inst)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "%-24s %4d/%-3d %12.2f %12.2f %8.3f\n",
+			mech.Name(), res.Allocation.NumServed(), inst.NumTasks(),
+			res.Welfare, res.TotalPayment(), res.OverpaymentRatio(inst))
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func genTempTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	var buf bytes.Buffer
+	if err := run([]string{"gen", "-slots", "12", "-seed", "3", "-out", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGenInfoRoundTrip(t *testing.T) {
+	path := genTempTrace(t)
+	var buf bytes.Buffer
+	if err := run([]string{"info", "-in", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"seed 3", "12 slots", "phones:", "tasks:", "busiest slot"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("info missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenToStdout(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"gen", "-slots", "5", "-seed", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"version": 1`) {
+		t.Fatalf("stdout trace malformed:\n%.200s", buf.String())
+	}
+}
+
+func TestRunMechanisms(t *testing.T) {
+	path := genTempTrace(t)
+	for _, mech := range []string{"online", "offline"} {
+		var buf bytes.Buffer
+		if err := run([]string{"run", "-in", path, "-mechanism", mech}, &buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "social welfare:") {
+			t.Fatalf("%s output missing welfare:\n%s", mech, buf.String())
+		}
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"run", "-in", path, "-mechanism", "nonsense"}, &buf); err == nil {
+		t.Fatal("want unknown-mechanism error")
+	}
+}
+
+func TestCompareListsAllMechanisms(t *testing.T) {
+	path := genTempTrace(t)
+	var buf bytes.Buffer
+	if err := run([]string{"compare", "-in", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"online-greedy", "offline-vcg", "second-price-per-slot",
+		"first-price-per-slot", "random", "greedy-by-cost",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("compare missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Fatal("want usage error")
+	}
+	if err := run([]string{"frobnicate"}, &buf); err == nil {
+		t.Fatal("want unknown-subcommand error")
+	}
+	if err := run([]string{"info", "-in", "/does/not/exist"}, &buf); err == nil {
+		t.Fatal("want file error")
+	}
+	if err := run([]string{"gen", "-slots", "0"}, &buf); err == nil {
+		t.Fatal("want scenario error")
+	}
+}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunQuickSingleFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-figure", "fig6", "-format", "table"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig6", "online", "offline", "30", "70"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "fig9") {
+		t.Fatal("unrequested figure rendered")
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-figure", "fig10", "-format", "csv"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "online_mean,online_ci95") {
+		t.Fatalf("csv header missing:\n%s", buf.String())
+	}
+}
+
+func TestRunChartFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-figure", "fig7", "-format", "chart"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "legend:") {
+		t.Fatalf("chart legend missing:\n%s", buf.String())
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-figure", "fig99"}, &buf); err == nil {
+		t.Fatal("want unknown-figure error")
+	}
+}
+
+func TestRunUnknownFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-figure", "fig6", "-format", "pdf"}, &buf); err == nil {
+		t.Fatal("want unknown-format error")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Fatal("want flag error")
+	}
+}
+
+func TestRunValueOverride(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-quick", "-figure", "fig6", "-value", "60"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-quick", "-figure", "fig6"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() == b.String() {
+		t.Fatal("-value override had no effect")
+	}
+}
+
+func TestRunBaselinesFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-figure", "baselines"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"all mechanisms", "posted-price", "adaptive-posted-price", "greedy-by-cost"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("baselines output missing %q", want)
+		}
+	}
+}
+
+func TestRunRobustnessFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-figure", "robustness"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"exponential costs", "rush-hour tasks", "OK"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("robustness output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "VIOLATED") {
+		t.Fatalf("core claims violated:\n%s", out)
+	}
+}
+
+func TestRunReserveFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-figure", "reserve"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Platform profit vs declared reserve") {
+		t.Fatalf("reserve output:\n%s", buf.String())
+	}
+}
+
+func TestRunAnytimeFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-figure", "anytime"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Anytime competitive ratio") {
+		t.Fatalf("anytime output:\n%s", buf.String())
+	}
+}
+
+func TestRunQualityFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-figure", "quality"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Query coverage") {
+		t.Fatalf("quality output:\n%s", buf.String())
+	}
+}
+
+func TestRunAllWithCheck(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-check"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "shape checks") || !strings.Contains(out, "PASS") {
+		t.Fatalf("check output missing:\n%s", out)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Fatalf("shape checks failed:\n%s", out)
+	}
+}

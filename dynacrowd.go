@@ -1,0 +1,185 @@
+// Package dynacrowd is a reproduction of "Towards Truthful Mechanisms
+// for Mobile Crowdsourcing with Dynamic Smartphones" (Feng et al.,
+// ICDCS 2014): truthful reverse-auction mechanisms for allocating
+// sensing tasks to smartphones that join and leave the system
+// dynamically.
+//
+// The package is a facade over the implementation packages:
+//
+//   - Offline mechanism (Section IV): optimal allocation via maximum
+//     weighted bipartite matching + VCG payments. Truthful, individually
+//     rational, welfare-optimal, O((n+γ)³).
+//   - Online mechanism (Section V): slot-by-slot greedy allocation +
+//     critical-value payments. Truthful, individually rational,
+//     1/2-competitive.
+//   - A streaming auction driver (OnlineAuction) and a TCP platform
+//     (ListenPlatform/DialPlatform) that run the online mechanism live.
+//   - Workload generation per the paper's Table I, a truthfulness
+//     auditor (Audit), multi-round markets (RunMarket), and the sensing
+//     application layer (RunCampaign) that turns queries into tasks and
+//     winners' readings into aggregated answers.
+//
+// Quickstart:
+//
+//	in, _ := dynacrowd.DefaultScenario().Generate(1)
+//	out, _ := dynacrowd.RunOnline(in)
+//	fmt.Println("welfare:", out.Welfare)
+//
+// See the examples/ directory for complete programs.
+package dynacrowd
+
+import (
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/market"
+	"dynacrowd/internal/platform"
+	"dynacrowd/internal/sensing"
+	"dynacrowd/internal/strategy"
+	"dynacrowd/internal/workload"
+)
+
+// Core auction vocabulary, re-exported from internal/core.
+type (
+	// Slot indexes a time slot within a round (1-based).
+	Slot = core.Slot
+	// PhoneID identifies a smartphone (dense, 0-based).
+	PhoneID = core.PhoneID
+	// TaskID identifies a sensing task (dense, 0-based, arrival order).
+	TaskID = core.TaskID
+	// Bid is a smartphone's sealed bid (ã, d̃, b).
+	Bid = core.Bid
+	// Task is a sensing task with its arrival slot.
+	Task = core.Task
+	// Instance is one complete auction round.
+	Instance = core.Instance
+	// Allocation maps tasks to phones.
+	Allocation = core.Allocation
+	// Outcome is an allocation plus payments and welfare.
+	Outcome = core.Outcome
+	// Mechanism is an allocation rule plus a payment rule.
+	Mechanism = core.Mechanism
+	// OnlineAuction drives the online mechanism slot by slot.
+	OnlineAuction = core.OnlineAuction
+	// StreamBid is a bid submitted to an OnlineAuction in the current slot.
+	StreamBid = core.StreamBid
+	// SlotResult reports one slot of an OnlineAuction.
+	SlotResult = core.SlotResult
+	// PaymentNotice is a payment finalized at a winner's departure.
+	PaymentNotice = core.PaymentNotice
+)
+
+// Sentinels for unassigned tasks and phones.
+const (
+	NoPhone = core.NoPhone
+	NoTask  = core.NoTask
+)
+
+// Workload generation, re-exported from internal/workload.
+type (
+	// Scenario holds the workload parameters of the paper's Table I.
+	Scenario = workload.Scenario
+	// Trace is an archived, replayable auction round.
+	Trace = workload.Trace
+)
+
+// DefaultScenario returns the paper's Table I settings.
+func DefaultScenario() Scenario { return workload.DefaultScenario() }
+
+// NewOffline returns the Section IV mechanism: optimal matching with VCG
+// payments.
+func NewOffline() Mechanism { return &core.OfflineMechanism{} }
+
+// NewOnline returns the Section V mechanism: greedy allocation with
+// critical-value payments.
+func NewOnline() Mechanism { return &core.OnlineMechanism{} }
+
+// RunOffline executes the offline mechanism on the instance.
+func RunOffline(in *Instance) (*Outcome, error) { return NewOffline().Run(in) }
+
+// RunOnline executes the online mechanism on the instance.
+func RunOnline(in *Instance) (*Outcome, error) { return NewOnline().Run(in) }
+
+// OptimalWelfare returns ω*, the maximum achievable social welfare of
+// the instance (the offline optimum used as the competitive baseline).
+func OptimalWelfare(in *Instance) (float64, error) {
+	return (&core.OfflineMechanism{}).Welfare(in)
+}
+
+// NewOnlineAuction starts a streaming round of m slots with per-task
+// value ν; drive it with Step (see core.OnlineAuction).
+func NewOnlineAuction(m Slot, value float64) (*OnlineAuction, error) {
+	return core.NewOnlineAuction(m, value, false)
+}
+
+// Networked platform, re-exported from internal/platform.
+type (
+	// PlatformConfig parameterizes a TCP platform round.
+	PlatformConfig = platform.Config
+	// PlatformServer hosts one auction round over TCP.
+	PlatformServer = platform.Server
+	// Agent is a smartphone client of a platform.
+	Agent = platform.Agent
+	// AgentEvent is a platform notification delivered to an agent.
+	AgentEvent = platform.Event
+)
+
+// ListenPlatform starts a TCP platform server (see internal/platform).
+func ListenPlatform(addr string, cfg PlatformConfig) (*PlatformServer, error) {
+	return platform.Listen(addr, cfg)
+}
+
+// DialPlatform connects a smartphone agent to a platform.
+func DialPlatform(addr string) (*Agent, error) { return platform.Dial(addr) }
+
+// Truthfulness auditing, re-exported from internal/strategy.
+type (
+	// AuditOptions bounds the misreport search.
+	AuditOptions = strategy.AuditOptions
+	// AuditResult is the misreport search outcome for one phone.
+	AuditResult = strategy.AuditResult
+)
+
+// Audit searches every phone's feasible misreports for profitable
+// deviations under the mechanism; a positive gain disproves
+// truthfulness (see internal/strategy).
+func Audit(mech Mechanism, truth *Instance, opts AuditOptions) ([]AuditResult, error) {
+	return strategy.Audit(mech, truth, opts)
+}
+
+// Multi-round markets, re-exported from internal/market.
+type (
+	// MarketConfig parameterizes a round-by-round market simulation.
+	MarketConfig = market.Config
+	// MarketResult is a completed market simulation.
+	MarketResult = market.Result
+)
+
+// RunMarket executes the auction round by round (the paper's §III-B
+// deployment model) with losing phones optionally re-entering later
+// rounds; see internal/market.
+func RunMarket(cfg MarketConfig) (*MarketResult, error) { return market.Run(cfg) }
+
+// Sensing application layer, re-exported from internal/sensing.
+type (
+	// SensingQuery is an end-user request for periodic samples.
+	SensingQuery = sensing.Query
+	// SensingAnswer is an aggregated per-query result.
+	SensingAnswer = sensing.Answer
+	// CampaignResult ties auction metrics to data quality for a round.
+	CampaignResult = sensing.CampaignResult
+	// GroundTruth synthesizes the sensed phenomenon for evaluation.
+	GroundTruth = sensing.GroundTruth
+)
+
+// NewGroundTruth creates a reproducible synthetic phenomenon with the
+// given per-reading sensor noise.
+func NewGroundTruth(seed uint64, noiseStdDev float64) *GroundTruth {
+	return sensing.NewGroundTruth(seed, noiseStdDev)
+}
+
+// RunCampaign runs the paper's Fig. 1 pipeline end to end: queries are
+// decomposed into tasks, the mechanism allocates them to the given
+// bids, winners deliver synthetic readings, and the answers are
+// aggregated and scored; see internal/sensing.
+func RunCampaign(m Slot, value float64, queries []SensingQuery, bids []Bid, mech Mechanism, truth *GroundTruth) (*CampaignResult, error) {
+	return sensing.RunCampaign(m, value, queries, bids, mech, truth)
+}

@@ -1,0 +1,142 @@
+package dynacrowd_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dynacrowd"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	scn := dynacrowd.DefaultScenario()
+	scn.Slots = 12
+	in, err := scn.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := dynacrowd.RunOnline(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := dynacrowd.RunOffline(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := dynacrowd.OptimalWelfare(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Welfare != opt {
+		t.Fatalf("offline welfare %g != optimum %g", off.Welfare, opt)
+	}
+	if on.Welfare > opt || on.Welfare < opt/2 {
+		t.Fatalf("online welfare %g outside [opt/2, opt] = [%g, %g]", on.Welfare, opt/2, opt)
+	}
+}
+
+func TestFacadeStreaming(t *testing.T) {
+	oa, err := dynacrowd.NewOnlineAuction(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := oa.Step([]dynacrowd.StreamBid{{Departure: 2, Cost: 3}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != 1 {
+		t.Fatalf("assignments = %v", res.Assignments)
+	}
+}
+
+func TestFacadeAudit(t *testing.T) {
+	in := &dynacrowd.Instance{
+		Slots: 2, Value: 10,
+		Bids: []dynacrowd.Bid{
+			{Phone: 0, Arrival: 1, Departure: 2, Cost: 2},
+			{Phone: 1, Arrival: 1, Departure: 2, Cost: 5},
+		},
+		Tasks: []dynacrowd.Task{{ID: 0, Arrival: 1}},
+	}
+	results, err := dynacrowd.Audit(dynacrowd.NewOnline(), in, dynacrowd.AuditOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if r.Gain() > 1e-9 {
+			t.Fatalf("phone %d gains %g", r.Phone, r.Gain())
+		}
+	}
+}
+
+func TestFacadePlatform(t *testing.T) {
+	srv, err := dynacrowd.ListenPlatform("127.0.0.1:0", dynacrowd.PlatformConfig{Slots: 2, Value: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	agent, err := dynacrowd.DialPlatform(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	if err := agent.SubmitBid("demo", 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Tick(1); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Outcome().Allocation.NumServed() != 1 {
+		t.Fatal("platform did not allocate the task")
+	}
+}
+
+// ExampleRunOnline demonstrates the quickstart flow.
+func ExampleRunOnline() {
+	in := &dynacrowd.Instance{
+		Slots: 1, Value: 10,
+		Bids: []dynacrowd.Bid{
+			{Phone: 0, Arrival: 1, Departure: 1, Cost: 2},
+			{Phone: 1, Arrival: 1, Departure: 1, Cost: 6},
+		},
+		Tasks: []dynacrowd.Task{{ID: 0, Arrival: 1}},
+	}
+	out, _ := dynacrowd.RunOnline(in)
+	fmt.Printf("welfare=%.0f winner=%d payment=%.0f\n",
+		out.Welfare, out.Allocation.ByTask[0], out.Payments[0])
+	// Output: welfare=8 winner=0 payment=6
+}
+
+func TestFacadeMarket(t *testing.T) {
+	scn := dynacrowd.DefaultScenario()
+	scn.Slots = 10
+	res, err := dynacrowd.RunMarket(dynacrowd.MarketConfig{
+		Rounds:            3,
+		Scenario:          scn,
+		Seed:              1,
+		ReturnProbability: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rounds) != 3 || res.MeanWelfare() <= 0 {
+		t.Fatalf("market result: %+v", res)
+	}
+}
+
+func TestFacadeCampaign(t *testing.T) {
+	scn := dynacrowd.DefaultScenario()
+	scn.Slots = 8
+	in, err := scn.Generate(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dynacrowd.RunCampaign(8, 30,
+		[]dynacrowd.SensingQuery{{ID: 0, Region: "Downtown", From: 1, To: 8}},
+		in.Bids, dynacrowd.NewOnline(), dynacrowd.NewGroundTruth(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanCoverage <= 0 || len(res.Answers) != 1 {
+		t.Fatalf("campaign result: %+v", res)
+	}
+}

@@ -1,0 +1,77 @@
+// Citysense: the complete Fig. 1 pipeline through the public API. A
+// city's environment office submits sensing queries ("sample Old Town's
+// noise hourly from 07:00 to 19:00"), the platform decomposes them into
+// per-slot tasks, auctions them to commuter phones with the truthful
+// online mechanism, collects the winners' (synthetic) readings, and
+// aggregates per-query answers scored against the ground truth.
+//
+//	go run ./examples/citysense
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"dynacrowd"
+	"dynacrowd/internal/workload"
+)
+
+func main() {
+	const (
+		slots = 24 // one slot per hour
+		value = 30 // the city's value per sample
+	)
+
+	queries := []dynacrowd.SensingQuery{
+		{ID: 0, Region: "Riverside", From: 1, To: 24},
+		{ID: 1, Region: "Old Town", From: 7, To: 19},
+		{ID: 2, Region: "University", From: 9, To: 17},
+		{ID: 3, Region: "Docklands", From: 1, To: 12},
+	}
+
+	// Commuter phone supply from the Table I model, scaled to a day.
+	scn := dynacrowd.DefaultScenario()
+	scn.Slots = slots
+	scn.PhoneRate = 3
+	supply, err := scn.Generate(2026)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	truth := dynacrowd.NewGroundTruth(7, 1.5) // σ=1.5 dB sensor noise
+	res, err := dynacrowd.RunCampaign(slots, value, queries, supply.Bids, dynacrowd.NewOnline(), truth)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Also generate bids for the rush-hour profile to show the workload
+	// substrate end to end.
+	rush, err := scn.GenerateWithProfiles(2026, workload.RushHourProfile{Peak: 3}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rushRes, err := dynacrowd.RunCampaign(slots, value, queries, rush.Bids, dynacrowd.NewOnline(), dynacrowd.NewGroundTruth(7, 1.5))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("== citysense: %d queries over a %d-hour day, %d phones bidding ==\n\n",
+		len(queries), slots, len(supply.Bids))
+	fmt.Printf("%-14s %9s %10s %10s\n", "region", "coverage", "mean dB", "rmse dB")
+	for _, a := range res.Answers {
+		mean, rmse := "-", "-"
+		if !math.IsNaN(a.Mean) {
+			mean = fmt.Sprintf("%.1f", a.Mean)
+			rmse = fmt.Sprintf("%.2f", a.RMSE)
+		}
+		fmt.Printf("%-14s %4d/%-4d %10s %10s\n", a.Region, a.Samples, a.Want, mean, rmse)
+	}
+	fmt.Printf("\nauction: welfare %.1f, city paid %.1f\n", res.Welfare, res.TotalPaid)
+	fmt.Printf("data plane: %.0f%% coverage, %.2f dB mean aggregation error\n",
+		100*res.MeanCoverage, res.MeanRMSE)
+	fmt.Printf("\nwith rush-hour phone supply instead: %.0f%% coverage, error %.2f dB\n",
+		100*rushRes.MeanCoverage, rushRes.MeanRMSE)
+	fmt.Println("(coverage follows when the phones are on the street, not when the")
+	fmt.Println(" queries want samples — supply-demand misalignment is visible here)")
+}

@@ -1,0 +1,72 @@
+// Quickstart: build a small auction round by hand, run both truthful
+// mechanisms on it, and print the allocations, payments, and phone
+// utilities side by side.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynacrowd"
+)
+
+func main() {
+	// One round of five slots, each completed task worth ν = 20 to the
+	// platform. Seven phones with private active windows and costs (this
+	// is the worked example from the paper's Fig. 4), one task per slot.
+	in := &dynacrowd.Instance{
+		Slots: 5,
+		Value: 20,
+		Bids: []dynacrowd.Bid{
+			{Phone: 0, Arrival: 2, Departure: 5, Cost: 3},
+			{Phone: 1, Arrival: 1, Departure: 4, Cost: 5},
+			{Phone: 2, Arrival: 3, Departure: 5, Cost: 11},
+			{Phone: 3, Arrival: 4, Departure: 5, Cost: 9},
+			{Phone: 4, Arrival: 2, Departure: 2, Cost: 4},
+			{Phone: 5, Arrival: 3, Departure: 5, Cost: 8},
+			{Phone: 6, Arrival: 1, Departure: 3, Cost: 6},
+		},
+		Tasks: []dynacrowd.Task{
+			{ID: 0, Arrival: 1}, {ID: 1, Arrival: 2}, {ID: 2, Arrival: 3},
+			{ID: 3, Arrival: 4}, {ID: 4, Arrival: 5},
+		},
+	}
+
+	for _, mech := range []dynacrowd.Mechanism{dynacrowd.NewOnline(), dynacrowd.NewOffline()} {
+		out, err := mech.Run(in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s ===\n", mech.Name())
+		fmt.Printf("social welfare: %.1f   total paid: %.1f   overpayment ratio: %.3f\n",
+			out.Welfare, out.TotalPayment(), out.OverpaymentRatio(in))
+		for _, a := range out.Allocation.Assignments() {
+			bid := in.Bids[a.Phone]
+			fmt.Printf("  task %d (slot %d) -> phone %d  cost=%.0f  paid=%.1f  utility=%.1f\n",
+				a.Task, a.Slot, a.Phone, bid.Cost, out.Payments[a.Phone],
+				out.Utility(a.Phone, bid.Cost))
+		}
+		fmt.Println()
+	}
+
+	// The same instance can also be drawn from the paper's Table I
+	// workload model instead of by hand:
+	scn := dynacrowd.DefaultScenario()
+	scn.Slots = 20
+	generated, err := scn.Generate(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out, err := dynacrowd.RunOnline(generated)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt, err := dynacrowd.OptimalWelfare(generated)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated round: %d phones, %d tasks -> online welfare %.1f (%.0f%% of optimum %.1f)\n",
+		generated.NumPhones(), generated.NumTasks(), out.Welfare, 100*out.Welfare/opt, opt)
+}

@@ -1,0 +1,78 @@
+// Truthfulness: an adversarial audit of three mechanisms. For every
+// phone in the paper's Fig. 4 instance, the auditor exhaustively
+// searches the feasible misreport space (delayed arrivals, advanced
+// departures, scaled costs) for a report that beats honesty.
+//
+// The two mechanisms from the paper survive; the per-slot second-price
+// auction falls exactly the way the paper's Fig. 5 predicts — phone 1
+// profits by pretending to arrive two slots late.
+//
+//	go run ./examples/truthfulness
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynacrowd"
+	"dynacrowd/internal/baseline"
+)
+
+func main() {
+	// The paper's Fig. 4 instance: 7 phones, 5 slots, one task per slot.
+	in := &dynacrowd.Instance{
+		Slots: 5,
+		Value: 20,
+		Bids: []dynacrowd.Bid{
+			{Phone: 0, Arrival: 2, Departure: 5, Cost: 3},
+			{Phone: 1, Arrival: 1, Departure: 4, Cost: 5},
+			{Phone: 2, Arrival: 3, Departure: 5, Cost: 11},
+			{Phone: 3, Arrival: 4, Departure: 5, Cost: 9},
+			{Phone: 4, Arrival: 2, Departure: 2, Cost: 4},
+			{Phone: 5, Arrival: 3, Departure: 5, Cost: 8},
+			{Phone: 6, Arrival: 1, Departure: 3, Cost: 6},
+		},
+		Tasks: []dynacrowd.Task{
+			{ID: 0, Arrival: 1}, {ID: 1, Arrival: 2}, {ID: 2, Arrival: 3},
+			{ID: 3, Arrival: 4}, {ID: 4, Arrival: 5},
+		},
+	}
+
+	mechanisms := []dynacrowd.Mechanism{
+		dynacrowd.NewOnline(),
+		dynacrowd.NewOffline(),
+		&baseline.SecondPricePerSlot{},
+	}
+
+	for _, mech := range mechanisms {
+		fmt.Printf("=== auditing %s ===\n", mech.Name())
+		results, err := dynacrowd.Audit(mech, in, dynacrowd.AuditOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		searched := 0
+		honest := true
+		for _, r := range results {
+			searched += r.ReportsSearched
+			if r.Gain() > 1e-9 {
+				honest = false
+				truth := in.Bids[r.Phone]
+				fmt.Printf("  EXPLOITABLE: phone %d (true window [%d,%d], cost %.0f)\n",
+					r.Phone, truth.Arrival, truth.Departure, truth.Cost)
+				fmt.Printf("    best lie: report window [%d,%d], cost %.2f\n",
+					r.BestBid.Arrival, r.BestBid.Departure, r.BestBid.Cost)
+				fmt.Printf("    utility: honest %.2f -> lying %.2f (gain %.2f)\n",
+					r.TruthfulUtility, r.BestUtility, r.Gain())
+			}
+		}
+		if honest {
+			fmt.Printf("  truthful: no profitable misreport among %d reports searched\n", searched)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("The second-price exploit above is the paper's Fig. 5 counterexample:")
+	fmt.Println("phone 1 delays its reported arrival from slot 2 to slot 4, where the")
+	fmt.Println("standing competition is weaker, and its payment rises from 4 to 8.")
+	fmt.Println("The online mechanism's critical-value payment closes exactly this hole.")
+}

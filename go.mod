@@ -1,0 +1,3 @@
+module dynacrowd
+
+go 1.22

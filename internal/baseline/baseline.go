@@ -1,0 +1,384 @@
+// Package baseline implements reference mechanisms the paper compares
+// against or rules out, used by benchmarks and by the truthfulness test
+// suite as negative controls:
+//
+//   - SecondPricePerSlot: the natural per-slot second-price auction the
+//     paper's Section V-C proves untruthful (a phone can gain by delaying
+//     its reported arrival — Fig. 5).
+//   - FirstPricePerSlot: greedy allocation paying each winner its own
+//     claimed cost (pay-as-bid; untruthful in cost).
+//   - Random: uniform random allocation among active phones, pay-as-bid.
+//   - GreedyByCost: an offline heuristic that scans phones by ascending
+//     cost and assigns each to any still-open task in its window; cheaper
+//     than the Hungarian optimum but suboptimal.
+//
+// All types implement core.Mechanism.
+package baseline
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/stats"
+)
+
+// slotPool drives the shared slot-by-slot scaffolding: it calls allocate
+// once per slot with the IDs of the active, still-free, eligible phones
+// (sorted by ascending claimed cost) and the indices of the tasks arriving
+// that slot. allocate returns the chosen phone for each task (or NoPhone).
+func slotPool(in *core.Instance, allocate func(t core.Slot, active []core.PhoneID, tasks []core.TaskID) []core.PhoneID) (*core.Allocation, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	alloc := core.NewAllocation(in.NumTasks(), in.NumPhones())
+	taken := make([]bool, in.NumPhones())
+	ti := 0
+	for t := core.Slot(1); t <= in.Slots; t++ {
+		var tasks []core.TaskID
+		for ; ti < len(in.Tasks) && in.Tasks[ti].Arrival == t; ti++ {
+			tasks = append(tasks, core.TaskID(ti))
+		}
+		if len(tasks) == 0 {
+			continue
+		}
+		var active []core.PhoneID
+		for i, b := range in.Bids {
+			if taken[i] || !b.Covers(t) {
+				continue
+			}
+			if !in.AllocateAtLoss && b.Cost >= in.Value {
+				continue
+			}
+			active = append(active, core.PhoneID(i))
+		}
+		sort.Slice(active, func(x, y int) bool {
+			bx, by := in.Bids[active[x]], in.Bids[active[y]]
+			if bx.Cost != by.Cost {
+				return bx.Cost < by.Cost
+			}
+			return active[x] < active[y]
+		})
+		chosen := allocate(t, active, tasks)
+		if len(chosen) != len(tasks) {
+			return nil, fmt.Errorf("baseline: allocate returned %d phones for %d tasks", len(chosen), len(tasks))
+		}
+		for k, p := range chosen {
+			if p == core.NoPhone {
+				continue
+			}
+			alloc.Assign(tasks[k], p, t)
+			taken[p] = true
+		}
+	}
+	return alloc, nil
+}
+
+// SecondPricePerSlot allocates greedily like the online mechanism but
+// pays each slot's winners the first losing claimed cost in that slot
+// (the (r_t+1)-th cheapest active bid), or the reserve ν when the slot
+// had no losing bid. The paper shows this payment rule is NOT
+// time-truthful: delaying a reported arrival into a slot with weaker
+// competition can raise the payment (Fig. 5).
+type SecondPricePerSlot struct{}
+
+// Name implements core.Mechanism.
+func (s *SecondPricePerSlot) Name() string { return "second-price-per-slot" }
+
+// Run implements core.Mechanism.
+func (s *SecondPricePerSlot) Run(in *core.Instance) (*core.Outcome, error) {
+	payments := make([]float64, in.NumPhones())
+	alloc, err := slotPool(in, func(t core.Slot, active []core.PhoneID, tasks []core.TaskID) []core.PhoneID {
+		chosen := make([]core.PhoneID, len(tasks))
+		clearing := in.Value // price when competition is exhausted
+		if len(active) > len(tasks) {
+			clearing = in.Bids[active[len(tasks)]].Cost
+		}
+		for k := range tasks {
+			if k < len(active) {
+				chosen[k] = active[k]
+				payments[active[k]] = clearing
+			} else {
+				chosen[k] = core.NoPhone
+			}
+		}
+		return chosen
+	})
+	if err != nil {
+		return nil, fmt.Errorf("second-price: %w", err)
+	}
+	return &core.Outcome{Allocation: alloc, Payments: payments, Welfare: alloc.Welfare(in)}, nil
+}
+
+// FirstPricePerSlot allocates greedily and pays each winner its own
+// claimed cost (pay-as-bid). Truthful phones earn zero utility, so in
+// practice phones shade bids upward; it serves as the overpayment floor.
+type FirstPricePerSlot struct{}
+
+// Name implements core.Mechanism.
+func (f *FirstPricePerSlot) Name() string { return "first-price-per-slot" }
+
+// Run implements core.Mechanism.
+func (f *FirstPricePerSlot) Run(in *core.Instance) (*core.Outcome, error) {
+	payments := make([]float64, in.NumPhones())
+	alloc, err := slotPool(in, func(t core.Slot, active []core.PhoneID, tasks []core.TaskID) []core.PhoneID {
+		chosen := make([]core.PhoneID, len(tasks))
+		for k := range tasks {
+			if k < len(active) {
+				chosen[k] = active[k]
+				payments[active[k]] = in.Bids[active[k]].Cost
+			} else {
+				chosen[k] = core.NoPhone
+			}
+		}
+		return chosen
+	})
+	if err != nil {
+		return nil, fmt.Errorf("first-price: %w", err)
+	}
+	return &core.Outcome{Allocation: alloc, Payments: payments, Welfare: alloc.Welfare(in)}, nil
+}
+
+// Random allocates each slot's tasks to uniformly random eligible phones
+// and pays claimed costs. It bounds the welfare loss of ignoring prices.
+type Random struct {
+	// Seed makes runs reproducible; the zero value is a valid seed.
+	Seed int64
+}
+
+// Name implements core.Mechanism.
+func (r *Random) Name() string { return "random" }
+
+// Run implements core.Mechanism.
+func (r *Random) Run(in *core.Instance) (*core.Outcome, error) {
+	rng := rand.New(rand.NewSource(r.Seed))
+	payments := make([]float64, in.NumPhones())
+	alloc, err := slotPool(in, func(t core.Slot, active []core.PhoneID, tasks []core.TaskID) []core.PhoneID {
+		rng.Shuffle(len(active), func(x, y int) { active[x], active[y] = active[y], active[x] })
+		chosen := make([]core.PhoneID, len(tasks))
+		for k := range tasks {
+			if k < len(active) {
+				chosen[k] = active[k]
+				payments[active[k]] = in.Bids[active[k]].Cost
+			} else {
+				chosen[k] = core.NoPhone
+			}
+		}
+		return chosen
+	})
+	if err != nil {
+		return nil, fmt.Errorf("random: %w", err)
+	}
+	return &core.Outcome{Allocation: alloc, Payments: payments, Welfare: alloc.Welfare(in)}, nil
+}
+
+// GreedyByCost is an offline heuristic: scan all bids in ascending cost
+// order and give each phone the earliest still-open task inside its
+// window. It runs in O(n log n + nγ) instead of the Hungarian O((n+γ)³)
+// and is the ablation point for "how much does optimal matching buy".
+// Winners are paid their claimed costs.
+type GreedyByCost struct{}
+
+// Name implements core.Mechanism.
+func (g *GreedyByCost) Name() string { return "greedy-by-cost" }
+
+// Run implements core.Mechanism.
+func (g *GreedyByCost) Run(in *core.Instance) (*core.Outcome, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("greedy-by-cost: %w", err)
+	}
+	order := make([]core.PhoneID, in.NumPhones())
+	for i := range order {
+		order[i] = core.PhoneID(i)
+	}
+	sort.Slice(order, func(x, y int) bool {
+		bx, by := in.Bids[order[x]], in.Bids[order[y]]
+		if bx.Cost != by.Cost {
+			return bx.Cost < by.Cost
+		}
+		return order[x] < order[y]
+	})
+	alloc := core.NewAllocation(in.NumTasks(), in.NumPhones())
+	payments := make([]float64, in.NumPhones())
+	for _, i := range order {
+		b := in.Bids[i]
+		if !in.AllocateAtLoss && b.Cost >= in.Value {
+			continue
+		}
+		for k, task := range in.Tasks {
+			if alloc.ByTask[k] != core.NoPhone || !b.Covers(task.Arrival) {
+				continue
+			}
+			alloc.Assign(core.TaskID(k), i, task.Arrival)
+			payments[i] = b.Cost
+			break
+		}
+	}
+	return &core.Outcome{Allocation: alloc, Payments: payments, Welfare: alloc.Welfare(in)}, nil
+}
+
+// PostedPrice is the classic take-it-or-leave-it mechanism: the platform
+// posts a fixed per-task price P; each slot, arriving tasks go to
+// active phones whose claimed cost is at most P — rationed by phone ID
+// (arrival order), NOT by reported cost — and every winner is paid
+// exactly P.
+//
+// The rationing rule matters: allocating to the *cheapest* eligible
+// phones would make the allocation depend on the reports and reopen a
+// misreport channel (underbid to jump the queue at no payment risk —
+// this package's tests demonstrate the attack against that variant).
+// With report-independent rationing the report only controls
+// eligibility, so claiming b ≠ c either forfeits a profitable trade or
+// buys an unprofitable one: truthful. The price of this simplicity is
+// welfare (phones between P and ν never serve) and overpayment pinned
+// at P for every winner; the baseline experiments use it to anchor that
+// trade-off.
+type PostedPrice struct {
+	// Price is the posted per-task payment P. Only phones with claimed
+	// cost ≤ P are eligible; each winner is paid P.
+	Price float64
+}
+
+// Name implements core.Mechanism.
+func (p *PostedPrice) Name() string { return fmt.Sprintf("posted-price-%g", p.Price) }
+
+// Run implements core.Mechanism.
+func (p *PostedPrice) Run(in *core.Instance) (*core.Outcome, error) {
+	if p.Price < 0 {
+		return nil, fmt.Errorf("posted-price: negative price %g", p.Price)
+	}
+	payments := make([]float64, in.NumPhones())
+	alloc, err := slotPool(in, func(t core.Slot, active []core.PhoneID, tasks []core.TaskID) []core.PhoneID {
+		// Report-independent rationing: eligible phones in ID (arrival)
+		// order, regardless of how cheap they claim to be.
+		eligible := make([]core.PhoneID, 0, len(active))
+		for _, phone := range active {
+			if in.Bids[phone].Cost <= p.Price {
+				eligible = append(eligible, phone)
+			}
+		}
+		sort.Slice(eligible, func(x, y int) bool { return eligible[x] < eligible[y] })
+		chosen := make([]core.PhoneID, len(tasks))
+		for k := range chosen {
+			if k < len(eligible) {
+				chosen[k] = eligible[k]
+				payments[eligible[k]] = p.Price
+			} else {
+				chosen[k] = core.NoPhone
+			}
+		}
+		return chosen
+	})
+	if err != nil {
+		return nil, fmt.Errorf("posted-price: %w", err)
+	}
+	return &core.Outcome{Allocation: alloc, Payments: payments, Welfare: alloc.Welfare(in)}, nil
+}
+
+// AdaptivePostedPrice removes PostedPrice's clairvoyance: it treats the
+// first ObserveFraction of the round as observation-only (no
+// allocations), posts the median cost of the *sample* scaled by Markup,
+// and then runs a PostedPrice market for the rest of the round.
+//
+// Choosing the sample is where truthfulness lives or dies, and in the
+// dynamic-arrival model both obvious choices fail (this package's tests
+// document the attacks):
+//
+//   - sampling every bid seen during the window lets a phone that can
+//     still win later inflate its observed bid to raise its own price;
+//   - excluding sampled phones by *reported arrival* is escaped by the
+//     legal arrival-delay misreport (report ã just past the window).
+//
+// The robust rule keyed to the one-sided misreport space: the sample is
+// the bids whose *reported departure* lies inside the observation
+// window. Such phones can never win (sales only start after the window,
+// when their reported availability has ended), so their reports cannot
+// buy them anything; and since departures can only be advanced, a phone
+// that could win cannot be forced into the sample, while joining it
+// voluntarily just forfeits the round. Every potential buyer therefore
+// faces a price its own report cannot move. Rationing among eligible
+// phones is by ID, as in PostedPrice.
+type AdaptivePostedPrice struct {
+	// ObserveFraction of the round is observation-only (default 0.2 when
+	// zero; must stay in (0, 1)).
+	ObserveFraction float64
+	// Markup scales the observed median into the posted price
+	// (default 1.5 when zero).
+	Markup float64
+}
+
+// Name implements core.Mechanism.
+func (a *AdaptivePostedPrice) Name() string { return "adaptive-posted-price" }
+
+func (a *AdaptivePostedPrice) params() (float64, float64) {
+	frac, markup := a.ObserveFraction, a.Markup
+	if frac == 0 {
+		frac = 0.2
+	}
+	if markup == 0 {
+		markup = 1.5
+	}
+	return frac, markup
+}
+
+// Run implements core.Mechanism.
+func (a *AdaptivePostedPrice) Run(in *core.Instance) (*core.Outcome, error) {
+	frac, markup := a.params()
+	if frac <= 0 || frac >= 1 {
+		return nil, fmt.Errorf("adaptive-posted-price: observe fraction %g outside (0,1)", frac)
+	}
+	if markup <= 0 {
+		return nil, fmt.Errorf("adaptive-posted-price: non-positive markup %g", markup)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("adaptive-posted-price: %w", err)
+	}
+	observeUntil := core.Slot(float64(in.Slots) * frac)
+
+	var observed []float64
+	for _, b := range in.Bids {
+		if b.Departure <= observeUntil {
+			observed = append(observed, b.Cost)
+		}
+	}
+	price := in.Value / 2 // fallback when nothing was observed
+	if len(observed) > 0 {
+		price = stats.Quantile(observed, 0.5) * markup
+	}
+	if price > in.Value {
+		price = in.Value
+	}
+
+	payments := make([]float64, in.NumPhones())
+	alloc, err := slotPool(in, func(t core.Slot, active []core.PhoneID, tasks []core.TaskID) []core.PhoneID {
+		chosen := make([]core.PhoneID, len(tasks))
+		for k := range chosen {
+			chosen[k] = core.NoPhone
+		}
+		if t <= observeUntil {
+			return chosen // observation phase: tasks go unserved
+		}
+		eligible := make([]core.PhoneID, 0, len(active))
+		for _, phone := range active {
+			// Sampled phones need no explicit exclusion: a reported
+			// departure inside the observation window means the phone is
+			// no longer active in any selling slot.
+			if in.Bids[phone].Cost <= price {
+				eligible = append(eligible, phone)
+			}
+		}
+		sort.Slice(eligible, func(x, y int) bool { return eligible[x] < eligible[y] })
+		for k := range chosen {
+			if k < len(eligible) {
+				chosen[k] = eligible[k]
+				payments[eligible[k]] = price
+			}
+		}
+		return chosen
+	})
+	if err != nil {
+		return nil, fmt.Errorf("adaptive-posted-price: %w", err)
+	}
+	return &core.Outcome{Allocation: alloc, Payments: payments, Welfare: alloc.Welfare(in)}, nil
+}

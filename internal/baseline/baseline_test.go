@@ -1,0 +1,450 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+
+	"dynacrowd/internal/core"
+)
+
+// paperInstance mirrors core's reconstruction of the paper's Fig. 4/5
+// example (see core package tests for the derivation).
+func paperInstance() *core.Instance {
+	in := &core.Instance{Slots: 5, Value: 20}
+	windows := [][2]core.Slot{{2, 5}, {1, 4}, {3, 5}, {4, 5}, {2, 2}, {3, 5}, {1, 3}}
+	costs := []float64{3, 5, 11, 9, 4, 8, 6}
+	for i := range windows {
+		in.Bids = append(in.Bids, core.Bid{
+			Phone: core.PhoneID(i), Arrival: windows[i][0], Departure: windows[i][1], Cost: costs[i],
+		})
+	}
+	for k := 0; k < 5; k++ {
+		in.Tasks = append(in.Tasks, core.Task{ID: core.TaskID(k), Arrival: core.Slot(k + 1)})
+	}
+	return in
+}
+
+func run(t *testing.T, m core.Mechanism, in *core.Instance) *core.Outcome {
+	t.Helper()
+	out, err := m.Run(in)
+	if err != nil {
+		t.Fatalf("%s: %v", m.Name(), err)
+	}
+	if err := out.Allocation.Validate(in); err != nil {
+		t.Fatalf("%s produced infeasible allocation: %v", m.Name(), err)
+	}
+	return out
+}
+
+func TestNames(t *testing.T) {
+	for _, tc := range []struct {
+		m    core.Mechanism
+		want string
+	}{
+		{&SecondPricePerSlot{}, "second-price-per-slot"},
+		{&FirstPricePerSlot{}, "first-price-per-slot"},
+		{&Random{}, "random"},
+		{&GreedyByCost{}, "greedy-by-cost"},
+	} {
+		if got := tc.m.Name(); got != tc.want {
+			t.Errorf("Name = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestAllRejectInvalidInstance(t *testing.T) {
+	bad := paperInstance()
+	bad.Bids[0].Arrival = 0
+	for _, m := range []core.Mechanism{
+		&SecondPricePerSlot{}, &FirstPricePerSlot{}, &Random{}, &GreedyByCost{},
+	} {
+		if _, err := m.Run(bad); err == nil {
+			t.Errorf("%s accepted an invalid instance", m.Name())
+		}
+	}
+}
+
+// TestSecondPricePaperFig5a replays Fig. 5(a): with truthful reports,
+// phone 2 (paper numbering) wins slot 1 and is paid 6; phone 1 wins
+// slot 2 and is paid 4.
+func TestSecondPricePaperFig5a(t *testing.T) {
+	in := paperInstance()
+	out := run(t, &SecondPricePerSlot{}, in)
+	if out.Allocation.ByTask[0] != 1 {
+		t.Fatalf("slot 1 winner = phone %d, want 1 (paper phone 2)", out.Allocation.ByTask[0])
+	}
+	if out.Payments[1] != 6 {
+		t.Fatalf("paper phone 2 paid %g, want 6", out.Payments[1])
+	}
+	if out.Allocation.ByTask[1] != 0 {
+		t.Fatalf("slot 2 winner = phone %d, want 0 (paper phone 1)", out.Allocation.ByTask[1])
+	}
+	if out.Payments[0] != 4 {
+		t.Fatalf("paper phone 1 paid %g, want 4", out.Payments[0])
+	}
+}
+
+// TestPaperFig5SecondPriceUntruthful reproduces the paper's
+// counterexample: under the per-slot second-price rule, paper phone 1
+// (real window [2,5], cost 3) raises its utility from 1 to 5 by delaying
+// its reported arrival to slot 4.
+func TestPaperFig5SecondPriceUntruthful(t *testing.T) {
+	in := paperInstance()
+	sp := &SecondPricePerSlot{}
+	truthful := run(t, sp, in)
+	uTruth := truthful.Utility(0, 3)
+	if uTruth != 1 {
+		t.Fatalf("truthful utility = %g, want 1 (paid 4, cost 3)", uTruth)
+	}
+
+	delayed := in.Clone()
+	delayed.Bids[0].Arrival = 4
+	delayed.Bids[0].Departure = 5
+	outDelayed := run(t, sp, delayed)
+	if got := outDelayed.Payments[0]; got != 8 {
+		t.Fatalf("delayed payment = %g, want 8", got)
+	}
+	uDelayed := outDelayed.Utility(0, 3)
+	if uDelayed != 5 {
+		t.Fatalf("delayed utility = %g, want 5", uDelayed)
+	}
+	if uDelayed <= uTruth {
+		t.Fatal("counterexample vanished: delaying did not increase utility")
+	}
+}
+
+// randomInstance mirrors the core test generator.
+func randomInstance(rng *rand.Rand, maxPhones, maxTasks int, m core.Slot, value float64) *core.Instance {
+	in := &core.Instance{Slots: m, Value: value}
+	n := 1 + rng.Intn(maxPhones)
+	for i := 0; i < n; i++ {
+		a := core.Slot(1 + rng.Intn(int(m)))
+		d := a + core.Slot(rng.Intn(int(m-a)+1))
+		in.Bids = append(in.Bids, core.Bid{Phone: core.PhoneID(i), Arrival: a, Departure: d, Cost: rng.Float64() * value * 1.2})
+	}
+	numTasks := rng.Intn(maxTasks + 1)
+	arr := make([]int, numTasks)
+	for k := range arr {
+		arr[k] = 1 + rng.Intn(int(m))
+	}
+	for i := 1; i < len(arr); i++ {
+		for j := i; j > 0 && arr[j] < arr[j-1]; j-- {
+			arr[j], arr[j-1] = arr[j-1], arr[j]
+		}
+	}
+	for k, a := range arr {
+		in.Tasks = append(in.Tasks, core.Task{ID: core.TaskID(k), Arrival: core.Slot(a)})
+	}
+	return in
+}
+
+// TestSecondPriceAllocationMatchesOnline: second-price uses the same
+// greedy allocation as the online mechanism, so welfare must match.
+func TestSecondPriceAllocationMatchesOnline(t *testing.T) {
+	rng := rand.New(rand.NewSource(501))
+	on := &core.OnlineMechanism{}
+	sp := &SecondPricePerSlot{}
+	for trial := 0; trial < 60; trial++ {
+		in := randomInstance(rng, 10, 10, 8, 50)
+		a := run(t, on, in)
+		b := run(t, sp, in)
+		if a.Welfare != b.Welfare {
+			t.Fatalf("trial %d: online welfare %g != second-price welfare %g", trial, a.Welfare, b.Welfare)
+		}
+	}
+}
+
+// TestSecondPricePaysAtLeastBid: winners never receive less than their
+// claimed cost (the clearing price is the first losing bid or reserve).
+func TestSecondPricePaysAtLeastBid(t *testing.T) {
+	rng := rand.New(rand.NewSource(502))
+	sp := &SecondPricePerSlot{}
+	for trial := 0; trial < 60; trial++ {
+		in := randomInstance(rng, 10, 10, 8, 50)
+		out := run(t, sp, in)
+		for _, i := range out.Allocation.Winners() {
+			if out.Payments[i] < in.Bids[i].Cost-1e-9 {
+				t.Fatalf("trial %d: winner %d paid %g < bid %g", trial, i, out.Payments[i], in.Bids[i].Cost)
+			}
+		}
+	}
+}
+
+// TestFirstPriceZeroOverpayment: pay-as-bid yields zero overpayment on
+// truthful bids by construction.
+func TestFirstPriceZeroOverpayment(t *testing.T) {
+	rng := rand.New(rand.NewSource(503))
+	fp := &FirstPricePerSlot{}
+	for trial := 0; trial < 40; trial++ {
+		in := randomInstance(rng, 10, 10, 8, 50)
+		out := run(t, fp, in)
+		if got := out.OverpaymentRatio(in); got > 1e-9 || got < -1e-9 {
+			t.Fatalf("trial %d: overpayment ratio %g, want 0", trial, got)
+		}
+	}
+}
+
+// TestRandomDeterministicPerSeed: the same seed reproduces the outcome,
+// different seeds may differ.
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	in := paperInstance()
+	a := run(t, &Random{Seed: 7}, in)
+	b := run(t, &Random{Seed: 7}, in)
+	for k := range a.Allocation.ByTask {
+		if a.Allocation.ByTask[k] != b.Allocation.ByTask[k] {
+			t.Fatal("same seed produced different allocations")
+		}
+	}
+}
+
+// TestRandomWelfareAtMostOptimal: random never beats the VCG optimum.
+func TestRandomWelfareAtMostOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(504))
+	of := &core.OfflineMechanism{}
+	for trial := 0; trial < 40; trial++ {
+		in := randomInstance(rng, 10, 10, 8, 50)
+		r := run(t, &Random{Seed: int64(trial)}, in)
+		opt, err := of.Welfare(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Welfare > opt+1e-9 {
+			t.Fatalf("trial %d: random welfare %g beats optimum %g", trial, r.Welfare, opt)
+		}
+	}
+}
+
+// TestGreedyByCostBetweenHalfAndOptimal: the cost-ordered greedy is also
+// within [opt/2, opt] (it is a maximal matching in the exchange-argument
+// sense on profitable edges).
+func TestGreedyByCostBetweenHalfAndOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(505))
+	of := &core.OfflineMechanism{}
+	g := &GreedyByCost{}
+	for trial := 0; trial < 60; trial++ {
+		in := randomInstance(rng, 10, 10, 8, 50)
+		out := run(t, g, in)
+		opt, err := of.Welfare(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Welfare > opt+1e-9 {
+			t.Fatalf("trial %d: greedy welfare %g beats optimum %g", trial, out.Welfare, opt)
+		}
+		if out.Welfare < opt/2-1e-9 {
+			t.Fatalf("trial %d: greedy welfare %g below half of optimum %g", trial, out.Welfare, opt)
+		}
+	}
+}
+
+// TestScarcityLeavesTasksUnserved: with one phone and three tasks, every
+// baseline serves exactly one task.
+func TestScarcityLeavesTasksUnserved(t *testing.T) {
+	in := &core.Instance{
+		Slots: 3, Value: 10,
+		Bids: []core.Bid{{Phone: 0, Arrival: 1, Departure: 3, Cost: 2}},
+		Tasks: []core.Task{
+			{ID: 0, Arrival: 1}, {ID: 1, Arrival: 2}, {ID: 2, Arrival: 3},
+		},
+	}
+	for _, m := range []core.Mechanism{
+		&SecondPricePerSlot{}, &FirstPricePerSlot{}, &Random{}, &GreedyByCost{},
+	} {
+		out := run(t, m, in)
+		if out.Allocation.NumServed() != 1 {
+			t.Errorf("%s served %d tasks, want 1", m.Name(), out.Allocation.NumServed())
+		}
+	}
+}
+
+// TestPostedPriceEligibility: only phones at or below the posted price
+// win, and all winners are paid exactly the price.
+func TestPostedPriceEligibility(t *testing.T) {
+	in := &core.Instance{
+		Slots: 1, Value: 100,
+		Bids: []core.Bid{
+			{Phone: 0, Arrival: 1, Departure: 1, Cost: 5},
+			{Phone: 1, Arrival: 1, Departure: 1, Cost: 15},
+			{Phone: 2, Arrival: 1, Departure: 1, Cost: 9},
+		},
+		Tasks: []core.Task{{ID: 0, Arrival: 1}, {ID: 1, Arrival: 1}, {ID: 2, Arrival: 1}},
+	}
+	out := run(t, &PostedPrice{Price: 10}, in)
+	if out.Allocation.ByPhone[1] != core.NoTask {
+		t.Fatal("phone above the posted price won")
+	}
+	if (&PostedPrice{Price: 10}).Name() != "posted-price-10" {
+		t.Fatal("name")
+	}
+	for _, i := range []core.PhoneID{0, 2} {
+		if out.Allocation.ByPhone[i] == core.NoTask {
+			t.Fatalf("eligible phone %d lost", i)
+		}
+		if out.Payments[i] != 10 {
+			t.Fatalf("phone %d paid %g, want the posted 10", i, out.Payments[i])
+		}
+	}
+	if out.Allocation.NumServed() != 2 {
+		t.Fatalf("served %d, want 2 (one task must starve)", out.Allocation.NumServed())
+	}
+}
+
+// TestPostedPriceTruthful: the exhaustive auditor finds no profitable
+// misreport under a posted price.
+func TestPostedPriceTruthful(t *testing.T) {
+	in := paperInstance()
+	mech := &PostedPrice{Price: 8}
+	truthOut := run(t, mech, in)
+	for i := range in.Bids {
+		trueBid := in.Bids[i]
+		uTruth := truthOut.Utility(core.PhoneID(i), trueBid.Cost)
+		for a := trueBid.Arrival; a <= trueBid.Departure; a++ {
+			for d := a; d <= trueBid.Departure; d++ {
+				for _, f := range []float64{0, 0.5, 0.9, 1.2, 2} {
+					alt := in.Clone()
+					alt.Bids[i] = core.Bid{Phone: core.PhoneID(i), Arrival: a, Departure: d, Cost: trueBid.Cost * f}
+					outAlt := run(t, mech, alt)
+					if u := outAlt.Utility(core.PhoneID(i), trueBid.Cost); u > uTruth+1e-9 {
+						t.Fatalf("phone %d gains %g > %g via (%d,%d,%g)", i, u, uTruth, a, d, alt.Bids[i].Cost)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPostedPriceWelfareBelowOptimal and price validation.
+func TestPostedPriceBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(506))
+	of := &core.OfflineMechanism{}
+	for trial := 0; trial < 40; trial++ {
+		in := randomInstance(rng, 10, 10, 8, 50)
+		out := run(t, &PostedPrice{Price: 20}, in)
+		opt, err := of.Welfare(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Welfare > opt+1e-9 {
+			t.Fatalf("trial %d: posted price beat the optimum", trial)
+		}
+	}
+	if _, err := (&PostedPrice{Price: -1}).Run(paperInstance()); err == nil {
+		t.Fatal("want negative-price error")
+	}
+}
+
+// TestPostedPriceCostRationingWouldBeUntruthful documents why PostedPrice
+// rations by ID: under cheapest-first rationing, paper phone 5 (window
+// [2,2], cost 4) gains by underbidding to jump ahead of phone 1 in
+// slot 2 — the exact attack the auditor found against that variant.
+func TestPostedPriceCostRationingWouldBeUntruthful(t *testing.T) {
+	in := paperInstance()
+	mech := &PostedPrice{Price: 8}
+	truthOut := run(t, mech, in)
+	// Under ID rationing phone 0 (paper phone 1, ID below 4) is served
+	// in slot 2 whether or not phone 4 underbids, so phone 4 has nothing
+	// to gain:
+	lie := in.Clone()
+	lie.Bids[4].Cost = 0
+	lieOut := run(t, mech, lie)
+	uTruth := truthOut.Utility(4, in.Bids[4].Cost)
+	uLie := lieOut.Utility(4, in.Bids[4].Cost)
+	if uLie > uTruth+1e-9 {
+		t.Fatalf("underbidding still profits: %g > %g", uLie, uTruth)
+	}
+}
+
+// TestAdaptivePostedPriceObservesThenSells: tasks in the observation
+// window starve; afterwards eligible phones win at the learned price.
+func TestAdaptivePostedPriceObservesThenSells(t *testing.T) {
+	in := &core.Instance{
+		Slots: 10, Value: 100,
+		Bids: []core.Bid{
+			{Phone: 0, Arrival: 1, Departure: 2, Cost: 10},  // sampled (departs in window)
+			{Phone: 1, Arrival: 3, Departure: 10, Cost: 12}, // buyer, eligible at price 15
+			{Phone: 2, Arrival: 3, Departure: 10, Cost: 40}, // buyer, priced out
+		},
+		Tasks: []core.Task{
+			{ID: 0, Arrival: 1}, // observation window (slots 1-2): starves
+			{ID: 1, Arrival: 5},
+			{ID: 2, Arrival: 6},
+			{ID: 3, Arrival: 7},
+		},
+	}
+	out := run(t, &AdaptivePostedPrice{}, in)
+	if out.Allocation.ByTask[0] != core.NoPhone {
+		t.Fatal("observation-window task was served")
+	}
+	// Learned price = median(10) × 1.5 = 15. Phone 1 serves one task at
+	// the learned price; phone 2 is priced out; the rest starve.
+	if out.Allocation.ByTask[1] != 1 {
+		t.Fatalf("allocation: %v", out.Allocation.ByTask)
+	}
+	if out.Allocation.ByPhone[0] != core.NoTask {
+		t.Fatal("sampled phone won")
+	}
+	if out.Allocation.ByPhone[2] != core.NoTask {
+		t.Fatal("priced-out phone won")
+	}
+	if out.Payments[1] != 15 {
+		t.Fatalf("phone 1 paid %g, want learned price 15", out.Payments[1])
+	}
+}
+
+// TestAdaptivePostedPriceValidation.
+func TestAdaptivePostedPriceValidation(t *testing.T) {
+	in := paperInstance()
+	if _, err := (&AdaptivePostedPrice{ObserveFraction: 1.5}).Run(in); err == nil {
+		t.Fatal("want fraction error")
+	}
+	if _, err := (&AdaptivePostedPrice{Markup: -1}).Run(in); err == nil {
+		t.Fatal("want markup error")
+	}
+	bad := paperInstance()
+	bad.Bids[0].Arrival = 0
+	if _, err := (&AdaptivePostedPrice{}).Run(bad); err == nil {
+		t.Fatal("want instance error")
+	}
+}
+
+// TestAdaptivePostedPriceTruthful: exhaustive audit over the paper
+// instance finds no profitable misreport.
+func TestAdaptivePostedPriceTruthful(t *testing.T) {
+	in := paperInstance()
+	mech := &AdaptivePostedPrice{ObserveFraction: 0.3, Markup: 1.4}
+	truthOut := run(t, mech, in)
+	for i := range in.Bids {
+		trueBid := in.Bids[i]
+		uTruth := truthOut.Utility(core.PhoneID(i), trueBid.Cost)
+		for a := trueBid.Arrival; a <= trueBid.Departure; a++ {
+			for d := a; d <= trueBid.Departure; d++ {
+				for _, f := range []float64{0, 0.5, 0.9, 1.2, 3} {
+					alt := in.Clone()
+					alt.Bids[i] = core.Bid{Phone: core.PhoneID(i), Arrival: a, Departure: d, Cost: trueBid.Cost * f}
+					outAlt := run(t, mech, alt)
+					if u := outAlt.Utility(core.PhoneID(i), trueBid.Cost); u > uTruth+1e-9 {
+						t.Fatalf("phone %d gains %g > %g via (%d,%d,%g)", i, u, uTruth, a, d, alt.Bids[i].Cost)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAdaptivePostedPriceCapsAtValue: the learned price never exceeds ν.
+func TestAdaptivePostedPriceCapsAtValue(t *testing.T) {
+	in := &core.Instance{
+		Slots: 4, Value: 10,
+		Bids: []core.Bid{
+			{Phone: 0, Arrival: 1, Departure: 1, Cost: 9}, // sampled: 9 × 1.5 = 13.5 > ν
+			{Phone: 1, Arrival: 2, Departure: 4, Cost: 8},
+		},
+		Tasks: []core.Task{{ID: 0, Arrival: 3}},
+	}
+	out := run(t, &AdaptivePostedPrice{ObserveFraction: 0.25, Markup: 1.5}, in)
+	for _, i := range out.Allocation.Winners() {
+		if out.Payments[i] > 10+1e-9 {
+			t.Fatalf("payment %g exceeds ν", out.Payments[i])
+		}
+	}
+}

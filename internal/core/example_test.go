@@ -1,0 +1,82 @@
+package core_test
+
+import (
+	"fmt"
+
+	"dynacrowd/internal/core"
+)
+
+// The paper's Fig. 4 instance: seven phones with private windows and
+// costs, five slots, one task per slot, each task worth ν = 20.
+func fig4() *core.Instance {
+	windows := [][2]core.Slot{{2, 5}, {1, 4}, {3, 5}, {4, 5}, {2, 2}, {3, 5}, {1, 3}}
+	costs := []float64{3, 5, 11, 9, 4, 8, 6}
+	in := &core.Instance{Slots: 5, Value: 20}
+	for i := range windows {
+		in.Bids = append(in.Bids, core.Bid{
+			Phone: core.PhoneID(i), Arrival: windows[i][0], Departure: windows[i][1], Cost: costs[i],
+		})
+	}
+	for k := 0; k < 5; k++ {
+		in.Tasks = append(in.Tasks, core.Task{ID: core.TaskID(k), Arrival: core.Slot(k + 1)})
+	}
+	return in
+}
+
+// ExampleOnlineMechanism_Run reproduces the paper's Section V
+// walkthrough: greedy winners 2,1,7,6,4 (paper numbering) and phone 1's
+// critical payment of 9.
+func ExampleOnlineMechanism_Run() {
+	out, err := (&core.OnlineMechanism{}).Run(fig4())
+	if err != nil {
+		panic(err)
+	}
+	for k, phone := range out.Allocation.ByTask {
+		fmt.Printf("slot %d -> paper phone %d\n", k+1, phone+1)
+	}
+	fmt.Printf("paper phone 1 is paid %.0f\n", out.Payments[0])
+	// Output:
+	// slot 1 -> paper phone 2
+	// slot 2 -> paper phone 1
+	// slot 3 -> paper phone 7
+	// slot 4 -> paper phone 6
+	// slot 5 -> paper phone 4
+	// paper phone 1 is paid 9
+}
+
+// ExampleOfflineMechanism_Run shows the clairvoyant optimum on the same
+// instance: it reshuffles assignments (phone 5 serves slot 2, freeing
+// phone 1 for slot 4) and gains 5 welfare over the online run.
+func ExampleOfflineMechanism_Run() {
+	in := fig4()
+	online, _ := (&core.OnlineMechanism{}).Run(in)
+	offline, _ := (&core.OfflineMechanism{}).Run(in)
+	fmt.Printf("online welfare  %.0f\n", online.Welfare)
+	fmt.Printf("offline welfare %.0f\n", offline.Welfare)
+	// Output:
+	// online welfare  69
+	// offline welfare 74
+}
+
+// ExampleOnlineAuction drives the online mechanism the way a live
+// platform does: slot by slot, with payments finalized at departures.
+func ExampleOnlineAuction() {
+	auction, _ := core.NewOnlineAuction(2, 10, false)
+
+	// Slot 1: two phones join, one task arrives; the cheaper phone wins.
+	res, _ := auction.Step([]core.StreamBid{
+		{Departure: 1, Cost: 3},
+		{Departure: 2, Cost: 7},
+	}, 1)
+	fmt.Printf("slot 1: task -> phone %d\n", res.Assignments[0].Phone)
+	// The winner departs after slot 1, so it is paid immediately — the
+	// critical value is its rival's claimed cost.
+	fmt.Printf("slot 1: phone %d paid %.0f\n", res.Payments[0].Phone, res.Payments[0].Amount)
+
+	res, _ = auction.Step(nil, 1)
+	fmt.Printf("slot 2: task -> phone %d\n", res.Assignments[0].Phone)
+	// Output:
+	// slot 1: task -> phone 0
+	// slot 1: phone 0 paid 7
+	// slot 2: task -> phone 1
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dynacrowd/internal/matching"
+)
+
+func mustRun(t *testing.T, m Mechanism, in *Instance) *Outcome {
+	t.Helper()
+	out, err := m.Run(in)
+	if err != nil {
+		t.Fatalf("%s: %v", m.Name(), err)
+	}
+	if err := out.Allocation.Validate(in); err != nil {
+		t.Fatalf("%s produced infeasible allocation: %v", m.Name(), err)
+	}
+	return out
+}
+
+func TestOfflineName(t *testing.T) {
+	if got := (&OfflineMechanism{}).Name(); got != "offline-vcg" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestOfflineRejectsInvalidInstance(t *testing.T) {
+	in := paperInstance()
+	in.Bids[0].Arrival = 0
+	if _, err := (&OfflineMechanism{}).Run(in); err == nil {
+		t.Fatal("want validation error")
+	}
+	if _, err := (&OfflineMechanism{}).Welfare(in); err == nil {
+		t.Fatal("want validation error from Welfare")
+	}
+}
+
+// TestOfflinePaperInstance: on the Fig. 4 instance the offline optimum
+// serves all five tasks, choosing the feasible phone set with minimum
+// total cost (it beats the greedy walkthrough by using phone 5 in slot 2
+// and saving phone 1 for slot 4); the brute-force oracle pins the value.
+func TestOfflinePaperInstance(t *testing.T) {
+	in := paperInstance()
+	of := &OfflineMechanism{}
+	out := mustRun(t, of, in)
+
+	oracle := matching.BruteForceMaxWeight(in.NumTasks(), in.NumPhones(), weightFunc(in))
+	if math.Abs(out.Welfare-oracle.Weight) > 1e-9 {
+		t.Fatalf("offline welfare %g != brute-force optimum %g", out.Welfare, oracle.Weight)
+	}
+	if out.Allocation.NumServed() != 5 {
+		t.Fatalf("served %d tasks, want 5", out.Allocation.NumServed())
+	}
+}
+
+// TestOfflineOptimalVsBruteForce cross-checks the Hungarian-backed
+// allocation against the exhaustive oracle on many random instances.
+func TestOfflineOptimalVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	of := &OfflineMechanism{}
+	for trial := 0; trial < 150; trial++ {
+		in := randomInstance(rng, 7, 7, 6, 50)
+		out := mustRun(t, of, in)
+		oracle := matching.BruteForceMaxWeight(in.NumTasks(), in.NumPhones(), weightFunc(in))
+		if math.Abs(out.Welfare-oracle.Weight) > 1e-6 {
+			t.Fatalf("trial %d: welfare %g != optimum %g\ninstance: %+v", trial, out.Welfare, oracle.Weight, in)
+		}
+	}
+}
+
+// TestOfflineVCGPaymentsManual verifies the VCG formula on a tiny
+// hand-computed instance.
+//
+// m=1, ν=10, one task in slot 1, two phones both active [1,1] with costs
+// 2 and 5. Optimum: phone 0 wins, ω* = 8. Without phone 0: ω*(B₋₀) = 5.
+// p₀ = 8 + 2 − 5 = 5 (phone 0 is paid its opponent's bid — VCG reduces
+// to second price here). Phone 1 loses, p₁ = 0.
+func TestOfflineVCGPaymentsManual(t *testing.T) {
+	in := &Instance{
+		Slots: 1, Value: 10,
+		Bids: []Bid{
+			{Phone: 0, Arrival: 1, Departure: 1, Cost: 2},
+			{Phone: 1, Arrival: 1, Departure: 1, Cost: 5},
+		},
+		Tasks: []Task{{ID: 0, Arrival: 1}},
+	}
+	out := mustRun(t, &OfflineMechanism{}, in)
+	if out.Allocation.ByTask[0] != 0 {
+		t.Fatalf("task went to phone %d, want 0", out.Allocation.ByTask[0])
+	}
+	if out.Payments[0] != 5 || out.Payments[1] != 0 {
+		t.Fatalf("payments = %v, want [5 0]", out.Payments)
+	}
+	if out.Welfare != 8 {
+		t.Fatalf("welfare = %g, want 8", out.Welfare)
+	}
+}
+
+// TestOfflineVCGPaymentUncontested: a single phone with no competition is
+// paid its full marginal contribution ν (the welfare the system loses
+// without it, plus its own cost): p = (ν−b) + b − 0 = ν.
+func TestOfflineVCGPaymentUncontested(t *testing.T) {
+	in := &Instance{
+		Slots: 3, Value: 10,
+		Bids:  []Bid{{Phone: 0, Arrival: 1, Departure: 3, Cost: 4}},
+		Tasks: []Task{{ID: 0, Arrival: 2}},
+	}
+	out := mustRun(t, &OfflineMechanism{}, in)
+	if out.Payments[0] != 10 {
+		t.Fatalf("payment = %g, want 10", out.Payments[0])
+	}
+}
+
+// TestOfflineSkipsUnprofitable: a phone whose claimed cost exceeds ν must
+// not be allocated; a task with only such phones stays unserved.
+func TestOfflineSkipsUnprofitable(t *testing.T) {
+	in := &Instance{
+		Slots: 1, Value: 10,
+		Bids:  []Bid{{Phone: 0, Arrival: 1, Departure: 1, Cost: 15}},
+		Tasks: []Task{{ID: 0, Arrival: 1}},
+	}
+	out := mustRun(t, &OfflineMechanism{}, in)
+	if out.Allocation.ByTask[0] != NoPhone {
+		t.Fatal("unprofitable phone was allocated")
+	}
+	if out.Welfare != 0 || out.Payments[0] != 0 {
+		t.Fatalf("welfare %g payments %v, want zeros", out.Welfare, out.Payments)
+	}
+}
+
+// TestOfflineWindowRespected: phones are never matched to tasks outside
+// their active window even when that forfeits welfare.
+func TestOfflineWindowRespected(t *testing.T) {
+	in := &Instance{
+		Slots: 4, Value: 10,
+		Bids: []Bid{
+			{Phone: 0, Arrival: 1, Departure: 2, Cost: 1},
+			{Phone: 1, Arrival: 3, Departure: 4, Cost: 1},
+		},
+		Tasks: []Task{{ID: 0, Arrival: 1}, {ID: 1, Arrival: 2}},
+	}
+	out := mustRun(t, &OfflineMechanism{}, in)
+	if out.Allocation.ByPhone[1] != NoTask {
+		t.Fatal("phone 1 allocated outside its window")
+	}
+	if out.Allocation.NumServed() != 1 {
+		t.Fatalf("served %d, want 1 (phone 0 can cover only one task)", out.Allocation.NumServed())
+	}
+}
+
+// TestOfflineIndividualRationality (Theorem 2): with truthful bids,
+// utility = payment − real cost ≥ 0 for every phone.
+func TestOfflineIndividualRationality(t *testing.T) {
+	rng := rand.New(rand.NewSource(202))
+	of := &OfflineMechanism{}
+	for trial := 0; trial < 80; trial++ {
+		in := randomInstance(rng, 10, 10, 8, 40)
+		out := mustRun(t, of, in)
+		for i := range in.Bids {
+			u := out.Utility(PhoneID(i), in.Bids[i].Cost)
+			if u < -1e-9 {
+				t.Fatalf("trial %d: phone %d has negative utility %g", trial, i, u)
+			}
+		}
+	}
+}
+
+// TestOfflineLosersPaidNothing: non-winners receive zero payment.
+func TestOfflineLosersPaidNothing(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	of := &OfflineMechanism{}
+	for trial := 0; trial < 50; trial++ {
+		in := randomInstance(rng, 10, 6, 8, 40)
+		out := mustRun(t, of, in)
+		for i, task := range out.Allocation.ByPhone {
+			if task == NoTask && out.Payments[i] != 0 {
+				t.Fatalf("trial %d: loser %d paid %g", trial, i, out.Payments[i])
+			}
+		}
+	}
+}
+
+// TestOfflinePaymentAtLeastBid: winners are paid at least their claimed
+// cost (VCG payment ≥ bid follows from ω*(B) ≥ ω*(B₋ᵢ) + (ν−bᵢ) − ν...
+// concretely p_i − b_i = ω*(B) − ω*(B₋ᵢ) ≥ 0).
+func TestOfflinePaymentAtLeastBid(t *testing.T) {
+	rng := rand.New(rand.NewSource(204))
+	of := &OfflineMechanism{}
+	for trial := 0; trial < 80; trial++ {
+		in := randomInstance(rng, 10, 10, 8, 40)
+		out := mustRun(t, of, in)
+		for _, i := range out.Allocation.Winners() {
+			if out.Payments[i] < in.Bids[i].Cost-1e-9 {
+				t.Fatalf("trial %d: winner %d paid %g < bid %g", trial, i, out.Payments[i], in.Bids[i].Cost)
+			}
+		}
+	}
+}
+
+// TestOfflineMatcherSwap: the flow-based matcher must produce the same
+// welfare and payments as the Hungarian default.
+func TestOfflineMatcherSwap(t *testing.T) {
+	rng := rand.New(rand.NewSource(205))
+	hung := &OfflineMechanism{}
+	flow := &OfflineMechanism{Matcher: matching.MaxWeightMatchingFlow}
+	for trial := 0; trial < 40; trial++ {
+		in := randomInstance(rng, 8, 8, 6, 40)
+		a := mustRun(t, hung, in)
+		b := mustRun(t, flow, in)
+		if math.Abs(a.Welfare-b.Welfare) > 1e-6 {
+			t.Fatalf("trial %d: welfare %g vs %g", trial, a.Welfare, b.Welfare)
+		}
+		// Payments can differ only if the optima differ; VCG payments are
+		// uniquely determined by the welfare values, not the matching.
+		for i := range a.Payments {
+			if math.Abs(a.Payments[i]-b.Payments[i]) > 1e-6 {
+				// Tie between optimal matchings can legitimately flip a
+				// winner; only flag when the winner sets agree.
+				if a.Allocation.ByPhone[i] != NoTask && b.Allocation.ByPhone[i] != NoTask {
+					t.Fatalf("trial %d: payment[%d] %g vs %g", trial, i, a.Payments[i], b.Payments[i])
+				}
+			}
+		}
+	}
+}
+
+// TestOfflineWelfareMatchesOutcome: the reported Welfare field equals the
+// allocation's recomputed welfare.
+func TestOfflineWelfareMatchesOutcome(t *testing.T) {
+	rng := rand.New(rand.NewSource(206))
+	of := &OfflineMechanism{}
+	for trial := 0; trial < 40; trial++ {
+		in := randomInstance(rng, 10, 10, 8, 40)
+		out := mustRun(t, of, in)
+		if math.Abs(out.Welfare-out.Allocation.Welfare(in)) > 1e-9 {
+			t.Fatalf("trial %d: Welfare %g != recomputed %g", trial, out.Welfare, out.Allocation.Welfare(in))
+		}
+	}
+}
+
+// TestOfflineIgnoresAllocateAtLoss: a maximum weight matching never uses
+// a non-positive edge, so the offline mechanism never allocates at a
+// loss even when the instance permits it (the flag only changes the
+// online greedy's behaviour).
+func TestOfflineIgnoresAllocateAtLoss(t *testing.T) {
+	in := &Instance{
+		Slots: 1, Value: 10, AllocateAtLoss: true,
+		Bids:  []Bid{{Phone: 0, Arrival: 1, Departure: 1, Cost: 15}},
+		Tasks: []Task{{ID: 0, Arrival: 1}},
+	}
+	out := mustRun(t, &OfflineMechanism{}, in)
+	if out.Allocation.ByTask[0] != NoPhone {
+		t.Fatal("offline allocated at a loss")
+	}
+}

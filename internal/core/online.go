@@ -1,0 +1,192 @@
+package core
+
+import "fmt"
+
+// OnlineMechanism is the paper's Section V auction for the practical case
+// where bids and tasks are revealed slot by slot. Allocation is greedy
+// (Algorithm 1): in each slot the newly arrived tasks go to the cheapest
+// currently active, still-unallocated phones. Payment is the critical
+// value (Algorithm 2): re-run the greedy allocation without the winner's
+// bid and pay the maximum claimed cost among phones allocated between the
+// winner's winning slot and its reported departure, floored at the
+// winner's own claimed cost.
+//
+// The allocation rule is monotone and the payment equals each winner's
+// critical value, so the mechanism is truthful (Theorem 4) and
+// individually rational (Theorem 5); the allocation is 1/2-competitive
+// against the offline optimum (Theorem 6).
+//
+// Reserve price: when Instance.AllocateAtLoss is false (the default),
+// bids with cost ≥ ν never win, and a winner whose removal would leave a
+// task unserved is paid the reserve ν (its critical value under the
+// reserve). When AllocateAtLoss is true the paper's unbounded-scarcity
+// case is capped at max(ν, b_i); the paper implicitly assumes phones are
+// abundant, so this cap is a documented boundary-condition choice.
+type OnlineMechanism struct{}
+
+// Name implements Mechanism.
+func (on *OnlineMechanism) Name() string { return "online-greedy" }
+
+// Run implements Mechanism by driving the greedy allocator across the
+// whole round and then computing critical-value payments for each winner.
+func (on *OnlineMechanism) Run(in *Instance) (*Outcome, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("online mechanism: %w", err)
+	}
+	byTask, _, _ := runGreedy(in, NoPhone, in.Slots)
+
+	alloc := NewAllocation(in.NumTasks(), in.NumPhones())
+	for k, p := range byTask {
+		if p != NoPhone {
+			alloc.Assign(TaskID(k), p, in.Tasks[k].Arrival)
+		}
+	}
+
+	out := &Outcome{
+		Allocation: alloc,
+		Payments:   make([]float64, in.NumPhones()),
+		Welfare:    alloc.Welfare(in),
+	}
+	for _, i := range alloc.Winners() {
+		out.Payments[i] = criticalPayment(in, i, alloc.WonAt[i])
+	}
+	return out, nil
+}
+
+// slotReport records what the greedy allocator did in one slot.
+type slotReport struct {
+	winners       int     // tasks served this slot
+	unserved      int     // tasks left unserved this slot
+	maxWinnerCost float64 // highest claimed cost among this slot's winners
+}
+
+// runGreedy executes Algorithm 1 on the instance, optionally skipping one
+// phone's bid (skip = NoPhone to include everyone), through slot upTo.
+// It returns the task assignment (by task index), the slot each phone won
+// in (0 if it didn't), and per-slot reports (1-based, reports[0] unused).
+func runGreedy(in *Instance, skip PhoneID, upTo Slot) ([]PhoneID, []Slot, []slotReport) {
+	byTask := make([]PhoneID, in.NumTasks())
+	for k := range byTask {
+		byTask[k] = NoPhone
+	}
+	wonAt := make([]Slot, in.NumPhones())
+	reports := make([]slotReport, upTo+1)
+
+	// Group eligible phones by claimed arrival slot. Bids priced at or
+	// above the per-task value ν can never yield positive welfare and are
+	// excluded unless the instance allocates at a loss (reserve price).
+	arrivals := make([][]PhoneID, in.Slots+1)
+	for i, b := range in.Bids {
+		if PhoneID(i) == skip {
+			continue
+		}
+		if !in.AllocateAtLoss && b.Cost >= in.Value {
+			continue
+		}
+		arrivals[b.Arrival] = append(arrivals[b.Arrival], PhoneID(i))
+	}
+
+	h := costHeap{bids: in.Bids}
+	ti := 0
+	for t := Slot(1); t <= upTo; t++ {
+		for _, p := range arrivals[t] {
+			h.push(p)
+		}
+		for ; ti < len(in.Tasks) && in.Tasks[ti].Arrival == t; ti++ {
+			winner := NoPhone
+			for h.len() > 0 {
+				p := h.pop()
+				if in.Bids[p].Departure < t {
+					continue // departed; drop permanently
+				}
+				winner = p
+				break
+			}
+			if winner == NoPhone {
+				reports[t].unserved++
+				continue
+			}
+			byTask[ti] = winner
+			wonAt[winner] = t
+			reports[t].winners++
+			if c := in.Bids[winner].Cost; c > reports[t].maxWinnerCost {
+				reports[t].maxWinnerCost = c
+			}
+		}
+	}
+	return byTask, wonAt, reports
+}
+
+// criticalPayment implements Algorithm 2: the payment to winner i (who
+// won in slot won) is the maximum claimed cost among phones that the
+// greedy allocation selects in slots [won, d̃_i] when i's bid is removed,
+// floored at b_i. A slot in that window with an unserved task means i's
+// bid was pivotal there, so its critical value is the reserve ν.
+func criticalPayment(in *Instance, i PhoneID, won Slot) float64 {
+	d := in.Bids[i].Departure
+	_, _, reports := runGreedy(in, i, d)
+	p := in.Bids[i].Cost
+	for t := won; t <= d; t++ {
+		cand := reports[t].maxWinnerCost
+		if reports[t].unserved > 0 {
+			cand = in.Value
+		}
+		if cand > p {
+			p = cand
+		}
+	}
+	return p
+}
+
+// costHeap is a binary min-heap of phone IDs ordered by (claimed cost,
+// phone ID). The deterministic ID tiebreak keeps runs reproducible.
+type costHeap struct {
+	bids  []Bid
+	items []PhoneID
+}
+
+func (h *costHeap) len() int { return len(h.items) }
+
+func (h *costHeap) less(a, b PhoneID) bool {
+	if h.bids[a].Cost != h.bids[b].Cost {
+		return h.bids[a].Cost < h.bids[b].Cost
+	}
+	return a < b
+}
+
+func (h *costHeap) push(p PhoneID) {
+	h.items = append(h.items, p)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(h.items[i], h.items[parent]) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *costHeap) pop() PhoneID {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.items) && h.less(h.items[l], h.items[small]) {
+			small = l
+		}
+		if r < len(h.items) && h.less(h.items[r], h.items[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+	return top
+}

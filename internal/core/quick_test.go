@@ -1,0 +1,173 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// quickInstance derives a valid instance from arbitrary quick-generated
+// integers, exercising the full shape space.
+func quickInstance(seed int64) *Instance {
+	rng := rand.New(rand.NewSource(seed))
+	return randomInstance(rng, 10, 10, 2+Slot(rng.Intn(8)), 20+rng.Float64()*40)
+}
+
+// TestQuickAllocationMirrors: for any instance and either mechanism,
+// ByTask and ByPhone stay mutual inverses.
+func TestQuickAllocationMirrors(t *testing.T) {
+	prop := func(seed int64, useOffline bool) bool {
+		in := quickInstance(seed)
+		var mech Mechanism = &OnlineMechanism{}
+		if useOffline {
+			mech = &OfflineMechanism{}
+		}
+		out, err := mech.Run(in)
+		if err != nil {
+			return false
+		}
+		for k, p := range out.Allocation.ByTask {
+			if p != NoPhone && out.Allocation.ByPhone[p] != TaskID(k) {
+				return false
+			}
+		}
+		for i, k := range out.Allocation.ByPhone {
+			if k != NoTask && out.Allocation.ByTask[k] != PhoneID(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWelfareDecomposition: welfare always equals served·ν − total
+// winner cost.
+func TestQuickWelfareDecomposition(t *testing.T) {
+	prop := func(seed int64, useOffline bool) bool {
+		in := quickInstance(seed)
+		var mech Mechanism = &OnlineMechanism{}
+		if useOffline {
+			mech = &OfflineMechanism{}
+		}
+		out, err := mech.Run(in)
+		if err != nil {
+			return false
+		}
+		want := float64(out.Allocation.NumServed())*in.Value - out.TotalWinnerCost(in)
+		return math.Abs(out.Welfare-want) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickWithoutPhoneShrinksWelfare: removing any phone never raises
+// the offline optimum (the fact VCG payments' non-negativity rests on).
+func TestQuickWithoutPhoneShrinksWelfare(t *testing.T) {
+	of := &OfflineMechanism{}
+	prop := func(seed int64, pick uint8) bool {
+		in := quickInstance(seed)
+		if in.NumPhones() == 0 {
+			return true
+		}
+		full, err := of.Welfare(in)
+		if err != nil {
+			return false
+		}
+		victim := PhoneID(int(pick) % in.NumPhones())
+		reduced := in.WithoutPhone(victim)
+		// Renumber for Validate-ability, preserving window/cost data.
+		for i := range reduced.Bids {
+			reduced.Bids[i].Phone = PhoneID(i)
+		}
+		partial, err := of.Welfare(reduced)
+		if err != nil {
+			return false
+		}
+		return partial <= full+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickAddingTaskGrowsWelfare: appending one more task at the last
+// slot never lowers the optimum.
+func TestQuickAddingTaskGrowsWelfare(t *testing.T) {
+	of := &OfflineMechanism{}
+	prop := func(seed int64) bool {
+		in := quickInstance(seed)
+		base, err := of.Welfare(in)
+		if err != nil {
+			return false
+		}
+		grown := in.Clone()
+		grown.Tasks = append(grown.Tasks, Task{ID: TaskID(len(grown.Tasks)), Arrival: grown.Slots})
+		more, err := of.Welfare(grown)
+		if err != nil {
+			return false
+		}
+		return more >= base-1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPaymentsDominateWelfareSplit: for both mechanisms, total
+// payment lies between total winner cost (IR for the phones) and
+// served·ν under the default no-loss policy (weak budget sanity: the
+// platform never pays more than the gross value it receives).
+func TestQuickPaymentsDominateWelfareSplit(t *testing.T) {
+	prop := func(seed int64, useOffline bool) bool {
+		in := quickInstance(seed)
+		var mech Mechanism = &OnlineMechanism{}
+		if useOffline {
+			mech = &OfflineMechanism{}
+		}
+		out, err := mech.Run(in)
+		if err != nil {
+			return false
+		}
+		paid := out.TotalPayment()
+		if paid < out.TotalWinnerCost(in)-1e-9 {
+			return false
+		}
+		gross := float64(out.Allocation.NumServed()) * in.Value
+		return paid <= gross+1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickCloneEquality: Clone produces structurally equal instances
+// that evolve independently.
+func TestQuickCloneEquality(t *testing.T) {
+	prop := func(seed int64) bool {
+		in := quickInstance(seed)
+		c := in.Clone()
+		if len(c.Bids) != len(in.Bids) || len(c.Tasks) != len(in.Tasks) {
+			return false
+		}
+		for i := range in.Bids {
+			if c.Bids[i] != in.Bids[i] {
+				return false
+			}
+		}
+		if len(c.Bids) > 0 {
+			c.Bids[0].Cost++
+			if in.Bids[0].Cost == c.Bids[0].Cost {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// snapshotVersion guards the checkpoint format.
+const snapshotVersion = 1
+
+// auctionSnapshot is the serialized state of an OnlineAuction. Only
+// decision-relevant state is stored; the allocation pool is rebuilt on
+// restore (the greedy heap pops by (cost, id) with deterministic
+// tiebreaks, so pop order — and therefore every future decision — is
+// independent of the heap's internal layout).
+type auctionSnapshot struct {
+	Version        int       `json:"version"`
+	Slots          Slot      `json:"slots"`
+	Value          float64   `json:"value"`
+	AllocateAtLoss bool      `json:"allocateAtLoss,omitempty"`
+	Now            Slot      `json:"now"`
+	Bids           []Bid     `json:"bids"`
+	TaskArrivals   []Slot    `json:"taskArrivals"`
+	ByTask         []PhoneID `json:"byTask"`
+	WonAt          []Slot    `json:"wonAt"`
+}
+
+// Snapshot serializes the auction's full state so a platform can
+// checkpoint mid-round and resume after a crash. The snapshot is
+// self-contained JSON; restore with RestoreOnlineAuction.
+func (oa *OnlineAuction) Snapshot() ([]byte, error) {
+	snap := auctionSnapshot{
+		Version:        snapshotVersion,
+		Slots:          oa.slots,
+		Value:          oa.value,
+		AllocateAtLoss: oa.allocateAtLoss,
+		Now:            oa.now,
+		Bids:           oa.bids,
+		ByTask:         oa.byTask,
+		WonAt:          oa.wonAt,
+	}
+	for _, t := range oa.tasks {
+		snap.TaskArrivals = append(snap.TaskArrivals, t.Arrival)
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return nil, fmt.Errorf("auction snapshot: %w", err)
+	}
+	return data, nil
+}
+
+// RestoreOnlineAuction reconstructs an auction from a Snapshot. The
+// restored auction continues the round exactly as the original would
+// have: identical future allocations and payments for identical future
+// input.
+func RestoreOnlineAuction(data []byte) (*OnlineAuction, error) {
+	var snap auctionSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("restore auction: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("restore auction: unsupported version %d (want %d)", snap.Version, snapshotVersion)
+	}
+	oa, err := NewOnlineAuction(snap.Slots, snap.Value, snap.AllocateAtLoss)
+	if err != nil {
+		return nil, fmt.Errorf("restore auction: %w", err)
+	}
+	if snap.Now < 0 || snap.Now > snap.Slots {
+		return nil, fmt.Errorf("restore auction: clock %d outside round [0,%d]", snap.Now, snap.Slots)
+	}
+	if len(snap.WonAt) != len(snap.Bids) || len(snap.ByTask) != len(snap.TaskArrivals) {
+		return nil, fmt.Errorf("restore auction: inconsistent state sizes")
+	}
+	oa.now = snap.Now
+	oa.bids = snap.Bids
+	oa.wonAt = snap.WonAt
+	oa.byTask = snap.ByTask
+	for i, b := range snap.Bids {
+		if b.Phone != PhoneID(i) {
+			return nil, fmt.Errorf("restore auction: bid %d has phone id %d", i, b.Phone)
+		}
+		if err := b.Validate(snap.Slots); err != nil {
+			return nil, fmt.Errorf("restore auction: %w", err)
+		}
+		if b.Arrival > snap.Now {
+			return nil, fmt.Errorf("restore auction: bid %d arrives at %d, after clock %d", i, b.Arrival, snap.Now)
+		}
+	}
+	var prev Slot
+	for k, arrival := range snap.TaskArrivals {
+		if arrival < 1 || arrival > snap.Now {
+			return nil, fmt.Errorf("restore auction: task %d arrival %d outside [1,%d]", k, arrival, snap.Now)
+		}
+		if arrival < prev {
+			return nil, fmt.Errorf("restore auction: task %d out of arrival order", k)
+		}
+		prev = arrival
+		oa.tasks = append(oa.tasks, Task{ID: TaskID(k), Arrival: arrival})
+	}
+	for k, p := range snap.ByTask {
+		if p == NoPhone {
+			continue
+		}
+		if int(p) >= len(snap.Bids) {
+			return nil, fmt.Errorf("restore auction: task %d assigned to unknown phone %d", k, p)
+		}
+		if snap.WonAt[p] != snap.TaskArrivals[k] {
+			return nil, fmt.Errorf("restore auction: task %d slot %d disagrees with winner slot %d",
+				k, snap.TaskArrivals[k], snap.WonAt[p])
+		}
+	}
+
+	// Rebuild the allocation pool: every phone that has not won, has not
+	// passed its departure, and clears the reserve re-enters the heap.
+	// Phones the original auction lazily discarded re-enter too; they
+	// are re-discarded on their first pop, which leaves behaviour
+	// unchanged.
+	oa.heap.bids = oa.bids
+	for i, b := range oa.bids {
+		switch {
+		case oa.wonAt[i] != 0: // already allocated
+		case b.Departure <= snap.Now: // departed
+		case !oa.allocateAtLoss && b.Cost >= oa.value: // priced out by the reserve
+		default:
+			oa.heap.push(PhoneID(i))
+		}
+	}
+	return oa, nil
+}

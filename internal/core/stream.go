@@ -1,0 +1,178 @@
+package core
+
+import "fmt"
+
+// StreamBid is a bid submitted by a phone joining in the current slot.
+// Its claimed arrival is implicitly the current slot, so the no-early-
+// arrival constraint is enforced structurally rather than by trust.
+type StreamBid struct {
+	Departure Slot    // d̃: claimed last active slot
+	Cost      float64 // b: claimed per-task cost
+}
+
+// PaymentNotice is a finalized payment to a departing winner. Payments
+// are executed in the winner's reported departure slot, as the paper
+// specifies (late payment is what removes the incentive to misreport an
+// early departure).
+type PaymentNotice struct {
+	Phone  PhoneID
+	Amount float64
+}
+
+// SlotResult reports everything the online auction did in one slot.
+type SlotResult struct {
+	Slot        Slot
+	Joined      []PhoneID // IDs assigned to this slot's arriving bids, in input order
+	Assignments []Assignment
+	Unserved    int // tasks that arrived this slot and found no phone
+	Payments    []PaymentNotice
+}
+
+// OnlineAuction drives the online mechanism slot by slot, the way the
+// real platform experiences a round: phones join and submit bids in their
+// arrival slot, tasks are announced per slot, winners are determined
+// immediately, and payments are finalized at each winner's reported
+// departure slot. A completed OnlineAuction yields the same allocation
+// and payments as OnlineMechanism.Run on the equivalent batch instance.
+type OnlineAuction struct {
+	slots          Slot
+	value          float64
+	allocateAtLoss bool
+
+	now   Slot // last processed slot (0 before the first Step)
+	bids  []Bid
+	tasks []Task
+
+	heap    costHeap
+	byTask  []PhoneID
+	wonAt   []Slot
+	taskArr []Slot // arrival slot per task (mirrors tasks)
+}
+
+// NewOnlineAuction creates a round of m slots with per-task value ν.
+func NewOnlineAuction(m Slot, value float64, allocateAtLoss bool) (*OnlineAuction, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("online auction: round length %d < 1", m)
+	}
+	if value < 0 {
+		return nil, fmt.Errorf("online auction: negative task value %g", value)
+	}
+	return &OnlineAuction{slots: m, value: value, allocateAtLoss: allocateAtLoss}, nil
+}
+
+// Now returns the last processed slot (0 before the first Step).
+func (oa *OnlineAuction) Now() Slot { return oa.now }
+
+// Done reports whether all m slots have been processed.
+func (oa *OnlineAuction) Done() bool { return oa.now >= oa.slots }
+
+// Step advances the auction one slot: the given bids join (their claimed
+// arrival is the new slot), numTasks tasks are announced and greedily
+// allocated, and payments are finalized for winners whose reported
+// departure is the new slot.
+func (oa *OnlineAuction) Step(arriving []StreamBid, numTasks int) (*SlotResult, error) {
+	if oa.Done() {
+		return nil, fmt.Errorf("online auction: round already complete (%d slots)", oa.slots)
+	}
+	if numTasks < 0 {
+		return nil, fmt.Errorf("online auction: negative task count %d", numTasks)
+	}
+	t := oa.now + 1
+	for k, sb := range arriving {
+		probe := Bid{Phone: PhoneID(len(oa.bids) + k), Arrival: t, Departure: sb.Departure, Cost: sb.Cost}
+		if err := probe.Validate(oa.slots); err != nil {
+			return nil, fmt.Errorf("online auction: %w", err)
+		}
+	}
+	oa.now = t
+	res := &SlotResult{Slot: t}
+
+	for _, sb := range arriving {
+		id := PhoneID(len(oa.bids))
+		bid := Bid{Phone: id, Arrival: t, Departure: sb.Departure, Cost: sb.Cost}
+		oa.bids = append(oa.bids, bid)
+		oa.wonAt = append(oa.wonAt, 0)
+		res.Joined = append(res.Joined, id)
+		// Reserve price: bids that can never yield positive welfare are
+		// recorded (they may still depart, and auditors may inspect them)
+		// but never enter the allocation pool.
+		if oa.allocateAtLoss || sb.Cost < oa.value {
+			oa.heap.bids = oa.bids
+			oa.heap.push(id)
+		}
+	}
+	oa.heap.bids = oa.bids
+
+	for k := 0; k < numTasks; k++ {
+		id := TaskID(len(oa.tasks))
+		oa.tasks = append(oa.tasks, Task{ID: id, Arrival: t})
+		oa.byTask = append(oa.byTask, NoPhone)
+		winner := NoPhone
+		for oa.heap.len() > 0 {
+			p := oa.heap.pop()
+			if oa.bids[p].Departure < t {
+				continue // departed; drop permanently
+			}
+			winner = p
+			break
+		}
+		if winner == NoPhone {
+			res.Unserved++
+			continue
+		}
+		oa.byTask[id] = winner
+		oa.wonAt[winner] = t
+		res.Assignments = append(res.Assignments, Assignment{Task: id, Phone: winner, Slot: t})
+	}
+
+	// Finalize payments for winners departing this slot. The critical-
+	// value replay only looks at slots ≤ t, and every bid or task that
+	// will arrive later is invisible to those slots, so paying now equals
+	// paying at end of round.
+	snapshot := oa.instance()
+	for i := range oa.bids {
+		if oa.bids[i].Departure != t || oa.wonAt[i] == 0 {
+			continue
+		}
+		amount := criticalPayment(snapshot, PhoneID(i), oa.wonAt[i])
+		res.Payments = append(res.Payments, PaymentNotice{Phone: PhoneID(i), Amount: amount})
+	}
+	return res, nil
+}
+
+// instance materializes the bids and tasks seen so far as an Instance.
+func (oa *OnlineAuction) instance() *Instance {
+	return &Instance{
+		Slots:          oa.slots,
+		Value:          oa.value,
+		Bids:           oa.bids,
+		Tasks:          oa.tasks,
+		AllocateAtLoss: oa.allocateAtLoss,
+	}
+}
+
+// Outcome assembles the full round outcome. It is valid once Done()
+// (earlier calls return the partial state: allocations so far, payments
+// recomputed for all current winners).
+func (oa *OnlineAuction) Outcome() *Outcome {
+	in := oa.instance()
+	alloc := NewAllocation(len(oa.tasks), len(oa.bids))
+	for k, p := range oa.byTask {
+		if p != NoPhone {
+			alloc.Assign(TaskID(k), p, oa.tasks[k].Arrival)
+		}
+	}
+	out := &Outcome{
+		Allocation: alloc,
+		Payments:   make([]float64, len(oa.bids)),
+		Welfare:    alloc.Welfare(in),
+	}
+	for _, i := range alloc.Winners() {
+		out.Payments[i] = criticalPayment(in, i, alloc.WonAt[i])
+	}
+	return out
+}
+
+// Instance returns a copy of the bids and tasks accumulated so far,
+// e.g. to compare the online outcome against the offline optimum.
+func (oa *OnlineAuction) Instance() *Instance { return oa.instance().Clone() }

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/stats"
+)
+
+// RunAnytime traces the online mechanism's welfare slot by slot against
+// the clairvoyant optimum of the same prefix (bids and tasks that have
+// arrived so far) — the "anytime" view of Theorem 6: how far below the
+// best-possible the deployed mechanism sits at every instant, not just
+// at the end of the round. The offline prefix optimum is recomputed per
+// slot, so the run is O(m) Hungarian solves; use moderate m.
+func RunAnytime(opt Options) (*stats.Figure, error) {
+	opt = opt.withDefaults()
+	seeds := make([]uint64, opt.Seeds)
+	for i := range seeds {
+		seeds[i] = opt.BaseSeed + uint64(i)
+	}
+
+	fig := &stats.Figure{
+		Title:  "Anytime competitive ratio: online welfare / prefix optimum per slot (extension)",
+		XLabel: "slot", YLabel: "welfare ratio",
+	}
+	ratio := fig.AddSeries("online/optimal")
+	guarantee := fig.AddSeries("guarantee")
+
+	m := opt.Scenario.Slots
+	perSlot := make([][]float64, m+1)
+
+	for _, seed := range seeds {
+		in, err := opt.Scenario.Generate(seed)
+		if err != nil {
+			return nil, fmt.Errorf("anytime: %w", err)
+		}
+		oa, err := core.NewOnlineAuction(in.Slots, in.Value, in.AllocateAtLoss)
+		if err != nil {
+			return nil, err
+		}
+		tasks := in.TasksPerSlot()
+		byArrival := make([][]core.StreamBid, in.Slots+1)
+		for _, b := range in.Bids {
+			byArrival[b.Arrival] = append(byArrival[b.Arrival], core.StreamBid{Departure: b.Departure, Cost: b.Cost})
+		}
+		of := &core.OfflineMechanism{}
+		for t := core.Slot(1); t <= in.Slots; t++ {
+			if _, err := oa.Step(byArrival[t], tasks[t-1]); err != nil {
+				return nil, err
+			}
+			prefix := oa.Instance() // bids and tasks seen so far
+			opt, err := of.Welfare(prefix)
+			if err != nil {
+				return nil, err
+			}
+			online := oa.Outcome().Welfare
+			if opt > 0 {
+				perSlot[t] = append(perSlot[t], online/opt)
+			}
+		}
+	}
+	for t := core.Slot(1); t <= m; t++ {
+		if len(perSlot[t]) == 0 {
+			continue
+		}
+		ratio.Add(float64(t), perSlot[t])
+		guarantee.Add(float64(t), []float64{0.5})
+	}
+	return fig, nil
+}

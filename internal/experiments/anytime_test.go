@@ -1,0 +1,35 @@
+package experiments
+
+import "testing"
+
+func TestRunAnytime(t *testing.T) {
+	base := tinyBase()
+	fig, err := RunAnytime(Options{Seeds: 4, BaseSeed: 11, Scenario: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("want 2 series, got %d", len(fig.Series))
+	}
+	ratio := fig.Series[0]
+	if len(ratio.Points) == 0 {
+		t.Fatal("no ratio points")
+	}
+	for _, p := range ratio.Points {
+		if p.Summary.Mean < 0.5-1e-9 || p.Summary.Mean > 1+1e-9 {
+			t.Fatalf("anytime ratio %.3f at slot %g outside [0.5, 1]", p.Summary.Mean, p.X)
+		}
+		// Per-seed worst case must also respect Theorem 6.
+		if p.Summary.Min < 0.5-1e-9 {
+			t.Fatalf("worst-case anytime ratio %.3f at slot %g below the guarantee", p.Summary.Min, p.X)
+		}
+	}
+}
+
+func TestRunAnytimePropagatesErrors(t *testing.T) {
+	bad := tinyBase()
+	bad.MeanCost = -1
+	if _, err := RunAnytime(Options{Seeds: 2, Scenario: bad}); err == nil {
+		t.Fatal("want error")
+	}
+}

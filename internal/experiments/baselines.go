@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dynacrowd/internal/baseline"
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/sim"
+	"dynacrowd/internal/stats"
+)
+
+// BaselineResult compares the paper's mechanisms against the reference
+// mechanisms from internal/baseline across the slots sweep — an
+// extension figure not in the paper, quantifying what truthfulness and
+// optimal matching each cost or buy.
+type BaselineResult struct {
+	Welfare     *stats.Figure
+	Overpayment *stats.Figure
+}
+
+// RunBaselines executes the comparison. Mechanism order: online,
+// offline, second-price, first-price, random, greedy-by-cost,
+// posted-price (at the reserve-optimal ν/2), adaptive-posted-price.
+func RunBaselines(opt Options) (*BaselineResult, error) {
+	opt = opt.withDefaults()
+	mechs := []core.Mechanism{
+		&core.OnlineMechanism{},
+		&core.OfflineMechanism{},
+		&baseline.SecondPricePerSlot{},
+		&baseline.FirstPricePerSlot{},
+		&baseline.Random{Seed: int64(opt.BaseSeed)},
+		&baseline.GreedyByCost{},
+		&baseline.PostedPrice{Price: opt.Scenario.Value / 2},
+		&baseline.AdaptivePostedPrice{},
+	}
+	seeds := sim.Seeds(opt.BaseSeed, opt.Seeds)
+
+	res := &BaselineResult{
+		Welfare: &stats.Figure{
+			Title:  "Social welfare vs number of slots m — all mechanisms (extension)",
+			XLabel: "number of slots m", YLabel: "social welfare ω",
+		},
+		Overpayment: &stats.Figure{
+			Title:  "Overpayment ratio vs number of slots m — all mechanisms (extension)",
+			XLabel: "number of slots m", YLabel: "overpayment ratio σ",
+		},
+	}
+	var wSeries, oSeries []*stats.Series
+	for _, m := range mechs {
+		wSeries = append(wSeries, res.Welfare.AddSeries(m.Name()))
+		oSeries = append(oSeries, res.Overpayment.AddSeries(m.Name()))
+	}
+
+	for _, pt := range SlotsSweep(opt.Scenario).Points {
+		reps, err := sim.Compare(pt.Scenario, seeds, mechs, opt.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("baselines at m=%g: %w", pt.X, err)
+		}
+		for mi := range mechs {
+			wSeries[mi].Add(pt.X, sim.Column(reps, mi, sim.Welfare))
+			oSeries[mi].Add(pt.X, sim.Column(reps, mi, sim.OverpaymentRatio))
+		}
+	}
+	return res, nil
+}

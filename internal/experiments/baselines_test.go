@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestRunBaselinesSmall(t *testing.T) {
+	base := tinyBase()
+	res, err := RunBaselines(Options{Seeds: 3, BaseSeed: 2, Scenario: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Welfare.Series) != 8 || len(res.Overpayment.Series) != 8 {
+		t.Fatalf("want 8 series, got %d/%d", len(res.Welfare.Series), len(res.Overpayment.Series))
+	}
+	names := map[string]bool{}
+	for _, s := range res.Welfare.Series {
+		names[s.Name] = true
+	}
+	for _, want := range []string{
+		"online-greedy", "offline-vcg", "second-price-per-slot",
+		"first-price-per-slot", "random", "greedy-by-cost",
+		"posted-price-15", "adaptive-posted-price",
+	} {
+		if !names[want] {
+			t.Fatalf("missing series %q", want)
+		}
+	}
+	// Offline dominates everything; first-price has zero overpayment.
+	off := res.Welfare.Series[1]
+	for si, s := range res.Welfare.Series {
+		for pi := range s.Points {
+			if s.Points[pi].Summary.Mean > off.Points[pi].Summary.Mean+1e-9 {
+				t.Fatalf("series %d beats the optimum at point %d", si, pi)
+			}
+		}
+	}
+	for _, p := range res.Overpayment.Series[3].Points { // first-price
+		if p.Summary.Mean != 0 {
+			t.Fatalf("first-price overpayment %g != 0", p.Summary.Mean)
+		}
+	}
+}
+
+func TestRunBaselinesPropagatesErrors(t *testing.T) {
+	bad := tinyBase()
+	bad.MeanCost = -1
+	if _, err := RunBaselines(Options{Seeds: 2, Scenario: bad}); err == nil {
+		t.Fatal("want error")
+	}
+}

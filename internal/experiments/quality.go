@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/sensing"
+	"dynacrowd/internal/stats"
+)
+
+// RunQualitySweep connects the auction to the application (Fig. 1,
+// end to end): a fixed portfolio of sensing queries is auctioned under
+// increasing phone supply, and the figure reports the *data-plane*
+// outcome — query coverage — next to the auction's service rate. It
+// shows how market thickness becomes map quality, the step the paper's
+// evaluation stops short of.
+func RunQualitySweep(opt Options) (*stats.Figure, error) {
+	opt = opt.withDefaults()
+	scn := opt.Scenario
+	scn.Slots = 24 // hourly sampling windows
+
+	queries := []sensing.Query{
+		{ID: 0, Region: "Riverside", From: 1, To: 24},
+		{ID: 1, Region: "Old Town", From: 7, To: 19},
+		{ID: 2, Region: "University", From: 9, To: 17},
+		{ID: 3, Region: "Docklands", From: 1, To: 12},
+		{ID: 4, Region: "Market Square", From: 13, To: 24},
+	}
+
+	fig := &stats.Figure{
+		Title:  "Query coverage vs phone arrival rate λ (sensing extension)",
+		XLabel: "arrival rate λ of smartphones", YLabel: "fraction",
+	}
+	coverage := fig.AddSeries("query coverage")
+	rmse := fig.AddSeries("rmse/10 (scaled)")
+
+	for lambda := 0.25; lambda <= 2.001; lambda += 0.25 {
+		var covs, errs []float64
+		for s := 0; s < opt.Seeds; s++ {
+			seed := opt.BaseSeed + uint64(s)
+			supply := scn
+			supply.PhoneRate = lambda
+			in, err := supply.Generate(seed)
+			if err != nil {
+				return nil, fmt.Errorf("quality sweep: %w", err)
+			}
+			truth := sensing.NewGroundTruth(seed^0xabcdef, 1.5)
+			res, err := sensing.RunCampaign(scn.Slots, scn.Value, queries, in.Bids, &core.OnlineMechanism{}, truth)
+			if err != nil {
+				return nil, fmt.Errorf("quality sweep at λ=%g: %w", lambda, err)
+			}
+			covs = append(covs, res.MeanCoverage)
+			errs = append(errs, res.MeanRMSE/10)
+		}
+		coverage.Add(lambda, covs)
+		rmse.Add(lambda, errs)
+	}
+	return fig, nil
+}

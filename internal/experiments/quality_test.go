@@ -1,0 +1,29 @@
+package experiments
+
+import "testing"
+
+func TestRunQualitySweep(t *testing.T) {
+	fig, err := RunQualitySweep(Options{Seeds: 3, BaseSeed: 9, Scenario: tinyBase()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("want 2 series, got %d", len(fig.Series))
+	}
+	cov := fig.Series[0]
+	if len(cov.Points) != 8 {
+		t.Fatalf("coverage has %d points, want 8 (λ 0.25..2)", len(cov.Points))
+	}
+	// Coverage is a fraction and must not decrease from the scarcest to
+	// the richest supply point.
+	for _, p := range cov.Points {
+		if p.Summary.Mean < 0 || p.Summary.Mean > 1 {
+			t.Fatalf("coverage %g at λ=%g outside [0,1]", p.Summary.Mean, p.X)
+		}
+	}
+	first := cov.Points[0].Summary.Mean
+	last := cov.Points[len(cov.Points)-1].Summary.Mean
+	if last <= first {
+		t.Fatalf("coverage did not grow with supply: %g -> %g", first, last)
+	}
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import "testing"
+
+func TestRunReserveSweep(t *testing.T) {
+	fig, err := RunReserveSweep(Options{Seeds: 4, BaseSeed: 7, Scenario: tinyBase()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("want 2 series, got %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 9 {
+			t.Fatalf("series %s has %d points, want 9 (ν̂/ν from 0.2 to 1.0)", s.Name, len(s.Points))
+		}
+	}
+	// At the full reserve (ν̂ = ν), profit = welfare − overpayment ≥ 0
+	// in expectation; and at very low reserves profit collapses toward 0
+	// because almost nothing is served. Check the sweep is not constant.
+	for _, s := range fig.Series {
+		lo, hi := s.YRange()
+		if hi-lo < 1e-9 {
+			t.Fatalf("series %s is flat — the reserve had no effect", s.Name)
+		}
+	}
+}
+
+func TestRunReserveSweepPropagatesErrors(t *testing.T) {
+	bad := tinyBase()
+	bad.MeanCost = -1
+	if _, err := RunReserveSweep(Options{Seeds: 2, Scenario: bad}); err == nil {
+		t.Fatal("want error")
+	}
+}

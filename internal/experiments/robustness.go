@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/sim"
+	"dynacrowd/internal/stats"
+	"dynacrowd/internal/workload"
+)
+
+// RobustnessVariant is one workload perturbation: a cost distribution
+// and/or time-varying arrival profiles replacing the paper's stationary
+// uniform setup.
+type RobustnessVariant struct {
+	Name     string
+	Scenario workload.Scenario
+	Phones   workload.RateProfile // nil = flat
+	Tasks    workload.RateProfile // nil = flat
+}
+
+// RobustnessVariants returns the perturbations checked by the
+// robustness experiment: the paper's conclusions (offline ≥ online ≥
+// offline/2; payments ≥ costs; σ stable) should not depend on the
+// distributional choices its evaluation leaves unstated.
+func RobustnessVariants(base workload.Scenario) []RobustnessVariant {
+	exp := base
+	exp.Costs = workload.CostExponential
+	norm := base
+	norm.Costs = workload.CostNormal
+	return []RobustnessVariant{
+		{Name: "paper (uniform, flat)", Scenario: base},
+		{Name: "exponential costs", Scenario: exp},
+		{Name: "normal costs", Scenario: norm},
+		{Name: "diurnal phones", Scenario: base, Phones: workload.DiurnalProfile{Amplitude: 0.8}},
+		{Name: "rush-hour tasks", Scenario: base, Tasks: workload.RushHourProfile{Peak: 3}},
+		{Name: "rush phones+tasks", Scenario: base,
+			Phones: workload.RushHourProfile{Peak: 3}, Tasks: workload.RushHourProfile{Peak: 3}},
+	}
+}
+
+// RobustnessRow summarizes one variant.
+type RobustnessRow struct {
+	Variant         string
+	OnlineWelfare   stats.Summary
+	OfflineWelfare  stats.Summary
+	OnlineSigma     stats.Summary
+	OfflineSigma    stats.Summary
+	WorstRatio      float64 // min over seeds of online/offline welfare
+	SigmaTTest      stats.TTestResult
+	CompetitiveOK   bool // every seed ≥ 1/2
+	DominanceOK     bool // offline ≥ online on every seed
+	IndividuallyRat bool // payments ≥ winner costs on every seed/mech
+}
+
+// RunRobustness executes every variant and evaluates the paper's core
+// claims under each.
+func RunRobustness(opt Options) ([]RobustnessRow, error) {
+	opt = opt.withDefaults()
+	seeds := sim.Seeds(opt.BaseSeed, opt.Seeds)
+	var rows []RobustnessRow
+	for _, v := range RobustnessVariants(opt.Scenario) {
+		row := RobustnessRow{Variant: v.Name, WorstRatio: 1, CompetitiveOK: true, DominanceOK: true, IndividuallyRat: true}
+		var wOn, wOff, sOn, sOff []float64
+		for _, seed := range seeds {
+			in, err := v.Scenario.GenerateWithProfiles(seed, v.Phones, v.Tasks)
+			if err != nil {
+				return nil, fmt.Errorf("robustness %q: %w", v.Name, err)
+			}
+			on, err := sim.RunInstance(in, seed, &core.OnlineMechanism{})
+			if err != nil {
+				return nil, err
+			}
+			off, err := sim.RunInstance(in, seed, &core.OfflineMechanism{})
+			if err != nil {
+				return nil, err
+			}
+			wOn = append(wOn, on.Welfare)
+			wOff = append(wOff, off.Welfare)
+			sOn = append(sOn, on.OverpaymentRatio)
+			sOff = append(sOff, off.OverpaymentRatio)
+			if off.Welfare > 0 {
+				if r := on.Welfare / off.Welfare; r < row.WorstRatio {
+					row.WorstRatio = r
+				}
+			}
+			if on.Welfare < off.Welfare/2-1e-9 {
+				row.CompetitiveOK = false
+			}
+			if off.Welfare < on.Welfare-1e-9 {
+				row.DominanceOK = false
+			}
+			if on.TotalPayment < on.TotalWinnerCost-1e-9 || off.TotalPayment < off.TotalWinnerCost-1e-9 {
+				row.IndividuallyRat = false
+			}
+		}
+		row.OnlineWelfare = stats.Summarize(wOn)
+		row.OfflineWelfare = stats.Summarize(wOff)
+		row.OnlineSigma = stats.Summarize(sOn)
+		row.OfflineSigma = stats.Summarize(sOff)
+		row.SigmaTTest = stats.WelchTTest(sOn, sOff)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

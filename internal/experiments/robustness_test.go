@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+
+	"dynacrowd/internal/workload"
+)
+
+func TestRobustnessVariantsCoverDistributionsAndProfiles(t *testing.T) {
+	vs := RobustnessVariants(workload.DefaultScenario())
+	if len(vs) != 6 {
+		t.Fatalf("got %d variants", len(vs))
+	}
+	costs := map[workload.CostDistribution]bool{}
+	profiled := 0
+	for _, v := range vs {
+		costs[v.Scenario.Costs] = true
+		if v.Phones != nil || v.Tasks != nil {
+			profiled++
+		}
+	}
+	if !costs[workload.CostUniform] || !costs[workload.CostExponential] || !costs[workload.CostNormal] {
+		t.Fatal("cost distributions not covered")
+	}
+	if profiled < 3 {
+		t.Fatalf("only %d profiled variants", profiled)
+	}
+}
+
+func TestRunRobustnessHoldsCoreClaims(t *testing.T) {
+	base := tinyBase()
+	rows, err := RunRobustness(Options{Seeds: 6, BaseSeed: 4, Scenario: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, row := range rows {
+		if !row.CompetitiveOK {
+			t.Errorf("%s: competitive ratio violated", row.Variant)
+		}
+		if !row.DominanceOK {
+			t.Errorf("%s: offline below online", row.Variant)
+		}
+		if !row.IndividuallyRat {
+			t.Errorf("%s: payments below costs", row.Variant)
+		}
+		if row.WorstRatio < 0.5 || row.WorstRatio > 1 {
+			t.Errorf("%s: worst ratio %g outside [0.5,1]", row.Variant, row.WorstRatio)
+		}
+		if row.OnlineWelfare.N != 6 {
+			t.Errorf("%s: %d samples", row.Variant, row.OnlineWelfare.N)
+		}
+	}
+}
+
+func TestRunRobustnessPropagatesErrors(t *testing.T) {
+	bad := tinyBase()
+	bad.MeanCost = -1
+	if _, err := RunRobustness(Options{Seeds: 2, Scenario: bad}); err == nil {
+		t.Fatal("want error")
+	}
+}

@@ -1,0 +1,184 @@
+// Package market runs the reverse auction the way the paper describes
+// its deployment: "executed round by round" (Section III-B). Each round
+// is one mechanism execution; smartphones whose bids fail may re-enter
+// later rounds (with a fresh active window but their intrinsic cost),
+// modelling users who try again the next time their phone is idle.
+//
+// The package exists to study the long-run behaviour the paper claims in
+// Section VI ("the mobile crowdsourcing system is stable even in the
+// long run"): per-round welfare and overpayment under a persistent phone
+// population.
+package market
+
+import (
+	"fmt"
+	"time"
+
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/sim"
+	"dynacrowd/internal/workload"
+)
+
+// Config parameterizes a multi-round market simulation.
+type Config struct {
+	// Rounds is the number of consecutive auction rounds to run.
+	Rounds int
+	// Scenario generates each round's fresh arrivals (Table I model).
+	Scenario workload.Scenario
+	// Mechanism sells each round's tasks (nil: the online mechanism).
+	Mechanism core.Mechanism
+	// Seed drives all randomness (workload and re-entry).
+	Seed uint64
+	// ReturnProbability is the chance that a phone whose bid failed
+	// re-enters the next round, keeping its intrinsic cost but drawing a
+	// fresh active window. 0 disables carry-over; 1 means every loser
+	// retries once more.
+	ReturnProbability float64
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Rounds < 1 {
+		return fmt.Errorf("market: rounds %d < 1", c.Rounds)
+	}
+	if c.ReturnProbability < 0 || c.ReturnProbability > 1 {
+		return fmt.Errorf("market: return probability %g outside [0,1]", c.ReturnProbability)
+	}
+	return c.Scenario.Validate()
+}
+
+// RoundRecord is the outcome of one market round.
+type RoundRecord struct {
+	Round     int // 1-based
+	Returning int // phones carried over from the previous round
+	Metrics   sim.RoundMetrics
+}
+
+// Result is a completed market simulation.
+type Result struct {
+	Rounds []RoundRecord
+}
+
+// MeanWelfare returns the average per-round social welfare.
+func (r *Result) MeanWelfare() float64 {
+	if len(r.Rounds) == 0 {
+		return 0
+	}
+	var s float64
+	for _, rec := range r.Rounds {
+		s += rec.Metrics.Welfare
+	}
+	return s / float64(len(r.Rounds))
+}
+
+// MeanOverpayment returns the average per-round overpayment ratio.
+func (r *Result) MeanOverpayment() float64 {
+	if len(r.Rounds) == 0 {
+		return 0
+	}
+	var s float64
+	for _, rec := range r.Rounds {
+		s += rec.Metrics.OverpaymentRatio
+	}
+	return s / float64(len(r.Rounds))
+}
+
+// OverpaymentDrift returns the absolute difference between the mean
+// overpayment ratio of the first and second halves of the run — the
+// stability statistic behind the paper's long-run claim. Small drift
+// (relative to the mean) means the market neither inflates nor
+// collapses as rounds accumulate.
+func (r *Result) OverpaymentDrift() float64 {
+	n := len(r.Rounds)
+	if n < 2 {
+		return 0
+	}
+	half := n / 2
+	var a, b float64
+	for i := 0; i < half; i++ {
+		a += r.Rounds[i].Metrics.OverpaymentRatio
+	}
+	for i := half; i < n; i++ {
+		b += r.Rounds[i].Metrics.OverpaymentRatio
+	}
+	a /= float64(half)
+	b /= float64(n - half)
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Run executes the market simulation.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mech := cfg.Mechanism
+	if mech == nil {
+		mech = &core.OnlineMechanism{}
+	}
+	rng := workload.NewRNG(cfg.Seed)
+
+	res := &Result{}
+	var carried []float64 // intrinsic costs of returning phones
+	for round := 1; round <= cfg.Rounds; round++ {
+		in, err := cfg.Scenario.Generate(rng.Uint64())
+		if err != nil {
+			return nil, err
+		}
+		returning := len(carried)
+		in = withReturningPhones(in, carried, rng, cfg.Scenario)
+
+		start := time.Now()
+		out, err := mech.Run(in)
+		if err != nil {
+			return nil, fmt.Errorf("market: round %d: %w", round, err)
+		}
+		res.Rounds = append(res.Rounds, RoundRecord{
+			Round:     round,
+			Returning: returning,
+			Metrics:   sim.Metrics(in, cfg.Seed, mech.Name(), out, time.Since(start)),
+		})
+
+		// Decide who retries next round.
+		carried = carried[:0]
+		for i, task := range out.Allocation.ByPhone {
+			if task == core.NoTask && rng.Float64() < cfg.ReturnProbability {
+				carried = append(carried, in.Bids[i].Cost)
+			}
+		}
+	}
+	return res, nil
+}
+
+// withReturningPhones merges carried-over phones (fresh windows, kept
+// costs) into a generated round, preserving the bids-sorted-by-arrival
+// invariant and dense PhoneIDs.
+func withReturningPhones(in *core.Instance, costs []float64, rng *workload.RNG, scn workload.Scenario) *core.Instance {
+	if len(costs) == 0 {
+		return in
+	}
+	merged := in.Clone()
+	bids := merged.Bids
+	for _, cost := range costs {
+		arrive := core.Slot(1 + rng.Intn(int(scn.Slots)))
+		length := rng.UniformInt(1, 2*scn.MeanActiveLength-1)
+		depart := arrive + core.Slot(length) - 1
+		if depart > scn.Slots {
+			depart = scn.Slots
+		}
+		bids = append(bids, core.Bid{Arrival: arrive, Departure: depart, Cost: cost})
+	}
+	// Stable re-sort by arrival, then renumber densely.
+	for i := 1; i < len(bids); i++ {
+		for j := i; j > 0 && bids[j].Arrival < bids[j-1].Arrival; j-- {
+			bids[j], bids[j-1] = bids[j-1], bids[j]
+		}
+	}
+	for i := range bids {
+		bids[i].Phone = core.PhoneID(i)
+	}
+	merged.Bids = bids
+	return merged
+}

@@ -1,0 +1,48 @@
+package matching
+
+// BruteForceMaxWeight computes a maximum weight matching by exhaustive
+// search over all assignments of left vertices. It is exponential in
+// numLeft and intended only as a test oracle for small instances
+// (numLeft ≤ ~10).
+func BruteForceMaxWeight(numLeft, numRight int, w WeightFunc) Result {
+	best := Result{MatchLeft: make([]int, numLeft)}
+	for i := range best.MatchLeft {
+		best.MatchLeft[i] = Unmatched
+	}
+	cur := make([]int, numLeft)
+	for i := range cur {
+		cur[i] = Unmatched
+	}
+	usedRight := make([]bool, numRight)
+
+	var rec func(l int, weight float64)
+	rec = func(l int, weight float64) {
+		if l == numLeft {
+			if weight > best.Weight {
+				best.Weight = weight
+				copy(best.MatchLeft, cur)
+			}
+			return
+		}
+		// Option 1: leave l unmatched.
+		cur[l] = Unmatched
+		rec(l+1, weight)
+		// Option 2: match l to any free right vertex via a positive edge.
+		for j := 0; j < numRight; j++ {
+			if usedRight[j] {
+				continue
+			}
+			wt := w(l, j)
+			if wt <= 0 {
+				continue
+			}
+			usedRight[j] = true
+			cur[l] = j
+			rec(l+1, weight+wt)
+			cur[l] = Unmatched
+			usedRight[j] = false
+		}
+	}
+	rec(0, 0)
+	return best
+}

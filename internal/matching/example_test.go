@@ -1,0 +1,44 @@
+package matching_test
+
+import (
+	"fmt"
+
+	"dynacrowd/internal/matching"
+)
+
+// ExampleMaxWeightMatching finds the best assignment of two tasks to
+// three phones; only positive-surplus pairs are ever matched.
+func ExampleMaxWeightMatching() {
+	// weights[task][phone]: surplus of giving the task to the phone.
+	weights := [][]float64{
+		{4, 9, 0},  // task 0: phone 1 is best
+		{8, 7, -2}, // task 1: phone 0 is best; phone 2 infeasible
+	}
+	res := matching.MaxWeightMatching(2, 3, func(task, phone int) float64 {
+		return weights[task][phone]
+	})
+	fmt.Printf("total surplus: %.0f\n", res.Weight)
+	for task, phone := range res.MatchLeft {
+		fmt.Printf("task %d -> phone %d\n", task, phone)
+	}
+	// Output:
+	// total surplus: 17
+	// task 0 -> phone 1
+	// task 1 -> phone 0
+}
+
+// ExampleSolver_WeightWithoutRight prices a winner VCG-style: the
+// optimum with and without the phone, via an O(s²) post-optimal query
+// instead of a second full solve.
+func ExampleSolver_WeightWithoutRight() {
+	weights := [][]float64{
+		{4, 9},
+		{8, 7},
+	}
+	sv := matching.NewSolver(2, 2, func(t, p int) float64 { return weights[t][p] })
+	fmt.Printf("optimum: %.0f\n", sv.Weight())
+	fmt.Printf("without phone 1: %.0f\n", sv.WeightWithoutRight(1))
+	// Output:
+	// optimum: 17
+	// without phone 1: 8
+}

@@ -1,0 +1,127 @@
+package matching
+
+import "math"
+
+// MaxWeightMatchingFlow computes a maximum weight matching by reduction
+// to min-cost flow, augmenting unit flow along the most-negative-cost
+// path (SPFA / Bellman–Ford with a queue) until no negative-cost
+// augmenting path remains. It is asymptotically slower than the Hungarian
+// solver and exists as an independent cross-check implementation.
+func MaxWeightMatchingFlow(numLeft, numRight int, w WeightFunc) Result {
+	res := Result{MatchLeft: make([]int, numLeft)}
+	for i := range res.MatchLeft {
+		res.MatchLeft[i] = Unmatched
+	}
+	if numLeft == 0 || numRight == 0 {
+		return res
+	}
+
+	g := newFlowGraph(2 + numLeft + numRight)
+	src := 0
+	snk := 1 + numLeft + numRight
+	left := func(i int) int { return 1 + i }
+	right := func(j int) int { return 1 + numLeft + j }
+
+	for i := 0; i < numLeft; i++ {
+		g.addEdge(src, left(i), 1, 0)
+		for j := 0; j < numRight; j++ {
+			if wt := w(i, j); wt > 0 {
+				g.addEdge(left(i), right(j), 1, -wt)
+			}
+		}
+	}
+	for j := 0; j < numRight; j++ {
+		g.addEdge(right(j), snk, 1, 0)
+	}
+
+	for {
+		cost, ok := g.augment(src, snk)
+		if !ok || cost >= 0 {
+			break
+		}
+		res.Weight += -cost
+	}
+
+	// Recover the matching from saturated left->right edges.
+	for i := 0; i < numLeft; i++ {
+		for _, eid := range g.adj[left(i)] {
+			e := &g.edges[eid]
+			if e.to >= right(0) && e.to < right(numRight) && e.cap == 0 && e.cost != 0 {
+				res.MatchLeft[i] = e.to - right(0)
+			}
+		}
+	}
+	return res
+}
+
+type flowEdge struct {
+	to   int
+	cap  int
+	cost float64
+}
+
+type flowGraph struct {
+	adj   [][]int // node -> edge ids (pairs: edge i and i^1 are duals)
+	edges []flowEdge
+}
+
+func newFlowGraph(n int) *flowGraph {
+	return &flowGraph{adj: make([][]int, n)}
+}
+
+func (g *flowGraph) addEdge(from, to, cap int, cost float64) {
+	g.adj[from] = append(g.adj[from], len(g.edges))
+	g.edges = append(g.edges, flowEdge{to: to, cap: cap, cost: cost})
+	g.adj[to] = append(g.adj[to], len(g.edges))
+	g.edges = append(g.edges, flowEdge{to: from, cap: 0, cost: -cost})
+}
+
+// augment finds the cheapest src->snk path in the residual graph and
+// pushes one unit of flow along it. It returns the path cost and whether
+// a path exists. The path is found with SPFA, which tolerates the
+// negative residual costs that arise from the -w edge weights.
+func (g *flowGraph) augment(src, snk int) (float64, bool) {
+	n := len(g.adj)
+	dist := make([]float64, n)
+	inq := make([]bool, n)
+	prevEdge := make([]int, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevEdge[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	inq[src] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		inq[u] = false
+		for _, eid := range g.adj[u] {
+			e := g.edges[eid]
+			if e.cap <= 0 {
+				continue
+			}
+			if nd := dist[u] + e.cost; nd < dist[e.to]-1e-12 {
+				dist[e.to] = nd
+				prevEdge[e.to] = eid
+				if !inq[e.to] {
+					inq[e.to] = true
+					queue = append(queue, e.to)
+				}
+			}
+		}
+	}
+	if math.IsInf(dist[snk], 1) {
+		return 0, false
+	}
+	if dist[snk] >= 0 {
+		return dist[snk], true
+	}
+	for v := snk; v != src; {
+		eid := prevEdge[v]
+		g.edges[eid].cap--
+		g.edges[eid^1].cap++
+		v = g.edges[eid^1].to
+	}
+	return dist[snk], true
+}

@@ -1,0 +1,71 @@
+package matching
+
+// MaxCardinality computes a maximum cardinality bipartite matching using
+// the Hopcroft–Karp algorithm in O(E·√V). adj[l] lists the right vertices
+// adjacent to left vertex l. It returns the left->right matching and its
+// size. The platform uses it for fast feasibility probes (how many tasks
+// are serviceable at all), and it serves as an ablation point against the
+// weighted solvers.
+func MaxCardinality(numLeft, numRight int, adj [][]int) ([]int, int) {
+	const inf = int(^uint(0) >> 1)
+	matchL := make([]int, numLeft)
+	matchR := make([]int, numRight)
+	for i := range matchL {
+		matchL[i] = Unmatched
+	}
+	for j := range matchR {
+		matchR[j] = Unmatched
+	}
+	dist := make([]int, numLeft)
+	queue := make([]int, 0, numLeft)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for l := 0; l < numLeft; l++ {
+			if matchL[l] == Unmatched {
+				dist[l] = 0
+				queue = append(queue, l)
+			} else {
+				dist[l] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			l := queue[qi]
+			for _, r := range adj[l] {
+				l2 := matchR[r]
+				if l2 == Unmatched {
+					found = true
+				} else if dist[l2] == inf {
+					dist[l2] = dist[l] + 1
+					queue = append(queue, l2)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(l int) bool
+	dfs = func(l int) bool {
+		for _, r := range adj[l] {
+			l2 := matchR[r]
+			if l2 == Unmatched || (dist[l2] == dist[l]+1 && dfs(l2)) {
+				matchL[l] = r
+				matchR[r] = l
+				return true
+			}
+		}
+		dist[l] = inf
+		return false
+	}
+
+	size := 0
+	for bfs() {
+		for l := 0; l < numLeft; l++ {
+			if matchL[l] == Unmatched && dfs(l) {
+				size++
+			}
+		}
+	}
+	return matchL, size
+}

@@ -1,0 +1,222 @@
+package matching
+
+import "math"
+
+// MaxWeightMatching computes a maximum weight matching between numLeft
+// left vertices and numRight right vertices using the O(s³) Hungarian
+// algorithm, where s = max(numLeft, numRight). Only strictly positive
+// weights are matched; vertices may remain unmatched.
+//
+// The matching is found by reducing to a square assignment problem:
+// the weight matrix is padded to s×s with zero entries, the assignment
+// problem minimizing Σ(-w) is solved with dual potentials, and pairs
+// joined through non-positive entries are discarded.
+func MaxWeightMatching(numLeft, numRight int, w WeightFunc) Result {
+	return NewSolver(numLeft, numRight, w).Result()
+}
+
+// Solver solves a max-weight matching instance and retains the optimal
+// dual potentials, enabling O(s²) post-optimal queries. The offline VCG
+// mechanism uses WeightWithoutRight to price each winner without
+// re-solving from scratch.
+type Solver struct {
+	numLeft, numRight int
+	s                 int         // square size
+	cost              [][]float64 // padded s×s minimization matrix (-w clamped)
+	u, v              []float64   // optimal potentials (1-based)
+	p                 []int       // p[j]: row matched to column j (1-based)
+	weight            float64     // optimal matching weight
+
+	// scratch buffers reused across queries
+	qu, qv []float64
+	qp     []int
+	minv   []float64
+	used   []bool
+	way    []int
+}
+
+// NewSolver builds and solves the instance.
+func NewSolver(numLeft, numRight int, w WeightFunc) *Solver {
+	s := numLeft
+	if numRight > s {
+		s = numRight
+	}
+	sv := &Solver{numLeft: numLeft, numRight: numRight, s: s}
+	if s == 0 {
+		return sv
+	}
+	sv.cost = make([][]float64, s)
+	flat := make([]float64, s*s)
+	for i := range sv.cost {
+		sv.cost[i], flat = flat[:s:s], flat[s:]
+		if i >= numLeft {
+			continue
+		}
+		for j := 0; j < numRight; j++ {
+			if wt := w(i, j); wt > 0 {
+				sv.cost[i][j] = -wt
+			}
+		}
+	}
+
+	sv.u = make([]float64, s+1)
+	sv.v = make([]float64, s+1)
+	sv.p = make([]int, s+1)
+	sv.minv = make([]float64, s+1)
+	sv.used = make([]bool, s+1)
+	sv.way = make([]int, s+1)
+
+	for i := 1; i <= s; i++ {
+		assignRow(sv.cost, nil, sv.u, sv.v, sv.p, sv.minv, sv.used, sv.way, i, s)
+	}
+	sv.weight = -matchedCost(sv.cost, nil, sv.p, s)
+	return sv
+}
+
+// Weight returns the optimal matching weight.
+func (sv *Solver) Weight() float64 { return sv.weight }
+
+// Result extracts the matching in the package's Result form.
+func (sv *Solver) Result() Result {
+	res := Result{MatchLeft: make([]int, sv.numLeft)}
+	for i := range res.MatchLeft {
+		res.MatchLeft[i] = Unmatched
+	}
+	for j := 1; j <= sv.s; j++ {
+		i := sv.p[j] - 1
+		if i < 0 || i >= sv.numLeft || j-1 >= sv.numRight {
+			continue
+		}
+		if c := sv.cost[i][j-1]; c < 0 {
+			res.MatchLeft[i] = j - 1
+			res.Weight += -c
+		}
+	}
+	return res
+}
+
+// MatchedLeftOf returns the left vertex matched to right vertex j, or
+// Unmatched (padding pairs and non-positive edges count as unmatched).
+func (sv *Solver) MatchedLeftOf(j int) int {
+	if j < 0 || j >= sv.numRight {
+		return Unmatched
+	}
+	i := sv.p[j+1] - 1
+	if i < 0 || i >= sv.numLeft || sv.cost[i][j] >= 0 {
+		return Unmatched
+	}
+	return i
+}
+
+// WeightWithoutRight returns the optimal matching weight of the instance
+// with right vertex j removed, in O(s²): removing a right vertex is
+// equivalent to zeroing its cost column (turning it into padding). The
+// retained optimal duals stay feasible after lowering v[j] to restore
+// column feasibility, the previously matched row is freed, and a single
+// Hungarian augmentation re-optimizes. An unmatched j leaves the optimum
+// unchanged. The solver itself is not modified.
+func (sv *Solver) WeightWithoutRight(j int) float64 {
+	if sv.MatchedLeftOf(j) == Unmatched {
+		return sv.weight
+	}
+	s := sv.s
+	if sv.qu == nil {
+		sv.qu = make([]float64, s+1)
+		sv.qv = make([]float64, s+1)
+		sv.qp = make([]int, s+1)
+	}
+	copy(sv.qu, sv.u)
+	copy(sv.qv, sv.v)
+	copy(sv.qp, sv.p)
+
+	col := j + 1
+	removed := []int{col}
+	// Restore dual feasibility on the zeroed column: need -u[i] - v[col] ≥ 0.
+	minV := math.Inf(1)
+	for i := 1; i <= s; i++ {
+		if nv := -sv.qu[i]; nv < minV {
+			minV = nv
+		}
+	}
+	if sv.qv[col] > minV {
+		sv.qv[col] = minV
+	}
+	freedRow := sv.qp[col]
+	sv.qp[col] = 0
+	assignRow(sv.cost, removed, sv.qu, sv.qv, sv.qp, sv.minv, sv.used, sv.way, freedRow, s)
+	return -matchedCost(sv.cost, removed, sv.qp, s)
+}
+
+// costAt reads the effective minimization cost of (row, col), 1-based,
+// honoring removed columns (treated as zero padding).
+func costAt(cost [][]float64, removed []int, i, j int) float64 {
+	for _, r := range removed {
+		if r == j {
+			return 0
+		}
+	}
+	return cost[i-1][j-1]
+}
+
+func matchedCost(cost [][]float64, removed []int, p []int, s int) float64 {
+	var total float64
+	for j := 1; j <= s; j++ {
+		if p[j] != 0 {
+			total += costAt(cost, removed, p[j], j)
+		}
+	}
+	return total
+}
+
+// assignRow runs one iteration of the O(s³) shortest-augmenting-path
+// Hungarian algorithm: it matches row i0 while keeping the duals (u, v)
+// feasible and all previously matched edges tight, so the resulting
+// matching is optimal for the currently matched row set. Internally
+// 1-based with a virtual row/column 0, following the standard
+// presentation.
+func assignRow(cost [][]float64, removed []int, u, v []float64, p []int, minv []float64, used []bool, way []int, i0Row, s int) {
+	p[0] = i0Row
+	j0 := 0
+	for j := 0; j <= s; j++ {
+		minv[j] = math.Inf(1)
+		used[j] = false
+	}
+	for {
+		used[j0] = true
+		i0 := p[j0]
+		delta := math.Inf(1)
+		j1 := 0
+		for j := 1; j <= s; j++ {
+			if used[j] {
+				continue
+			}
+			cur := costAt(cost, removed, i0, j) - u[i0] - v[j]
+			if cur < minv[j] {
+				minv[j] = cur
+				way[j] = j0
+			}
+			if minv[j] < delta {
+				delta = minv[j]
+				j1 = j
+			}
+		}
+		for j := 0; j <= s; j++ {
+			if used[j] {
+				u[p[j]] += delta
+				v[j] -= delta
+			} else {
+				minv[j] -= delta
+			}
+		}
+		j0 = j1
+		if p[j0] == 0 {
+			break
+		}
+	}
+	// Unwind the alternating path, flipping matched edges.
+	for j0 != 0 {
+		j1 := way[j0]
+		p[j0] = p[j1]
+		j0 = j1
+	}
+}

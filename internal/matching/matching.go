@@ -1,0 +1,86 @@
+// Package matching provides bipartite matching algorithms used as the
+// optimization substrate for the offline auction mechanism.
+//
+// The central entry point is MaxWeightMatching, which computes a maximum
+// weight bipartite matching in O(s³) time (s = max side size) using the
+// Hungarian algorithm with dual potentials (Kuhn 1955; the O(n³) variant
+// of Edmonds–Karp 1972 / Tomizawa 1971 cited by the paper). Two
+// independent implementations — a successive-shortest-path min-cost-flow
+// solver and an exhaustive brute-force solver — are provided as
+// cross-checking oracles for tests and ablation benchmarks.
+//
+// All solvers share a convention: only strictly positive-weight edges are
+// ever matched. Leaving a vertex unmatched is always permitted, so edges
+// with weight ≤ 0 can never improve a maximum weight matching and are
+// treated as absent.
+package matching
+
+// Unmatched is the sentinel value in matching arrays for an unmatched
+// left vertex.
+const Unmatched = -1
+
+// WeightFunc reports the weight of the edge between left vertex l and
+// right vertex r. A return value ≤ 0 means "no usable edge".
+type WeightFunc func(l, r int) float64
+
+// Result is a bipartite matching together with its total weight.
+type Result struct {
+	// MatchLeft maps each left vertex to its matched right vertex, or
+	// Unmatched.
+	MatchLeft []int
+	// Weight is the sum of weights of matched edges.
+	Weight float64
+}
+
+// MatchRight derives the inverse map: right vertex -> left vertex or
+// Unmatched.
+func (r Result) MatchRight(numRight int) []int {
+	m := make([]int, numRight)
+	for j := range m {
+		m[j] = Unmatched
+	}
+	for l, j := range r.MatchLeft {
+		if j != Unmatched {
+			m[j] = l
+		}
+	}
+	return m
+}
+
+// Size returns the number of matched edges.
+func (r Result) Size() int {
+	n := 0
+	for _, j := range r.MatchLeft {
+		if j != Unmatched {
+			n++
+		}
+	}
+	return n
+}
+
+// Verify checks internal consistency of the matching: every matched right
+// vertex is used at most once, indices are in range, and the recorded
+// weight equals the recomputed sum. It returns false on any violation.
+func (r Result) Verify(numLeft, numRight int, w WeightFunc) bool {
+	if len(r.MatchLeft) != numLeft {
+		return false
+	}
+	seen := make([]bool, numRight)
+	var total float64
+	for l, j := range r.MatchLeft {
+		if j == Unmatched {
+			continue
+		}
+		if j < 0 || j >= numRight || seen[j] {
+			return false
+		}
+		seen[j] = true
+		wt := w(l, j)
+		if wt <= 0 {
+			return false
+		}
+		total += wt
+	}
+	const eps = 1e-6
+	return total-r.Weight < eps && r.Weight-total < eps
+}

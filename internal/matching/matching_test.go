@@ -1,0 +1,360 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func denseWeights(m [][]float64) WeightFunc {
+	return func(l, r int) float64 { return m[l][r] }
+}
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestMaxWeightMatchingEmpty(t *testing.T) {
+	for _, tc := range []struct{ l, r int }{{0, 0}, {0, 5}, {5, 0}} {
+		res := MaxWeightMatching(tc.l, tc.r, func(int, int) float64 { return 1 })
+		if res.Weight != 0 || res.Size() != 0 {
+			t.Errorf("(%d,%d): want empty matching, got weight %g size %d", tc.l, tc.r, res.Weight, res.Size())
+		}
+		if len(res.MatchLeft) != tc.l {
+			t.Errorf("(%d,%d): MatchLeft length %d", tc.l, tc.r, len(res.MatchLeft))
+		}
+	}
+}
+
+func TestMaxWeightMatchingSingleEdge(t *testing.T) {
+	res := MaxWeightMatching(1, 1, func(int, int) float64 { return 7 })
+	if res.Weight != 7 || res.MatchLeft[0] != 0 {
+		t.Fatalf("got %+v, want weight 7 match [0]", res)
+	}
+}
+
+func TestMaxWeightMatchingSkipsNonPositive(t *testing.T) {
+	w := [][]float64{
+		{-3, 0},
+		{0, -1},
+	}
+	res := MaxWeightMatching(2, 2, denseWeights(w))
+	if res.Weight != 0 || res.Size() != 0 {
+		t.Fatalf("non-positive edges must stay unmatched, got %+v", res)
+	}
+}
+
+func TestMaxWeightMatchingPrefersWeightOverCardinality(t *testing.T) {
+	// Matching both pairs yields 1+1=2; matching only (0,1) yields 10.
+	w := [][]float64{
+		{1, 10},
+		{0, 1},
+	}
+	res := MaxWeightMatching(2, 2, denseWeights(w))
+	if !almostEqual(res.Weight, 10) {
+		t.Fatalf("want weight 10 (drop cardinality), got %g (%v)", res.Weight, res.MatchLeft)
+	}
+	if res.MatchLeft[0] != 1 || res.MatchLeft[1] != Unmatched {
+		t.Fatalf("want [1, Unmatched], got %v", res.MatchLeft)
+	}
+}
+
+func TestMaxWeightMatchingClassic(t *testing.T) {
+	// Known 3x3 assignment instance: optimum picks diag-ish 9+8+7=24?
+	w := [][]float64{
+		{9, 2, 7},
+		{6, 4, 3},
+		{5, 8, 1},
+	}
+	// Exhaustively: (0,0)+(1,2)+(2,1)=9+3+8=20; (0,0)+(1,1)+(2,2)=14;
+	// (0,2)+(1,0)+(2,1)=7+6+8=21; best is 21.
+	res := MaxWeightMatching(3, 3, denseWeights(w))
+	oracle := BruteForceMaxWeight(3, 3, denseWeights(w))
+	if !almostEqual(res.Weight, oracle.Weight) {
+		t.Fatalf("hungarian %g != brute force %g", res.Weight, oracle.Weight)
+	}
+	if !almostEqual(res.Weight, 21) {
+		t.Fatalf("want 21, got %g", res.Weight)
+	}
+}
+
+func TestMaxWeightMatchingRectangular(t *testing.T) {
+	// More lefts than rights and vice versa.
+	w := [][]float64{
+		{5, 1},
+		{4, 2},
+		{3, 9},
+	}
+	res := MaxWeightMatching(3, 2, denseWeights(w))
+	oracle := BruteForceMaxWeight(3, 2, denseWeights(w))
+	if !almostEqual(res.Weight, oracle.Weight) {
+		t.Fatalf("hungarian %g != oracle %g", res.Weight, oracle.Weight)
+	}
+	if !res.Verify(3, 2, denseWeights(w)) {
+		t.Fatalf("invalid matching %+v", res)
+	}
+
+	wt := [][]float64{{5, 4, 3}, {1, 2, 9}}
+	res2 := MaxWeightMatching(2, 3, denseWeights(wt))
+	oracle2 := BruteForceMaxWeight(2, 3, denseWeights(wt))
+	if !almostEqual(res2.Weight, oracle2.Weight) {
+		t.Fatalf("hungarian %g != oracle %g", res2.Weight, oracle2.Weight)
+	}
+}
+
+func randomMatrix(rng *rand.Rand, l, r int, density float64, lo, hi float64) [][]float64 {
+	m := make([][]float64, l)
+	for i := range m {
+		m[i] = make([]float64, r)
+		for j := range m[i] {
+			if rng.Float64() < density {
+				m[i][j] = lo + rng.Float64()*(hi-lo)
+			}
+		}
+	}
+	return m
+}
+
+// TestSolversAgreeRandom cross-checks the three solvers on random
+// instances of increasing size (brute force only where tractable).
+func TestSolversAgreeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		l := 1 + rng.Intn(7)
+		r := 1 + rng.Intn(7)
+		m := randomMatrix(rng, l, r, 0.6, -2, 10)
+		w := denseWeights(m)
+		h := MaxWeightMatching(l, r, w)
+		f := MaxWeightMatchingFlow(l, r, w)
+		b := BruteForceMaxWeight(l, r, w)
+		if !almostEqual(h.Weight, b.Weight) {
+			t.Fatalf("trial %d (%dx%d): hungarian %g != brute %g\nmatrix %v", trial, l, r, h.Weight, b.Weight, m)
+		}
+		if !almostEqual(f.Weight, b.Weight) {
+			t.Fatalf("trial %d (%dx%d): flow %g != brute %g\nmatrix %v", trial, l, r, f.Weight, b.Weight, m)
+		}
+		if !h.Verify(l, r, w) {
+			t.Fatalf("trial %d: hungarian produced invalid matching %+v", trial, h)
+		}
+		if !f.Verify(l, r, w) {
+			t.Fatalf("trial %d: flow produced invalid matching %+v", trial, f)
+		}
+	}
+}
+
+// TestSolversAgreeLarger cross-checks Hungarian vs flow on sizes beyond
+// brute-force reach.
+func TestSolversAgreeLarger(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		l := 10 + rng.Intn(40)
+		r := 10 + rng.Intn(40)
+		m := randomMatrix(rng, l, r, 0.3, 0, 100)
+		w := denseWeights(m)
+		h := MaxWeightMatching(l, r, w)
+		f := MaxWeightMatchingFlow(l, r, w)
+		if !almostEqual(h.Weight, f.Weight) {
+			t.Fatalf("trial %d (%dx%d): hungarian %g != flow %g", trial, l, r, h.Weight, f.Weight)
+		}
+		if !h.Verify(l, r, w) {
+			t.Fatalf("trial %d: invalid hungarian matching", trial)
+		}
+	}
+}
+
+// TestMatchingMonotoneInWeights: raising one matched-candidate weight
+// never lowers the optimum (property of max-weight matching exploited by
+// the VCG analysis).
+func TestMatchingMonotoneInWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	prop := func(seed int64) bool {
+		r2 := rand.New(rand.NewSource(seed))
+		l := 1 + r2.Intn(6)
+		r := 1 + r2.Intn(6)
+		m := randomMatrix(r2, l, r, 0.7, 0, 10)
+		base := MaxWeightMatching(l, r, denseWeights(m)).Weight
+		i := r2.Intn(l)
+		j := r2.Intn(r)
+		m[i][j] += 5
+		raised := MaxWeightMatching(l, r, denseWeights(m)).Weight
+		return raised >= base-1e-9
+	}
+	cfg := &quick.Config{MaxCount: 150, Rand: rng}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMatchingSubsetBound: removing a right vertex can only lower the
+// optimum, and by at most the maximum single edge weight incident to it.
+func TestMatchingSubsetBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		l := 1 + rng.Intn(6)
+		r := 2 + rng.Intn(5)
+		m := randomMatrix(rng, l, r, 0.7, 0, 10)
+		w := denseWeights(m)
+		full := MaxWeightMatching(l, r, w).Weight
+		drop := rng.Intn(r)
+		maskW := func(a, b int) float64 {
+			if b == drop {
+				return 0
+			}
+			return m[a][b]
+		}
+		reduced := MaxWeightMatching(l, r, maskW).Weight
+		if reduced > full+1e-9 {
+			t.Fatalf("removing a vertex increased optimum: %g > %g", reduced, full)
+		}
+		var maxEdge float64
+		for i := 0; i < l; i++ {
+			if m[i][drop] > maxEdge {
+				maxEdge = m[i][drop]
+			}
+		}
+		if full-reduced > maxEdge+1e-9 {
+			t.Fatalf("optimum dropped %g, more than max incident edge %g", full-reduced, maxEdge)
+		}
+	}
+}
+
+func TestMaxCardinality(t *testing.T) {
+	tests := []struct {
+		name string
+		l, r int
+		adj  [][]int
+		want int
+	}{
+		{"empty", 0, 0, nil, 0},
+		{"no edges", 3, 3, [][]int{{}, {}, {}}, 0},
+		{"perfect", 3, 3, [][]int{{0}, {1}, {2}}, 3},
+		{"contention", 3, 1, [][]int{{0}, {0}, {0}}, 1},
+		{"augmenting path needed", 2, 2, [][]int{{0, 1}, {0}}, 2},
+		{"classic", 4, 4, [][]int{{0, 1}, {0}, {1, 2}, {2}}, 3},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			match, size := MaxCardinality(tc.l, tc.r, tc.adj)
+			if size != tc.want {
+				t.Fatalf("size = %d, want %d (match %v)", size, tc.want, match)
+			}
+			seen := map[int]bool{}
+			got := 0
+			for l, r := range match {
+				if r == Unmatched {
+					continue
+				}
+				got++
+				if seen[r] {
+					t.Fatalf("right vertex %d matched twice", r)
+				}
+				seen[r] = true
+				ok := false
+				for _, cand := range tc.adj[l] {
+					if cand == r {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Fatalf("matched non-edge (%d,%d)", l, r)
+				}
+			}
+			if got != size {
+				t.Fatalf("reported size %d != matched pairs %d", size, got)
+			}
+		})
+	}
+}
+
+// TestMaxCardinalityAgreesWithWeighted: with unit weights, the weighted
+// optimum equals the maximum cardinality.
+func TestMaxCardinalityAgreesWithWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		l := 1 + rng.Intn(12)
+		r := 1 + rng.Intn(12)
+		adj := make([][]int, l)
+		present := make(map[[2]int]bool)
+		for i := range adj {
+			for j := 0; j < r; j++ {
+				if rng.Float64() < 0.3 {
+					adj[i] = append(adj[i], j)
+					present[[2]int{i, j}] = true
+				}
+			}
+		}
+		_, size := MaxCardinality(l, r, adj)
+		unit := func(a, b int) float64 {
+			if present[[2]int{a, b}] {
+				return 1
+			}
+			return 0
+		}
+		res := MaxWeightMatching(l, r, unit)
+		if int(res.Weight+0.5) != size {
+			t.Fatalf("trial %d: cardinality %d != weighted optimum %g", trial, size, res.Weight)
+		}
+	}
+}
+
+func TestResultMatchRight(t *testing.T) {
+	res := Result{MatchLeft: []int{2, Unmatched, 0}}
+	right := res.MatchRight(3)
+	want := []int{2, Unmatched, 0}
+	for j := range want {
+		if right[j] != want[j] {
+			t.Fatalf("MatchRight = %v, want %v", right, want)
+		}
+	}
+}
+
+func TestResultVerifyRejects(t *testing.T) {
+	w := func(int, int) float64 { return 1 }
+	cases := []struct {
+		name string
+		res  Result
+	}{
+		{"double use", Result{MatchLeft: []int{0, 0}, Weight: 2}},
+		{"out of range", Result{MatchLeft: []int{5}, Weight: 1}},
+		{"wrong weight", Result{MatchLeft: []int{0}, Weight: 3}},
+		{"wrong length", Result{MatchLeft: []int{0}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.res.Verify(2, 2, w) {
+				t.Fatal("Verify accepted an invalid matching")
+			}
+		})
+	}
+}
+
+func BenchmarkMatchers(b *testing.B) {
+	rng := rand.New(rand.NewSource(99))
+	for _, size := range []int{20, 60, 120} {
+		m := randomMatrix(rng, size, size, 0.5, 0, 100)
+		w := denseWeights(m)
+		b.Run("hungarian/"+itoa(size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				MaxWeightMatching(size, size, w)
+			}
+		})
+		b.Run("flow/"+itoa(size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				MaxWeightMatchingFlow(size, size, w)
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

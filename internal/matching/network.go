@@ -1,0 +1,55 @@
+package matching
+
+// Network is a general min-cost-flow network for the allocation
+// problems that outgrow plain bipartite matching (e.g. the multi-task
+// capacity extension, where a phone serves up to κ tasks, one per
+// slot). Edges carry integer capacities and float64 costs; MaxProfit
+// pushes flow along negative-cost augmenting paths until none remains,
+// which maximizes Σ(−cost) over the flow — "profit" — without forcing
+// maximum flow.
+type Network struct {
+	g *flowGraph
+}
+
+// EdgeID identifies an edge for post-solve flow queries.
+type EdgeID int
+
+// NewNetwork creates a network with the given node count. Node indices
+// are 0..nodes-1; the caller designates source and sink when solving.
+func NewNetwork(nodes int) *Network {
+	return &Network{g: newFlowGraph(nodes)}
+}
+
+// AddEdge adds a directed edge with the given capacity and per-unit
+// cost, returning its ID.
+func (n *Network) AddEdge(from, to, capacity int, cost float64) EdgeID {
+	id := EdgeID(len(n.g.edges))
+	n.g.addEdge(from, to, capacity, cost)
+	return id
+}
+
+// MaxProfit repeatedly augments one unit along the cheapest residual
+// path from src to snk while that path has negative cost. It returns
+// the number of units pushed and the total profit Σ(−cost).
+func (n *Network) MaxProfit(src, snk int) (flow int, profit float64) {
+	for {
+		cost, ok := n.g.augment(src, snk)
+		if !ok || cost >= 0 {
+			return flow, profit
+		}
+		flow++
+		profit += -cost
+	}
+}
+
+// Flow returns the units currently routed through the edge.
+func (n *Network) Flow(e EdgeID) int {
+	fwd := n.g.edges[e]
+	rev := n.g.edges[e^1]
+	// Forward edges are created at even indices; their residual twin
+	// holds the pushed flow as capacity.
+	if e%2 == 0 {
+		return rev.cap
+	}
+	return fwd.cap
+}

@@ -1,0 +1,192 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// naiveWithoutRight recomputes the optimum from scratch with right
+// vertex j masked out — the O(s³) oracle for WeightWithoutRight.
+func naiveWithoutRight(l, r int, w WeightFunc, j int) float64 {
+	masked := func(a, b int) float64 {
+		if b == j {
+			return 0
+		}
+		return w(a, b)
+	}
+	return MaxWeightMatching(l, r, masked).Weight
+}
+
+func TestWeightWithoutRightSmall(t *testing.T) {
+	m := [][]float64{
+		{9, 2, 7},
+		{6, 4, 3},
+		{5, 8, 1},
+	}
+	w := denseWeights(m)
+	sv := NewSolver(3, 3, w)
+	for j := 0; j < 3; j++ {
+		got := sv.WeightWithoutRight(j)
+		want := naiveWithoutRight(3, 3, w, j)
+		if !almostEqual(got, want) {
+			t.Errorf("WeightWithoutRight(%d) = %g, want %g", j, got, want)
+		}
+	}
+	// The solver must stay intact across queries.
+	if !almostEqual(sv.Weight(), 21) {
+		t.Fatalf("solver weight mutated to %g", sv.Weight())
+	}
+}
+
+func TestWeightWithoutRightRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	for trial := 0; trial < 120; trial++ {
+		l := 1 + rng.Intn(10)
+		r := 1 + rng.Intn(10)
+		m := randomMatrix(rng, l, r, 0.6, -2, 20)
+		w := denseWeights(m)
+		sv := NewSolver(l, r, w)
+
+		if !almostEqual(sv.Weight(), MaxWeightMatching(l, r, w).Weight) {
+			t.Fatalf("trial %d: solver weight %g != one-shot weight", trial, sv.Weight())
+		}
+		for j := 0; j < r; j++ {
+			got := sv.WeightWithoutRight(j)
+			want := naiveWithoutRight(l, r, w, j)
+			if !almostEqual(got, want) {
+				t.Fatalf("trial %d: WeightWithoutRight(%d) = %g, want %g\nmatrix %v", trial, j, got, want, m)
+			}
+		}
+		// Repeat a query to confirm scratch state isolation.
+		if r > 0 {
+			a := sv.WeightWithoutRight(0)
+			b := sv.WeightWithoutRight(0)
+			if !almostEqual(a, b) {
+				t.Fatalf("trial %d: repeated query differs: %g vs %g", trial, a, b)
+			}
+		}
+	}
+}
+
+func TestWeightWithoutRightRectangularLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(602))
+	for trial := 0; trial < 10; trial++ {
+		l := 20 + rng.Intn(20)
+		r := 20 + rng.Intn(40)
+		m := randomMatrix(rng, l, r, 0.4, 0, 100)
+		w := denseWeights(m)
+		sv := NewSolver(l, r, w)
+		for probe := 0; probe < 10; probe++ {
+			j := rng.Intn(r)
+			got := sv.WeightWithoutRight(j)
+			want := naiveWithoutRight(l, r, w, j)
+			if !almostEqual(got, want) {
+				t.Fatalf("trial %d probe %d: WeightWithoutRight(%d) = %g, want %g", trial, probe, j, got, want)
+			}
+		}
+	}
+}
+
+func TestMatchedLeftOf(t *testing.T) {
+	w := denseWeights([][]float64{{5, 0}, {0, 3}})
+	sv := NewSolver(2, 2, w)
+	if got := sv.MatchedLeftOf(0); got != 0 {
+		t.Fatalf("MatchedLeftOf(0) = %d, want 0", got)
+	}
+	if got := sv.MatchedLeftOf(1); got != 1 {
+		t.Fatalf("MatchedLeftOf(1) = %d, want 1", got)
+	}
+	if got := sv.MatchedLeftOf(-1); got != Unmatched {
+		t.Fatal("out-of-range j must be Unmatched")
+	}
+	if got := sv.MatchedLeftOf(5); got != Unmatched {
+		t.Fatal("out-of-range j must be Unmatched")
+	}
+
+	// A right vertex with only non-positive edges stays unmatched.
+	w2 := denseWeights([][]float64{{5, -1}})
+	sv2 := NewSolver(1, 2, w2)
+	if got := sv2.MatchedLeftOf(1); got != Unmatched {
+		t.Fatalf("MatchedLeftOf(negative edge) = %d, want Unmatched", got)
+	}
+	if got := sv2.WeightWithoutRight(1); !almostEqual(got, 5) {
+		t.Fatalf("removing unmatched vertex changed weight to %g", got)
+	}
+}
+
+func TestSolverEmpty(t *testing.T) {
+	sv := NewSolver(0, 0, func(int, int) float64 { return 1 })
+	if sv.Weight() != 0 {
+		t.Fatal("empty solver has nonzero weight")
+	}
+	res := sv.Result()
+	if len(res.MatchLeft) != 0 || res.Weight != 0 {
+		t.Fatal("empty solver produced a matching")
+	}
+}
+
+func BenchmarkVCGPriceAllWinners(b *testing.B) {
+	rng := rand.New(rand.NewSource(603))
+	for _, size := range []int{60, 120, 240} {
+		m := randomMatrix(rng, size, size, 0.5, 0, 100)
+		w := denseWeights(m)
+		b.Run("incremental/"+itoa(size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sv := NewSolver(size, size, w)
+				for j := 0; j < size; j++ {
+					sv.WeightWithoutRight(j)
+				}
+			}
+		})
+		b.Run("naive/"+itoa(size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				NewSolver(size, size, w)
+				for j := 0; j < size; j++ {
+					naiveWithoutRight(size, size, w, j)
+				}
+			}
+		})
+	}
+}
+
+// TestDualFeasibilityAfterSolve is a white-box check of the invariant
+// the O(s²) VCG query rests on: after a full solve, the potentials are
+// dual-feasible (reduced costs ≥ 0) and every matched edge is tight.
+func TestDualFeasibilityAfterSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(604))
+	for trial := 0; trial < 50; trial++ {
+		l := 1 + rng.Intn(12)
+		r := 1 + rng.Intn(12)
+		m := randomMatrix(rng, l, r, 0.5, 0, 50)
+		sv := NewSolver(l, r, denseWeights(m))
+		s := sv.s
+		const eps = 1e-9
+		for i := 1; i <= s; i++ {
+			for j := 1; j <= s; j++ {
+				red := costAt(sv.cost, nil, i, j) - sv.u[i] - sv.v[j]
+				if red < -eps {
+					t.Fatalf("trial %d: reduced cost %g < 0 at (%d,%d)", trial, red, i, j)
+				}
+				if sv.p[j] == i && (red > eps || red < -eps) {
+					t.Fatalf("trial %d: matched edge (%d,%d) not tight: %g", trial, i, j, red)
+				}
+			}
+		}
+		// Duality: Σu + Σv equals the matched cost (strong duality for
+		// the assignment LP).
+		var duals, primal float64
+		for i := 1; i <= s; i++ {
+			duals += sv.u[i]
+		}
+		for j := 1; j <= s; j++ {
+			duals += sv.v[j]
+			if sv.p[j] != 0 {
+				primal += costAt(sv.cost, nil, sv.p[j], j)
+			}
+		}
+		if math.Abs(duals-primal) > 1e-6 {
+			t.Fatalf("trial %d: duality gap %g", trial, duals-primal)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package multitask
+
+import (
+	"fmt"
+
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/matching"
+)
+
+// OfflineMechanism is the VCG auction for the capacity-extended model.
+// Winning-bid determination is an exact min-cost flow:
+//
+//	source → task (cap 1) → (phone, slot) availability (cap 1)
+//	       → phone (cap κ) → sink
+//
+// with cost −(ν − b) on profitable task edges; pushing flow while the
+// cheapest augmenting path is negative yields the welfare-maximizing
+// allocation. Payments are Clarke pivots with the winner's full
+// incurred cost. One re-solve per winner prices the round; the flow is
+// small (O(γ) augmentations over O(nγ) edges), so no incremental trick
+// is needed at the paper's scales.
+type OfflineMechanism struct{}
+
+// Name identifies the mechanism.
+func (of *OfflineMechanism) Name() string { return "multitask-offline-vcg" }
+
+// Run executes the auction.
+func (of *OfflineMechanism) Run(in *Instance) (*Outcome, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("multitask offline: %w", err)
+	}
+	byTask, welfare := solve(in, core.NoPhone)
+	out := &Outcome{
+		ByTask:   byTask,
+		Served:   make([]int, len(in.Bids)),
+		Payments: make([]float64, len(in.Bids)),
+		Welfare:  welfare,
+	}
+	for _, p := range byTask {
+		if p != core.NoPhone {
+			out.Served[p]++
+		}
+	}
+	for i := range in.Bids {
+		if out.Served[i] == 0 {
+			continue
+		}
+		_, without := solve(in, core.PhoneID(i))
+		out.Payments[i] = welfare + float64(out.Served[i])*in.Bids[i].Cost - without
+	}
+	return out, nil
+}
+
+// Welfare returns ω* for the instance.
+func (of *OfflineMechanism) Welfare(in *Instance) (float64, error) {
+	if err := in.Validate(); err != nil {
+		return 0, fmt.Errorf("multitask offline: %w", err)
+	}
+	_, w := solve(in, core.NoPhone)
+	return w, nil
+}
+
+// solve builds and runs the flow network, optionally excluding one
+// phone. It returns the task assignment and the optimal welfare.
+func solve(in *Instance, skip core.PhoneID) ([]core.PhoneID, float64) {
+	numTasks := len(in.Tasks)
+	numPhones := len(in.Bids)
+
+	// Distinct arrival slots, for (phone, slot) availability nodes.
+	slotIndex := make(map[core.Slot]int)
+	var slots []core.Slot
+	for _, t := range in.Tasks {
+		if _, ok := slotIndex[t.Arrival]; !ok {
+			slotIndex[t.Arrival] = len(slots)
+			slots = append(slots, t.Arrival)
+		}
+	}
+
+	// Node layout: src | tasks | (phone × slot) | phones | snk.
+	src := 0
+	taskNode := func(k int) int { return 1 + k }
+	psNode := func(i, s int) int { return 1 + numTasks + i*len(slots) + s }
+	phoneNode := func(i int) int { return 1 + numTasks + numPhones*len(slots) + i }
+	snk := 1 + numTasks + numPhones*len(slots) + numPhones
+
+	net := matching.NewNetwork(snk + 1)
+	type taskEdge struct {
+		id    matching.EdgeID
+		task  int
+		phone core.PhoneID
+	}
+	var taskEdges []taskEdge
+
+	for k := range in.Tasks {
+		net.AddEdge(src, taskNode(k), 1, 0)
+	}
+	for i, b := range in.Bids {
+		if core.PhoneID(i) == skip {
+			continue
+		}
+		surplus := in.Value - b.Cost
+		if surplus <= 0 {
+			continue
+		}
+		net.AddEdge(phoneNode(i), snk, b.Capacity, 0)
+		for s, slot := range slots {
+			if !b.Covers(slot) {
+				continue
+			}
+			net.AddEdge(psNode(i, s), phoneNode(i), 1, 0)
+			for k, t := range in.Tasks {
+				if t.Arrival != slot {
+					continue
+				}
+				id := net.AddEdge(taskNode(k), psNode(i, s), 1, -surplus)
+				taskEdges = append(taskEdges, taskEdge{id: id, task: k, phone: core.PhoneID(i)})
+			}
+		}
+	}
+
+	_, welfare := net.MaxProfit(src, snk)
+
+	byTask := make([]core.PhoneID, numTasks)
+	for k := range byTask {
+		byTask[k] = core.NoPhone
+	}
+	for _, e := range taskEdges {
+		if net.Flow(e.id) > 0 {
+			byTask[e.task] = e.phone
+		}
+	}
+	return byTask, welfare
+}

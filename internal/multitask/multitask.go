@@ -1,0 +1,153 @@
+// Package multitask extends the paper's model with phone capacities.
+// The paper's constraint (5) allocates each smartphone at most one task
+// per round; real phones can often serve several tasks while idle. Here
+// phone i declares a capacity κ_i and may serve up to κ_i tasks inside
+// its active window — at most one per slot — each at its per-task cost.
+// κ = 1 for every phone recovers the paper's model exactly (tested).
+//
+// The offline mechanism generalizes cleanly: winning-bid determination
+// becomes a min-cost-flow problem (tasks → phone-slot availability →
+// phone capacity), still optimal and polynomial, and VCG payments keep
+// their form with the winner's full incurred cost:
+//
+//	p_i = ω*(B) + used_i·b_i − ω*(B₋ᵢ).
+//
+// Truthfulness carries over because VCG only requires an exactly optimal
+// allocation and one-sided misreport spaces (a phone can understate its
+// capacity or window, not overstate them; costs are unrestricted and
+// priced out by the externality). The online mechanism is deliberately
+// NOT generalized: per-unit critical values for multi-unit online
+// supply are an open design problem the paper does not address.
+package multitask
+
+import (
+	"fmt"
+	"math"
+
+	"dynacrowd/internal/core"
+)
+
+// Bid is a capacity-annotated bid: window, per-task cost, and the
+// maximum number of tasks the phone will serve this round.
+type Bid struct {
+	Phone     core.PhoneID
+	Arrival   core.Slot
+	Departure core.Slot
+	Cost      float64
+	Capacity  int
+}
+
+// Covers reports whether the bid's window contains slot t.
+func (b Bid) Covers(t core.Slot) bool { return b.Arrival <= t && t <= b.Departure }
+
+// Instance is one capacity-extended auction round.
+type Instance struct {
+	Slots core.Slot
+	Value float64
+	Bids  []Bid
+	Tasks []core.Task
+}
+
+// Validate checks structural invariants.
+func (in *Instance) Validate() error {
+	if in.Slots < 1 {
+		return fmt.Errorf("multitask: round length %d < 1", in.Slots)
+	}
+	if in.Value < 0 || math.IsNaN(in.Value) || math.IsInf(in.Value, 0) {
+		return fmt.Errorf("multitask: value %g is not a non-negative finite number", in.Value)
+	}
+	for i, b := range in.Bids {
+		if b.Phone != core.PhoneID(i) {
+			return fmt.Errorf("multitask: bid %d has phone id %d", i, b.Phone)
+		}
+		if b.Arrival < 1 || b.Departure > in.Slots || b.Arrival > b.Departure {
+			return fmt.Errorf("multitask: bid %d window [%d,%d] invalid", i, b.Arrival, b.Departure)
+		}
+		if b.Cost < 0 || math.IsNaN(b.Cost) || math.IsInf(b.Cost, 0) {
+			return fmt.Errorf("multitask: bid %d cost %g is not a non-negative finite number", i, b.Cost)
+		}
+		if b.Capacity < 1 {
+			return fmt.Errorf("multitask: bid %d capacity %d < 1", i, b.Capacity)
+		}
+	}
+	var prev core.Slot
+	for k, t := range in.Tasks {
+		if t.ID != core.TaskID(k) {
+			return fmt.Errorf("multitask: task %d has id %d", k, t.ID)
+		}
+		if t.Arrival < 1 || t.Arrival > in.Slots {
+			return fmt.Errorf("multitask: task %d arrival outside round", k)
+		}
+		if t.Arrival < prev {
+			return fmt.Errorf("multitask: task %d out of arrival order", k)
+		}
+		prev = t.Arrival
+	}
+	return nil
+}
+
+// Clone deep-copies the instance.
+func (in *Instance) Clone() *Instance {
+	out := &Instance{Slots: in.Slots, Value: in.Value}
+	out.Bids = append([]Bid(nil), in.Bids...)
+	out.Tasks = append([]core.Task(nil), in.Tasks...)
+	return out
+}
+
+// Outcome is the result of a capacity-extended auction.
+type Outcome struct {
+	// ByTask maps TaskID -> PhoneID (core.NoPhone when unserved).
+	ByTask []core.PhoneID
+	// Served[i] is the number of tasks phone i serves.
+	Served []int
+	// Payments maps PhoneID -> total payment.
+	Payments []float64
+	// Welfare is Σ (ν − b_i) over served tasks.
+	Welfare float64
+}
+
+// Utility returns phone i's utility given its real per-task cost.
+func (o *Outcome) Utility(i core.PhoneID, realCost float64) float64 {
+	if o.Served[i] == 0 {
+		return 0
+	}
+	return o.Payments[i] - float64(o.Served[i])*realCost
+}
+
+// Validate checks outcome feasibility: mirror consistency, windows,
+// capacities, and the one-task-per-phone-per-slot rule.
+func (o *Outcome) Validate(in *Instance) error {
+	if len(o.ByTask) != len(in.Tasks) || len(o.Served) != len(in.Bids) || len(o.Payments) != len(in.Bids) {
+		return fmt.Errorf("multitask: outcome size mismatch")
+	}
+	served := make([]int, len(in.Bids))
+	slotUse := make(map[[2]int]bool) // (phone, slot) -> used
+	for k, p := range o.ByTask {
+		if p == core.NoPhone {
+			continue
+		}
+		if int(p) >= len(in.Bids) {
+			return fmt.Errorf("multitask: task %d assigned to unknown phone %d", k, p)
+		}
+		b := in.Bids[p]
+		slot := in.Tasks[k].Arrival
+		if !b.Covers(slot) {
+			return fmt.Errorf("multitask: phone %d serves slot %d outside window", p, slot)
+		}
+		key := [2]int{int(p), int(slot)}
+		if slotUse[key] {
+			return fmt.Errorf("multitask: phone %d serves two tasks in slot %d", p, slot)
+		}
+		slotUse[key] = true
+		served[p]++
+		if served[p] > b.Capacity {
+			return fmt.Errorf("multitask: phone %d exceeds capacity %d", p, b.Capacity)
+		}
+	}
+	for i := range served {
+		if served[i] != o.Served[i] {
+			return fmt.Errorf("multitask: Served[%d] = %d, recomputed %d", i, o.Served[i], served[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,283 @@
+package multitask
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dynacrowd/internal/core"
+)
+
+func demoInstance() *Instance {
+	return &Instance{
+		Slots: 4, Value: 20,
+		Bids: []Bid{
+			{Phone: 0, Arrival: 1, Departure: 4, Cost: 4, Capacity: 3},
+			{Phone: 1, Arrival: 1, Departure: 2, Cost: 2, Capacity: 1},
+			{Phone: 2, Arrival: 3, Departure: 4, Cost: 9, Capacity: 2},
+		},
+		Tasks: []core.Task{
+			{ID: 0, Arrival: 1}, {ID: 1, Arrival: 1},
+			{ID: 2, Arrival: 2}, {ID: 3, Arrival: 3}, {ID: 4, Arrival: 4},
+		},
+	}
+}
+
+func TestInstanceValidate(t *testing.T) {
+	if err := demoInstance().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Instance){
+		func(in *Instance) { in.Slots = 0 },
+		func(in *Instance) { in.Value = -1 },
+		func(in *Instance) { in.Bids[0].Phone = 7 },
+		func(in *Instance) { in.Bids[0].Arrival = 0 },
+		func(in *Instance) { in.Bids[0].Cost = -1 },
+		func(in *Instance) { in.Bids[0].Capacity = 0 },
+		func(in *Instance) { in.Tasks[0].ID = 3 },
+		func(in *Instance) { in.Tasks[0].Arrival = 5 },
+		func(in *Instance) { in.Tasks[0].Arrival = 4 }, // order
+	}
+	for i, mut := range mutations {
+		in := demoInstance()
+		mut(in)
+		if in.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func runOffline(t *testing.T, in *Instance) *Outcome {
+	t.Helper()
+	out, err := (&OfflineMechanism{}).Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Validate(in); err != nil {
+		t.Fatalf("outcome invalid: %v", err)
+	}
+	return out
+}
+
+// TestDemoAllocation: capacity lets phone 0 take several tasks but only
+// one per slot; all five tasks are served.
+//
+// Optimal: slot 1 has two tasks — phone 0 and phone 1 take one each
+// (costs 4, 2). Slot 2: phone 0 is busy-capable again (capacity 3) →
+// task 2 to phone 0. Slots 3, 4: phone 0 has capacity left for one more
+// (used 2 of 3) → one of tasks 3/4 to phone 0, the other to phone 2.
+// Welfare = 5·20 − (4·3 + 2 + 9) = 100 − 23 = 77.
+func TestDemoAllocation(t *testing.T) {
+	out := runOffline(t, demoInstance())
+	if got := out.Welfare; math.Abs(got-77) > 1e-9 {
+		t.Fatalf("welfare = %g, want 77", got)
+	}
+	if out.Served[0] != 3 || out.Served[1] != 1 || out.Served[2] != 1 {
+		t.Fatalf("served = %v, want [3 1 1]", out.Served)
+	}
+}
+
+// TestCapacityOneMatchesCore: with κ = 1 everywhere the extension is
+// exactly the paper's offline mechanism.
+func TestCapacityOneMatchesCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(801))
+	for trial := 0; trial < 60; trial++ {
+		mt, classic := randomPair(rng, 1)
+		out := runOffline(t, mt)
+		coreOut, err := (&core.OfflineMechanism{}).Run(classic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(out.Welfare-coreOut.Welfare) > 1e-6 {
+			t.Fatalf("trial %d: multitask %g != core %g", trial, out.Welfare, coreOut.Welfare)
+		}
+		for i := range out.Payments {
+			if math.Abs(out.Payments[i]-coreOut.Payments[i]) > 1e-6 {
+				// Degenerate ties can flip equal-welfare winners; accept
+				// only when both runs agree the phone won/lost.
+				won := out.Served[i] > 0
+				coreWon := coreOut.Allocation.ByPhone[i] != core.NoTask
+				if won == coreWon {
+					t.Fatalf("trial %d: payment[%d] %g != %g", trial, i, out.Payments[i], coreOut.Payments[i])
+				}
+			}
+		}
+	}
+}
+
+// randomPair builds a random multitask instance with the given fixed
+// capacity and, when capacity == 1, the equivalent core instance.
+func randomPair(rng *rand.Rand, capacity int) (*Instance, *core.Instance) {
+	m := core.Slot(3 + rng.Intn(5))
+	mt := &Instance{Slots: m, Value: 30}
+	classic := &core.Instance{Slots: m, Value: 30}
+	n := 1 + rng.Intn(7)
+	for i := 0; i < n; i++ {
+		a := core.Slot(1 + rng.Intn(int(m)))
+		d := a + core.Slot(rng.Intn(int(m-a)+1))
+		cost := rng.Float64() * 35
+		cap := capacity
+		if capacity <= 0 {
+			cap = 1 + rng.Intn(3)
+		}
+		mt.Bids = append(mt.Bids, Bid{Phone: core.PhoneID(i), Arrival: a, Departure: d, Cost: cost, Capacity: cap})
+		classic.Bids = append(classic.Bids, core.Bid{Phone: core.PhoneID(i), Arrival: a, Departure: d, Cost: cost})
+	}
+	numTasks := rng.Intn(8)
+	arr := make([]int, numTasks)
+	for k := range arr {
+		arr[k] = 1 + rng.Intn(int(m))
+	}
+	for i := 1; i < len(arr); i++ {
+		for j := i; j > 0 && arr[j] < arr[j-1]; j-- {
+			arr[j], arr[j-1] = arr[j-1], arr[j]
+		}
+	}
+	for k, a := range arr {
+		task := core.Task{ID: core.TaskID(k), Arrival: core.Slot(a)}
+		mt.Tasks = append(mt.Tasks, task)
+		classic.Tasks = append(classic.Tasks, task)
+	}
+	return mt, classic
+}
+
+// bruteForce exhaustively assigns tasks to phones under window, slot,
+// and capacity constraints, maximizing welfare — the oracle.
+func bruteForce(in *Instance) float64 {
+	used := make([]int, len(in.Bids))
+	slotUsed := make(map[[2]int]bool)
+	var rec func(k int) float64
+	rec = func(k int) float64 {
+		if k == len(in.Tasks) {
+			return 0
+		}
+		best := rec(k + 1) // leave task k unserved
+		slot := in.Tasks[k].Arrival
+		for i, b := range in.Bids {
+			if used[i] >= b.Capacity || !b.Covers(slot) || slotUsed[[2]int{i, int(slot)}] {
+				continue
+			}
+			surplus := in.Value - b.Cost
+			if surplus <= 0 {
+				continue
+			}
+			used[i]++
+			slotUsed[[2]int{i, int(slot)}] = true
+			if v := surplus + rec(k+1); v > best {
+				best = v
+			}
+			used[i]--
+			slotUsed[[2]int{i, int(slot)}] = false
+		}
+		return best
+	}
+	return rec(0)
+}
+
+// TestOfflineOptimalVsBruteForce cross-checks the flow solution.
+func TestOfflineOptimalVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(802))
+	for trial := 0; trial < 80; trial++ {
+		in, _ := randomPair(rng, 0) // random capacities 1..3
+		out := runOffline(t, in)
+		want := bruteForce(in)
+		if math.Abs(out.Welfare-want) > 1e-6 {
+			t.Fatalf("trial %d: flow %g != brute force %g\n%+v", trial, out.Welfare, want, in)
+		}
+	}
+}
+
+// TestHigherCapacityNeverHurtsWelfare: raising one phone's capacity can
+// only raise the optimum.
+func TestHigherCapacityNeverHurtsWelfare(t *testing.T) {
+	rng := rand.New(rand.NewSource(803))
+	of := &OfflineMechanism{}
+	for trial := 0; trial < 60; trial++ {
+		in, _ := randomPair(rng, 0)
+		base, err := of.Welfare(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		up := in.Clone()
+		up.Bids[rng.Intn(len(up.Bids))].Capacity += 2
+		raised, err := of.Welfare(up)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if raised < base-1e-9 {
+			t.Fatalf("trial %d: capacity raise lowered welfare %g -> %g", trial, base, raised)
+		}
+	}
+}
+
+// TestMultitaskIR: truthful utilities non-negative (per-task cost times
+// served count never exceeds the payment).
+func TestMultitaskIR(t *testing.T) {
+	rng := rand.New(rand.NewSource(804))
+	for trial := 0; trial < 60; trial++ {
+		in, _ := randomPair(rng, 0)
+		out := runOffline(t, in)
+		for i := range in.Bids {
+			if u := out.Utility(core.PhoneID(i), in.Bids[i].Cost); u < -1e-9 {
+				t.Fatalf("trial %d: phone %d utility %g", trial, i, u)
+			}
+		}
+	}
+}
+
+// TestMultitaskTruthfulness audits cost misreports and capacity
+// understatement under the capacity-extended VCG.
+func TestMultitaskTruthfulness(t *testing.T) {
+	rng := rand.New(rand.NewSource(805))
+	of := &OfflineMechanism{}
+	for trial := 0; trial < 25; trial++ {
+		in, _ := randomPair(rng, 0)
+		truthOut := runOffline(t, in)
+		for i := range in.Bids {
+			truth := in.Bids[i]
+			uTruth := truthOut.Utility(core.PhoneID(i), truth.Cost)
+			for _, f := range []float64{0, 0.5, 0.9, 1.1, 1.5, 3} {
+				alt := in.Clone()
+				alt.Bids[i].Cost = truth.Cost * f
+				altOut, err := of.Run(alt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if u := altOut.Utility(core.PhoneID(i), truth.Cost); u > uTruth+1e-6 {
+					t.Fatalf("trial %d: phone %d gains %g > %g at cost factor %g", trial, i, u, uTruth, f)
+				}
+			}
+			for dc := 1; dc < truth.Capacity; dc++ {
+				alt := in.Clone()
+				alt.Bids[i].Capacity = truth.Capacity - dc
+				altOut, err := of.Run(alt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if u := altOut.Utility(core.PhoneID(i), truth.Cost); u > uTruth+1e-6 {
+					t.Fatalf("trial %d: phone %d gains %g > %g by hiding capacity", trial, i, u, uTruth)
+				}
+			}
+		}
+	}
+}
+
+func TestMechanismRejectsInvalid(t *testing.T) {
+	in := demoInstance()
+	in.Bids[0].Capacity = 0
+	if _, err := (&OfflineMechanism{}).Run(in); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := (&OfflineMechanism{}).Welfare(in); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestOutcomeValidateRejects(t *testing.T) {
+	in := demoInstance()
+	out := runOffline(t, in)
+	out.ByTask[0] = 2 // phone 2 window [3,4] cannot serve slot 1
+	if out.Validate(in) == nil {
+		t.Fatal("window violation accepted")
+	}
+}

@@ -1,0 +1,212 @@
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/protocol"
+)
+
+// EventKind discriminates Agent events.
+type EventKind int
+
+// Agent event kinds.
+const (
+	EventWelcome EventKind = iota + 1 // bid admitted; Phone and Departure set
+	EventSlot                         // slot tick; Slot set
+	EventAssign                       // won a task; Task and Slot set
+	EventPayment                      // paid; Amount and Slot set
+	EventEnd                          // round finished; Welfare, Payments, Round set
+	EventRound                        // a new round opened; Round set (bid again!)
+	EventError                        // platform reported an error; Err set
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventWelcome:
+		return "welcome"
+	case EventSlot:
+		return "slot"
+	case EventAssign:
+		return "assign"
+	case EventPayment:
+		return "payment"
+	case EventEnd:
+		return "end"
+	case EventRound:
+		return "round"
+	case EventError:
+		return "error"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one platform notification delivered to the agent.
+type Event struct {
+	Kind      EventKind
+	Phone     core.PhoneID
+	Slot      core.Slot
+	Departure core.Slot
+	Task      core.TaskID
+	Amount    float64
+	Welfare   float64
+	Payments  float64
+	Round     int
+	Err       error
+}
+
+// RoundState is the platform's reply to a hello.
+type RoundState struct {
+	Slot  core.Slot // last processed slot (0 before the first tick)
+	Slots core.Slot // round length m
+	Value float64   // per-task value ν
+	Round int       // current round number (1-based)
+}
+
+// Agent is a smartphone client of the platform: it submits one bid and
+// then consumes platform events until the round ends or the connection
+// drops. Events are delivered on the Events channel in wire order; the
+// channel closes when the connection ends.
+type Agent struct {
+	conn   net.Conn
+	w      *protocol.Writer
+	events chan Event
+
+	mu       sync.Mutex
+	stateful chan RoundState // pending hello reply
+	acks     chan error      // pending bid acknowledgements
+
+	closeOnce sync.Once
+}
+
+// Dial connects an agent to the platform.
+func Dial(addr string) (*Agent, error) {
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("agent: %w", err)
+	}
+	a := &Agent{
+		conn:     conn,
+		w:        protocol.NewWriter(conn),
+		events:   make(chan Event, 64),
+		stateful: make(chan RoundState, 1),
+		acks:     make(chan error, 1),
+	}
+	go a.readLoop()
+	return a, nil
+}
+
+// Hello queries the round state (current slot, round length, ν).
+func (a *Agent) Hello() (RoundState, error) {
+	if err := a.send(&protocol.Message{Type: protocol.TypeHello}); err != nil {
+		return RoundState{}, err
+	}
+	select {
+	case st, ok := <-a.stateful:
+		if !ok {
+			return RoundState{}, errors.New("agent: connection closed before state reply")
+		}
+		return st, nil
+	case <-time.After(5 * time.Second):
+		return RoundState{}, errors.New("agent: timed out waiting for state")
+	}
+}
+
+// SubmitBid submits this phone's (single) bid: it stays active for
+// duration slots starting at the next slot tick and charges cost per
+// task. It blocks until the platform acknowledges queueing the bid, so a
+// successful return guarantees the bid joins the next slot; the
+// admission confirmation itself arrives later as an EventWelcome.
+func (a *Agent) SubmitBid(name string, duration core.Slot, cost float64) error {
+	err := a.send(&protocol.Message{
+		Type:     protocol.TypeBid,
+		Name:     name,
+		Duration: duration,
+		Cost:     cost,
+	})
+	if err != nil {
+		return err
+	}
+	select {
+	case ackErr, ok := <-a.acks:
+		if !ok {
+			return errors.New("agent: connection closed before bid ack")
+		}
+		return ackErr
+	case <-time.After(5 * time.Second):
+		return errors.New("agent: timed out waiting for bid ack")
+	}
+}
+
+// Events returns the platform notification stream. The channel closes
+// when the connection ends.
+func (a *Agent) Events() <-chan Event { return a.events }
+
+// Close tears down the connection; pending events are still drained.
+func (a *Agent) Close() error {
+	var err error
+	a.closeOnce.Do(func() { err = a.conn.Close() })
+	return err
+}
+
+func (a *Agent) send(m *protocol.Message) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.w.Send(m)
+}
+
+func (a *Agent) readLoop() {
+	defer close(a.events)
+	defer close(a.stateful)
+	defer close(a.acks)
+	r := protocol.NewReader(a.conn)
+	for {
+		m, err := r.Receive()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				a.events <- Event{Kind: EventError, Err: err}
+			}
+			return
+		}
+		switch m.Type {
+		case protocol.TypeState:
+			select {
+			case a.stateful <- RoundState{Slot: m.Slot, Slots: m.Slots, Value: m.Value, Round: m.Round}:
+			default: // unsolicited state replies are dropped
+			}
+		case protocol.TypeWelcome:
+			a.events <- Event{Kind: EventWelcome, Phone: m.Phone, Slot: m.Slot, Departure: m.Departure}
+		case protocol.TypeSlot:
+			a.events <- Event{Kind: EventSlot, Slot: m.Slot}
+		case protocol.TypeAssign:
+			a.events <- Event{Kind: EventAssign, Phone: m.Phone, Task: m.Task, Slot: m.Slot}
+		case protocol.TypePayment:
+			a.events <- Event{Kind: EventPayment, Phone: m.Phone, Amount: m.Amount, Slot: m.Slot}
+		case protocol.TypeEnd:
+			a.events <- Event{Kind: EventEnd, Welfare: m.Welfare, Payments: m.Payments, Round: m.Round}
+		case protocol.TypeRound:
+			a.events <- Event{Kind: EventRound, Round: m.Round}
+		case protocol.TypeAck:
+			select {
+			case a.acks <- nil:
+			default:
+			}
+		case protocol.TypeError:
+			err := errors.New(m.Error)
+			// A platform error may answer an in-flight bid; resolve the
+			// waiter as well as emitting the event.
+			select {
+			case a.acks <- err:
+			default:
+			}
+			a.events <- Event{Kind: EventError, Err: err}
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package platform
+
+import (
+	"testing"
+	"time"
+
+	"dynacrowd/internal/core"
+)
+
+// TestMultiRoundPlatform plays two consecutive rounds over TCP: the
+// same agent bids (and wins) in both, IDs restart per round, and the
+// round lifecycle messages arrive in order.
+func TestMultiRoundPlatform(t *testing.T) {
+	s := newTestServer(t, Config{Slots: 2, Value: 10, Rounds: 2})
+	a := dialAgent(t, s.Addr())
+
+	st, err := a.Hello()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Round != 1 {
+		t.Fatalf("initial round = %d", st.Round)
+	}
+
+	// --- round 1 ---
+	if err := a.SubmitBid("again", 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Tick(1); err != nil { // slot 1: wins, departs, paid
+		t.Fatal(err)
+	}
+	waitEvent(t, a, EventAssign)
+	pay1 := waitEvent(t, a, EventPayment)
+	if _, err := s.Tick(0); err != nil { // slot 2: round 1 ends
+		t.Fatal(err)
+	}
+	end1 := waitEvent(t, a, EventEnd)
+	if end1.Round != 1 {
+		t.Fatalf("first end message round = %d", end1.Round)
+	}
+	roundEv := waitEvent(t, a, EventRound)
+	if roundEv.Round != 2 {
+		t.Fatalf("round event = %d, want 2", roundEv.Round)
+	}
+	if s.Done() {
+		t.Fatal("server done after round 1 of 2")
+	}
+	if s.Round() != 2 {
+		t.Fatalf("server round = %d", s.Round())
+	}
+
+	// --- round 2: the same connection bids again ---
+	if err := a.SubmitBid("again", 2, 4); err != nil {
+		t.Fatalf("second-round bid rejected: %v", err)
+	}
+	if _, err := s.Tick(1); err != nil {
+		t.Fatal(err)
+	}
+	w := waitEvent(t, a, EventWelcome)
+	if w.Phone != 0 {
+		t.Fatalf("round-2 phone id = %d, want IDs to restart at 0", w.Phone)
+	}
+	waitEvent(t, a, EventAssign)
+	if _, err := s.Tick(0); err != nil {
+		t.Fatal(err)
+	}
+	pay2 := waitEvent(t, a, EventPayment)
+	end2 := waitEvent(t, a, EventEnd)
+	if end2.Round != 2 {
+		t.Fatalf("second end message round = %d", end2.Round)
+	}
+	if !s.Done() {
+		t.Fatal("server not done after final round")
+	}
+	// Both wins were uncontested: paid the reserve each time.
+	if pay1.Amount != 10 || pay2.Amount != 10 {
+		t.Fatalf("payments %g, %g, want 10 each", pay1.Amount, pay2.Amount)
+	}
+	// A bid after the final round is refused.
+	if err := a.SubmitBid("late", 1, 1); err == nil {
+		t.Fatal("bid accepted after the final round")
+	}
+	// Cumulative stats span both rounds.
+	if st := s.Stats(); st.TasksAnnounced != 2 || st.PaymentsIssued != 2 || st.TotalPaid != 20 {
+		t.Fatalf("cumulative stats: %+v", st)
+	}
+}
+
+// TestMultiRoundRunClock drives three short rounds on the wall clock.
+func TestMultiRoundRunClock(t *testing.T) {
+	s := newTestServer(t, Config{Slots: 2, Value: 10, Rounds: 3})
+	done := make(chan error, 1)
+	go func() { done <- s.RunClock(3*time.Millisecond, func(core.Slot) int { return 0 }) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("RunClock stalled across rounds")
+	}
+	if !s.Done() || s.Round() != 3 {
+		t.Fatalf("after RunClock: done=%v round=%d", s.Done(), s.Round())
+	}
+}
+
+// TestPendingBidCarriesIntoNextRound: a bid landing in the final slot of
+// round 1 (after its tick) is admitted at round 2's first tick.
+func TestPendingBidCarriesIntoNextRound(t *testing.T) {
+	s := newTestServer(t, Config{Slots: 1, Value: 10, Rounds: 2})
+	a := dialAgent(t, s.Addr())
+	if err := a.SubmitBid("carried", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Round 1 plays out without a tick between bid and round end? No —
+	// the bid is pending; tick 1 admits it AND ends round 1 (1 slot).
+	if _, err := s.Tick(0); err != nil {
+		t.Fatal(err)
+	}
+	// Now in round 2; the phone was admitted in round 1 (no task, lost).
+	// Bid again for round 2 and win.
+	if err := a.SubmitBid("carried", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Tick(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Outcome().Allocation.NumServed() != 1 {
+		t.Fatal("round-2 bid not served")
+	}
+}

@@ -1,0 +1,469 @@
+// Package platform is the networked mobile-crowdsourcing platform of the
+// paper's Fig. 1: a TCP server that runs the online truthful auction in
+// real time, admitting smartphone agents as they connect, announcing
+// sensing tasks slot by slot, and issuing assignments and critical-value
+// payments over the wire (see internal/protocol for the message flow).
+//
+// The slot clock is externally driven through Server.Tick so tests and
+// simulations advance deterministically; RunClock provides a wall-clock
+// driver for live deployments.
+package platform
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/protocol"
+)
+
+// Config parameterizes a platform round.
+type Config struct {
+	// Slots is the round length m.
+	Slots core.Slot
+	// Value is the platform's per-task value ν.
+	Value float64
+	// AllocateAtLoss forwards to the auction (see core.Instance).
+	AllocateAtLoss bool
+	// Rounds is the number of consecutive auction rounds the server
+	// plays (the paper's §III-B "round by round" deployment). Values
+	// below 1 mean a single round. Each round starts a fresh auction:
+	// phone IDs restart, every connection may bid again, and agents are
+	// notified with a round message.
+	Rounds int
+	// Logger receives structured auction events (joins, assignments,
+	// payments, protocol errors). Nil disables logging.
+	Logger *slog.Logger
+}
+
+func (c Config) rounds() int {
+	if c.Rounds < 1 {
+		return 1
+	}
+	return c.Rounds
+}
+
+// Server hosts one auction round over TCP.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+
+	mu       sync.Mutex
+	auction  *core.OnlineAuction
+	round    int                       // current round, 1-based
+	phones   map[core.PhoneID]*session // admitted bidders (current round)
+	sessions map[*session]struct{}     // every live connection
+	pending  []pendingBid              // bids awaiting the next tick
+	stats    Stats                     // cumulative counters (Slot/Live filled on read)
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+type pendingBid struct {
+	name     string
+	duration core.Slot
+	cost     float64
+	sess     *session
+}
+
+// session is one agent connection.
+type session struct {
+	conn net.Conn
+
+	mu sync.Mutex // guards w
+	w  *protocol.Writer
+
+	gone bool
+	bid  bool // a bid was accepted on this connection
+}
+
+func (s *session) send(m *protocol.Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.gone {
+		return
+	}
+	if err := s.w.Send(m); err != nil {
+		// A dead agent does not stall the round: the auction keeps its
+		// bid (the phone promised availability), later notices are
+		// dropped.
+		s.gone = true
+	}
+}
+
+// Listen starts a platform server on addr ("127.0.0.1:0" for an
+// ephemeral test port).
+func Listen(addr string, cfg Config) (*Server, error) {
+	auction, err := core.NewOnlineAuction(cfg.Slots, cfg.Value, cfg.AllocateAtLoss)
+	if err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+	return listenWith(addr, cfg, auction)
+}
+
+// Resume starts a platform server that continues a round from a
+// checkpoint written by Checkpoint. Bids that were pending (received
+// but not yet admitted at a slot tick) at checkpoint time are not part
+// of the auction state; their agents must resubmit.
+func Resume(addr string, cfg Config, checkpoint []byte) (*Server, error) {
+	auction, err := core.RestoreOnlineAuction(checkpoint)
+	if err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+	return listenWith(addr, cfg, auction)
+}
+
+func listenWith(addr string, cfg Config, auction *core.OnlineAuction) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+	s := &Server{
+		cfg:      cfg,
+		ln:       ln,
+		auction:  auction,
+		round:    1,
+		phones:   make(map[core.PhoneID]*session),
+		sessions: make(map[*session]struct{}),
+	}
+	if s.cfg.Logger == nil {
+		s.cfg.Logger = slog.New(discardHandler{})
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Checkpoint serializes the auction state for Resume. Call between
+// ticks; pending (unadmitted) bids are not included. Only the current
+// round's auction is captured: a multi-round server resumed from a
+// checkpoint restarts its round counter at 1 and finishes the captured
+// round plus (Rounds−1) fresh ones.
+func (s *Server) Checkpoint() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.auction.Snapshot()
+}
+
+// discardHandler is a no-op slog handler (slog.DiscardHandler arrives
+// only in Go 1.24's stdlib; this keeps the module at its declared 1.22).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		sess := &session{conn: conn, w: protocol.NewWriter(conn)}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.sessions[sess] = struct{}{}
+		s.stats.Connections++
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(sess)
+	}
+}
+
+// serve handles one agent connection until EOF or protocol error.
+func (s *Server) serve(sess *session) {
+	defer s.wg.Done()
+	defer func() {
+		sess.conn.Close()
+		s.mu.Lock()
+		delete(s.sessions, sess)
+		s.mu.Unlock()
+	}()
+	r := protocol.NewReader(sess.conn)
+	for {
+		m, err := r.Receive()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				s.mu.Lock()
+				s.stats.ProtocolErrors++
+				s.mu.Unlock()
+				s.cfg.Logger.Warn("protocol error", "remote", sess.conn.RemoteAddr().String(), "err", err.Error())
+				sess.send(&protocol.Message{Type: protocol.TypeError, Error: err.Error()})
+			}
+			return
+		}
+		switch m.Type {
+		case protocol.TypeHello:
+			s.mu.Lock()
+			now := s.auction.Now()
+			round := s.round
+			s.mu.Unlock()
+			sess.send(&protocol.Message{
+				Type:  protocol.TypeState,
+				Slot:  now,
+				Slots: s.cfg.Slots,
+				Value: s.cfg.Value,
+				Round: round,
+			})
+		case protocol.TypeBid:
+			if err := s.enqueueBid(m, sess); err != nil {
+				sess.send(&protocol.Message{Type: protocol.TypeError, Error: err.Error()})
+			} else {
+				sess.send(&protocol.Message{Type: protocol.TypeAck})
+			}
+		default:
+			sess.send(&protocol.Message{
+				Type:  protocol.TypeError,
+				Error: fmt.Sprintf("platform: unexpected message %q from agent", m.Type),
+			})
+		}
+	}
+}
+
+func (s *Server) enqueueBid(m *protocol.Message, sess *session) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		s.stats.BidsRejected++
+		return errors.New("platform: server closed")
+	}
+	if s.auction.Done() && s.round >= s.cfg.rounds() {
+		s.stats.BidsRejected++
+		return errors.New("platform: round already complete")
+	}
+	// The paper's model (§III-B): each smartphone submits at most one
+	// bid per round.
+	if sess.bid {
+		s.stats.BidsRejected++
+		return errors.New("platform: this connection already submitted its bid")
+	}
+	sess.bid = true
+	s.stats.BidsAccepted++
+	s.pending = append(s.pending, pendingBid{
+		name:     m.Name,
+		duration: m.Duration,
+		cost:     m.Cost,
+		sess:     sess,
+	})
+	return nil
+}
+
+// Tick advances the round one slot: pending bids are admitted with the
+// new slot as their arrival, numTasks tasks are announced and allocated,
+// winners receive assignments, and departing winners receive payments.
+// It returns the auction's slot result.
+func (s *Server) Tick(numTasks int) (*core.SlotResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errors.New("platform: server closed")
+	}
+	next := s.auction.Now() + 1
+
+	batch := s.pending
+	s.pending = nil
+	arriving := make([]core.StreamBid, 0, len(batch))
+	admitted := make([]pendingBid, 0, len(batch))
+	for _, pb := range batch {
+		depart := next + pb.duration - 1
+		if depart > s.cfg.Slots {
+			depart = s.cfg.Slots
+		}
+		arriving = append(arriving, core.StreamBid{Departure: depart, Cost: pb.cost})
+		admitted = append(admitted, pb)
+	}
+
+	res, err := s.auction.Step(arriving, numTasks)
+	if err != nil {
+		// Re-queue nothing: a failed step at this layer is programmer
+		// error (negative task count) or a finished round.
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+	s.stats.TasksAnnounced += numTasks
+	s.stats.TasksServed += len(res.Assignments)
+	s.stats.TasksUnserved += res.Unserved
+	s.stats.PaymentsIssued += len(res.Payments)
+	for _, p := range res.Payments {
+		s.stats.TotalPaid += p.Amount
+	}
+
+	snapshot := s.auction.Instance()
+	for k, id := range res.Joined {
+		s.phones[id] = admitted[k].sess
+		s.cfg.Logger.Info("phone admitted",
+			"phone", int(id), "name", admitted[k].name, "slot", int(res.Slot),
+			"departure", int(snapshot.Bids[id].Departure), "cost", snapshot.Bids[id].Cost)
+		admitted[k].sess.send(&protocol.Message{
+			Type:      protocol.TypeWelcome,
+			Phone:     id,
+			Slot:      res.Slot,
+			Departure: snapshot.Bids[id].Departure,
+		})
+	}
+	for _, sess := range s.phones {
+		sess.send(&protocol.Message{Type: protocol.TypeSlot, Slot: res.Slot})
+	}
+	for _, a := range res.Assignments {
+		s.cfg.Logger.Info("task assigned", "task", int(a.Task), "phone", int(a.Phone), "slot", int(a.Slot))
+		if sess := s.phones[a.Phone]; sess != nil {
+			sess.send(&protocol.Message{
+				Type:  protocol.TypeAssign,
+				Phone: a.Phone,
+				Task:  a.Task,
+				Slot:  a.Slot,
+			})
+		}
+	}
+	if res.Unserved > 0 {
+		s.cfg.Logger.Warn("tasks unserved", "slot", int(res.Slot), "count", res.Unserved)
+	}
+	for _, p := range res.Payments {
+		s.cfg.Logger.Info("payment issued", "phone", int(p.Phone), "amount", p.Amount, "slot", int(res.Slot))
+		if sess := s.phones[p.Phone]; sess != nil {
+			sess.send(&protocol.Message{
+				Type:   protocol.TypePayment,
+				Phone:  p.Phone,
+				Amount: p.Amount,
+				Slot:   res.Slot,
+			})
+		}
+	}
+
+	if s.auction.Done() {
+		out := s.auction.Outcome()
+		s.cfg.Logger.Info("round complete",
+			"round", s.round,
+			"welfare", out.Welfare, "totalPaid", out.TotalPayment(),
+			"served", out.Allocation.NumServed(), "tasks", len(out.Allocation.ByTask))
+		end := &protocol.Message{
+			Type:     protocol.TypeEnd,
+			Welfare:  out.Welfare,
+			Payments: out.TotalPayment(),
+			Round:    s.round,
+		}
+		for _, sess := range s.phones {
+			sess.send(end)
+		}
+		if s.round < s.cfg.rounds() {
+			if err := s.beginNextRound(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return res, nil
+}
+
+// beginNextRound rolls the server onto a fresh auction: phone IDs
+// restart, every live connection may bid again, and agents are told the
+// new round number. Bids still pending from the final slot of the
+// previous round carry over and are admitted at the new round's first
+// tick. Caller holds s.mu.
+func (s *Server) beginNextRound() error {
+	auction, err := core.NewOnlineAuction(s.cfg.Slots, s.cfg.Value, s.cfg.AllocateAtLoss)
+	if err != nil {
+		return fmt.Errorf("platform: next round: %w", err)
+	}
+	s.auction = auction
+	s.round++
+	s.phones = make(map[core.PhoneID]*session)
+	for sess := range s.sessions {
+		sess.bid = false // guarded by s.mu, like every sess.bid access
+	}
+	s.cfg.Logger.Info("round opened", "round", s.round, "of", s.cfg.rounds())
+	announce := &protocol.Message{Type: protocol.TypeRound, Round: s.round}
+	for sess := range s.sessions {
+		sess.send(announce)
+	}
+	return nil
+}
+
+// Done reports whether every slot of every configured round has been
+// played.
+func (s *Server) Done() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.auction.Done() && s.round >= s.cfg.rounds()
+}
+
+// Round returns the current round number (1-based).
+func (s *Server) Round() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.round
+}
+
+// Outcome returns the round outcome so far (see core.OnlineAuction).
+func (s *Server) Outcome() *core.Outcome {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.auction.Outcome()
+}
+
+// Instance returns a copy of the accumulated auction instance.
+func (s *Server) Instance() *core.Instance {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.auction.Instance()
+}
+
+// RunClock drives the remaining slots on a wall clock, announcing the
+// task counts produced by tasksFor(slot) each tick. It blocks until the
+// round completes or the server closes.
+func (s *Server) RunClock(slotEvery time.Duration, tasksFor func(core.Slot) int) error {
+	ticker := time.NewTicker(slotEvery)
+	defer ticker.Stop()
+	for range ticker.C {
+		if s.Done() {
+			return nil
+		}
+		s.mu.Lock()
+		next := s.auction.Now() + 1
+		s.mu.Unlock()
+		if _, err := s.Tick(tasksFor(next)); err != nil {
+			return err
+		}
+		if s.Done() {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Close shuts the listener and all connections. Safe to call more than
+// once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	sessions := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+
+	err := s.ln.Close()
+	for _, sess := range sessions {
+		sess.conn.Close()
+	}
+	s.wg.Wait()
+	return err
+}

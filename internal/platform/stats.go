@@ -1,0 +1,30 @@
+package platform
+
+import "dynacrowd/internal/core"
+
+// Stats is a point-in-time snapshot of the server's operational
+// counters, for dashboards and tests. All numbers are cumulative since
+// Listen (or Resume).
+type Stats struct {
+	Slot            core.Slot // last processed slot
+	Connections     int       // sessions ever accepted
+	LiveConnections int       // sessions currently open
+	BidsAccepted    int       // bids queued for admission
+	BidsRejected    int       // bids refused (duplicate, late, closed)
+	TasksAnnounced  int
+	TasksServed     int
+	TasksUnserved   int
+	PaymentsIssued  int
+	TotalPaid       float64
+	ProtocolErrors  int
+}
+
+// Stats returns the current counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Slot = s.auction.Now()
+	st.LiveConnections = len(s.sessions)
+	return st
+}

@@ -1,0 +1,108 @@
+package platform
+
+import (
+	"fmt"
+	"testing"
+
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/workload"
+)
+
+// TestLyingDoesNotPayOverTCP is the paper's thesis as an end-to-end
+// integration test: the same market is played twice over the real
+// platform; in the second play one phone misreports (delayed arrival,
+// shortened stay, inflated cost — the Fig. 5 attack repertoire). Its
+// realized utility must never beat its truthful run. The network layer,
+// slot clock, and payment plumbing are all in the loop.
+func TestLyingDoesNotPayOverTCP(t *testing.T) {
+	const (
+		slots = 6
+		value = 30.0
+	)
+	rng := workload.NewRNG(41)
+
+	// A fixed supporting cast plus the phone under test (index 0).
+	type phoneScript struct {
+		join     core.Slot
+		duration core.Slot
+		cost     float64
+	}
+	cast := []phoneScript{
+		{join: 1, duration: 4, cost: 8}, // the strategic phone's TRUE type
+	}
+	for i := 0; i < 10; i++ {
+		join := core.Slot(1 + rng.Intn(slots))
+		cast = append(cast, phoneScript{
+			join:     join,
+			duration: core.Slot(1 + rng.Intn(3)),
+			cost:     rng.Uniform(2, 28),
+		})
+	}
+	tasksPerSlot := make([]int, slots+1)
+	for s := 1; s <= slots; s++ {
+		tasksPerSlot[s] = rng.Poisson(1.5)
+	}
+
+	// play runs one full round over TCP with the strategic phone
+	// reporting the given script, returning its total payment.
+	play := func(t *testing.T, report phoneScript) float64 {
+		t.Helper()
+		srv := newTestServer(t, Config{Slots: slots, Value: value})
+		agents := make([]*Agent, len(cast))
+		for i := range agents {
+			agents[i] = dialAgent(t, srv.Addr())
+		}
+		scripts := append([]phoneScript(nil), cast...)
+		scripts[0] = report
+		for s := core.Slot(1); s <= slots; s++ {
+			for i, sc := range scripts {
+				if sc.join == s {
+					if err := agents[i].SubmitBid(fmt.Sprintf("p%d", i), sc.duration, sc.cost); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			if _, err := srv.Tick(tasksPerSlot[s]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var paid float64
+		for ev := range agents[0].Events() {
+			switch ev.Kind {
+			case EventPayment:
+				paid += ev.Amount
+			case EventEnd:
+				return paid
+			case EventError:
+				t.Fatal(ev.Err)
+			}
+		}
+		return paid
+	}
+
+	truth := cast[0]
+	truthfulPaid := play(t, truth)
+	truthfulUtility := 0.0
+	if truthfulPaid > 0 {
+		truthfulUtility = truthfulPaid - truth.cost
+	}
+
+	misreports := []phoneScript{
+		{join: truth.join + 1, duration: truth.duration - 1, cost: truth.cost},     // delay arrival
+		{join: truth.join, duration: truth.duration - 2, cost: truth.cost},         // leave early
+		{join: truth.join, duration: truth.duration, cost: truth.cost * 1.5},       // inflate cost
+		{join: truth.join + 2, duration: truth.duration - 2, cost: truth.cost * 2}, // all at once
+		{join: truth.join, duration: truth.duration, cost: truth.cost * 0.25},      // underbid
+	}
+	for mi, lie := range misreports {
+		paid := play(t, lie)
+		utility := 0.0
+		if paid > 0 {
+			utility = paid - truth.cost // utility is always against the REAL cost
+		}
+		if utility > truthfulUtility+1e-9 {
+			t.Fatalf("misreport %d (%+v) earned %g > truthful %g over TCP",
+				mi, lie, utility, truthfulUtility)
+		}
+	}
+}

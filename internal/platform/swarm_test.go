@@ -1,0 +1,150 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"dynacrowd/internal/core"
+)
+
+// TestSwarm is the platform stress test: dozens of concurrent agents
+// join at random times while the slot clock ticks, some disconnect
+// mid-round, and at the end the platform's outcome must equal the batch
+// online mechanism run on the instance the platform accumulated — i.e.
+// network concurrency must not perturb auction semantics.
+func TestSwarm(t *testing.T) {
+	const (
+		slots     = 12
+		numAgents = 40
+	)
+	s := newTestServer(t, Config{Slots: slots, Value: 30})
+	rng := rand.New(rand.NewSource(77))
+
+	type plan struct {
+		joinAfterTick int
+		duration      core.Slot
+		cost          float64
+		dropEarly     bool
+	}
+	plans := make([]plan, numAgents)
+	for i := range plans {
+		plans[i] = plan{
+			joinAfterTick: rng.Intn(slots - 1),
+			duration:      core.Slot(1 + rng.Intn(5)),
+			cost:          rng.Float64() * 35,
+			dropEarly:     rng.Intn(5) == 0,
+		}
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		paid     = map[string]float64{}
+		assigned = map[string]int{}
+		errsCh   = make(chan error, numAgents)
+	)
+
+	// Tick barrier: agents wait for their join tick.
+	barriers := make([]chan struct{}, slots+1)
+	for i := range barriers {
+		barriers[i] = make(chan struct{})
+	}
+
+	for i, p := range plans {
+		name := fmt.Sprintf("swarm-%02d", i)
+		wg.Add(1)
+		go func(p plan, name string) {
+			defer wg.Done()
+			<-barriers[p.joinAfterTick]
+			a, err := Dial(s.Addr())
+			if err != nil {
+				errsCh <- err
+				return
+			}
+			defer a.Close()
+			if err := a.SubmitBid(name, p.duration, p.cost); err != nil {
+				errsCh <- fmt.Errorf("%s: %w", name, err)
+				return
+			}
+			for ev := range a.Events() {
+				switch ev.Kind {
+				case EventAssign:
+					mu.Lock()
+					assigned[name]++
+					mu.Unlock()
+					if p.dropEarly {
+						return // winner vanishes before payment
+					}
+				case EventPayment:
+					mu.Lock()
+					paid[name] += ev.Amount
+					mu.Unlock()
+				case EventEnd:
+					return
+				case EventError:
+					errsCh <- fmt.Errorf("%s: %w", name, ev.Err)
+					return
+				}
+			}
+		}(p, name)
+	}
+
+	close(barriers[0])
+	for tk := 1; tk <= slots; tk++ {
+		// Let this tick's joiners connect and bid (SubmitBid is
+		// synchronous, but give the goroutines time to run).
+		time.Sleep(30 * time.Millisecond)
+		if _, err := s.Tick(1 + rng.Intn(3)); err != nil {
+			t.Fatal(err)
+		}
+		if tk < len(barriers) {
+			close(barriers[tk])
+		}
+	}
+	wg.Wait()
+	close(errsCh)
+	for err := range errsCh {
+		t.Fatal(err)
+	}
+
+	// Semantics: the accumulated instance re-run through the batch
+	// mechanism matches the platform outcome.
+	inst := s.Instance()
+	batch, err := (&core.OnlineMechanism{}).Run(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s.Outcome()
+	if math.Abs(out.Welfare-batch.Welfare) > 1e-9 {
+		t.Fatalf("platform welfare %g != batch %g", out.Welfare, batch.Welfare)
+	}
+	if out.Allocation.NumServed() != batch.Allocation.NumServed() {
+		t.Fatalf("platform served %d, batch %d", out.Allocation.NumServed(), batch.Allocation.NumServed())
+	}
+	for i := range batch.Payments {
+		if math.Abs(out.Payments[i]-batch.Payments[i]) > 1e-9 {
+			t.Fatalf("payment[%d]: platform %g != batch %g", i, out.Payments[i], batch.Payments[i])
+		}
+	}
+
+	// Every task the platform served went to a phone whose window covers
+	// its slot (feasibility under concurrency).
+	if err := out.Allocation.Validate(inst); err != nil {
+		t.Fatal(err)
+	}
+
+	// Winners that stayed connected were paid at least their bid.
+	var totalNotified float64
+	mu.Lock()
+	for _, amount := range paid {
+		totalNotified += amount
+	}
+	mu.Unlock()
+	if totalNotified > out.TotalPayment()+1e-9 {
+		t.Fatalf("agents notified of %g, platform recorded %g", totalNotified, out.TotalPayment())
+	}
+}

@@ -1,0 +1,45 @@
+package protocol
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReceive feeds arbitrary bytes through the wire reader: it must
+// never panic, and every message it accepts must satisfy Validate and
+// survive a re-encode/re-decode round trip.
+func FuzzReceive(f *testing.F) {
+	f.Add([]byte(`{"type":"hello"}` + "\n"))
+	f.Add([]byte(`{"type":"bid","name":"a","duration":3,"cost":1.5}` + "\n"))
+	f.Add([]byte(`{"type":"state","slot":1,"slots":50,"value":30}` + "\n"))
+	f.Add([]byte(`{"type":"payment","phone":2,"amount":9.25,"slot":7}` + "\n"))
+	f.Add([]byte("\n\n{\"type\":\"ack\"}\n"))
+	f.Add([]byte(`{nope`))
+	f.Add([]byte(strings.Repeat("x", 1024)))
+	f.Add([]byte{0x00, 0xff, 0x7b})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i < 64; i++ { // bounded: the stream is finite anyway
+			m, err := r.Receive()
+			if err != nil {
+				return // EOF or malformed input — both fine
+			}
+			if err := m.Validate(); err != nil {
+				t.Fatalf("Receive returned invalid message %+v: %v", m, err)
+			}
+			var buf bytes.Buffer
+			if err := NewWriter(&buf).Send(m); err != nil {
+				t.Fatalf("re-encode of %+v: %v", m, err)
+			}
+			back, err := NewReader(&buf).Receive()
+			if err != nil {
+				t.Fatalf("re-decode of %+v: %v", m, err)
+			}
+			if *back != *m {
+				t.Fatalf("round trip changed message: %+v -> %+v", m, back)
+			}
+		}
+	})
+}

@@ -1,0 +1,166 @@
+// Package protocol defines the wire format between the crowdsourcing
+// platform server and smartphone agents: newline-delimited JSON messages
+// over TCP, one flat Message struct discriminated by Type. A flat tagged
+// message keeps the framing trivial to debug with netcat while remaining
+// strict: unknown fields and unknown types are rejected.
+//
+// Conversation (agent-initiated messages left, platform replies right):
+//
+//	hello                  -> state{slot, slots, value}
+//	bid{name, duration,    -> ack (bid queued for the next slot tick)
+//	    cost}              -> welcome{phone, slot(=arrival), departure}
+//	                          ... at the next slot tick
+//	                       <- slot{slot}           every tick
+//	                       <- assign{phone, task, slot}  if the bid wins
+//	                       <- payment{phone, amount, slot} at departure
+//	                       <- end{welfare, payments, round} after each round's
+//	                          last slot
+//	                       <- round{round} when a multi-round platform opens
+//	                          the next round (agents may bid again)
+//
+// Bids carry a duration (number of slots the phone stays active,
+// starting at the slot in which the platform admits the bid) rather than
+// an absolute departure slot, so agents cannot race the slot clock into
+// claiming an earlier arrival — the no-early-arrival constraint is
+// enforced by construction, mirroring core.OnlineAuction.
+package protocol
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dynacrowd/internal/core"
+)
+
+// Message types.
+const (
+	TypeHello   = "hello"
+	TypeState   = "state"
+	TypeBid     = "bid"
+	TypeAck     = "ack"
+	TypeWelcome = "welcome"
+	TypeSlot    = "slot"
+	TypeAssign  = "assign"
+	TypePayment = "payment"
+	TypeEnd     = "end"
+	TypeRound   = "round"
+	TypeError   = "error"
+)
+
+// MaxLineBytes bounds a single wire message; longer lines abort the
+// connection (defense against unframed garbage).
+const MaxLineBytes = 64 * 1024
+
+// Message is the single wire envelope. Which fields are meaningful
+// depends on Type; the zero value of unused fields is omitted.
+type Message struct {
+	Type string `json:"type"`
+
+	// Agent fields.
+	Name     string    `json:"name,omitempty"`     // bid: human-readable agent label
+	Duration core.Slot `json:"duration,omitempty"` // bid: active slots from admission
+	Cost     float64   `json:"cost,omitempty"`     // bid: claimed per-task cost
+
+	// Platform fields.
+	Phone     core.PhoneID `json:"phone,omitempty"`     // welcome/assign/payment
+	Slot      core.Slot    `json:"slot,omitempty"`      // state/welcome/slot/assign/payment
+	Slots     core.Slot    `json:"slots,omitempty"`     // state: round length
+	Value     float64      `json:"value,omitempty"`     // state: per-task value ν
+	Departure core.Slot    `json:"departure,omitempty"` // welcome: admitted window end
+	Task      core.TaskID  `json:"task,omitempty"`      // assign
+	Amount    float64      `json:"amount,omitempty"`    // payment
+	Welfare   float64      `json:"welfare,omitempty"`   // end
+	Payments  float64      `json:"payments,omitempty"`  // end: total paid
+	Round     int          `json:"round,omitempty"`     // state/end/round: round number (1-based)
+	Error     string       `json:"error,omitempty"`     // error
+}
+
+// Validate checks type-specific structural requirements of inbound
+// (agent-sent) messages; platform-sent messages are trusted locally.
+func (m *Message) Validate() error {
+	switch m.Type {
+	case TypeHello:
+		return nil
+	case TypeBid:
+		if m.Duration < 1 {
+			return fmt.Errorf("protocol: bid duration %d < 1", m.Duration)
+		}
+		if m.Cost < 0 {
+			return fmt.Errorf("protocol: negative bid cost %g", m.Cost)
+		}
+		return nil
+	case TypeState, TypeAck, TypeWelcome, TypeSlot, TypeAssign, TypePayment, TypeEnd, TypeRound, TypeError:
+		return nil
+	case "":
+		return fmt.Errorf("protocol: missing message type")
+	default:
+		return fmt.Errorf("protocol: unknown message type %q", m.Type)
+	}
+}
+
+// Writer frames messages onto a stream. Writer is not safe for
+// concurrent use; callers serialize (the platform holds one per
+// connection under its own lock).
+type Writer struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Send writes one message and flushes.
+func (w *Writer) Send(m *Message) error {
+	if err := w.enc.Encode(m); err != nil {
+		return fmt.Errorf("protocol: send %s: %w", m.Type, err)
+	}
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("protocol: flush: %w", err)
+	}
+	return nil
+}
+
+// Reader parses newline-delimited messages off a stream.
+type Reader struct {
+	s *bufio.Scanner
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	s := bufio.NewScanner(r)
+	s.Buffer(make([]byte, 0, 4096), MaxLineBytes)
+	return &Reader{s: s}
+}
+
+// Receive reads the next message. It returns io.EOF at a clean end of
+// stream and a descriptive error for malformed input.
+func (r *Reader) Receive() (*Message, error) {
+	for {
+		if !r.s.Scan() {
+			if err := r.s.Err(); err != nil {
+				return nil, fmt.Errorf("protocol: read: %w", err)
+			}
+			return nil, io.EOF
+		}
+		line := r.s.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var m Message
+		dec := json.NewDecoder(bytes.NewReader(line))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&m); err != nil {
+			return nil, fmt.Errorf("protocol: malformed message: %w", err)
+		}
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		return &m, nil
+	}
+}

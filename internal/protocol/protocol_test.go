@@ -1,0 +1,136 @@
+package protocol
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dynacrowd/internal/core"
+)
+
+func TestRoundTripAllTypes(t *testing.T) {
+	msgs := []*Message{
+		{Type: TypeHello},
+		{Type: TypeState, Slot: 3, Slots: 50, Value: 30},
+		{Type: TypeBid, Name: "phone-a", Duration: 5, Cost: 12.5},
+		{Type: TypeAck},
+		{Type: TypeWelcome, Phone: 7, Slot: 4, Departure: 8},
+		{Type: TypeSlot, Slot: 9},
+		{Type: TypeAssign, Phone: 7, Task: 2, Slot: 9},
+		{Type: TypePayment, Phone: 7, Amount: 19.25, Slot: 11},
+		{Type: TypeEnd, Welfare: 812.5, Payments: 1100},
+		{Type: TypeError, Error: "boom"},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, m := range msgs {
+		if err := w.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	for i, want := range msgs {
+		got, err := r.Receive()
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if *got != *want {
+			t.Fatalf("message %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Receive(); !errors.Is(err, io.EOF) {
+		t.Fatalf("want EOF at stream end, got %v", err)
+	}
+}
+
+func TestReceiveSkipsBlankLines(t *testing.T) {
+	r := NewReader(strings.NewReader("\n\n{\"type\":\"hello\"}\n"))
+	m, err := r.Receive()
+	if err != nil || m.Type != TypeHello {
+		t.Fatalf("got %+v, %v", m, err)
+	}
+}
+
+func TestReceiveRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+	}{
+		{"not json", "{nope\n"},
+		{"unknown field", `{"type":"hello","extra":1}` + "\n"},
+		{"unknown type", `{"type":"warble"}` + "\n"},
+		{"missing type", `{"slot":3}` + "\n"},
+		{"bad bid duration", `{"type":"bid","cost":5}` + "\n"},
+		{"negative bid cost", `{"type":"bid","duration":2,"cost":-4}` + "\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewReader(strings.NewReader(tc.line)).Receive(); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestReceiveOversizedLine(t *testing.T) {
+	line := `{"type":"bid","duration":1,"cost":1,"name":"` + strings.Repeat("x", MaxLineBytes) + `"}`
+	if _, err := NewReader(strings.NewReader(line + "\n")).Receive(); err == nil {
+		t.Fatal("want error for oversized message")
+	}
+}
+
+func TestValidateTable(t *testing.T) {
+	good := []Message{
+		{Type: TypeHello},
+		{Type: TypeBid, Duration: 1},
+		{Type: TypeBid, Duration: 10, Cost: 3},
+		{Type: TypeEnd},
+	}
+	for _, m := range good {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%+v rejected: %v", m, err)
+		}
+	}
+	bad := []Message{
+		{},
+		{Type: "nonsense"},
+		{Type: TypeBid},
+		{Type: TypeBid, Duration: -1},
+		{Type: TypeBid, Duration: 1, Cost: -0.5},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%+v accepted", m)
+		}
+	}
+}
+
+// TestWireRoundTripProperty fuzzes bid payloads through the framing.
+func TestWireRoundTripProperty(t *testing.T) {
+	prop := func(name string, duration uint8, costCents uint32) bool {
+		if strings.ContainsAny(name, "\n\r") {
+			name = strings.NewReplacer("\n", "", "\r", "").Replace(name)
+		}
+		m := &Message{
+			Type:     TypeBid,
+			Name:     name,
+			Duration: core.Slot(1 + int(duration)&0x3f), // keep small and positive
+			Cost:     float64(costCents) / 100,
+		}
+		var buf bytes.Buffer
+		if err := NewWriter(&buf).Send(m); err != nil {
+			return false
+		}
+		got, err := NewReader(&buf).Receive()
+		if err != nil {
+			return false
+		}
+		return *got == *m
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,260 @@
+// Package sensing is the application layer of the paper's Fig. 1: end
+// users submit *sensing queries* ("noise level in Old Town every hour
+// from 9 to 17"), the platform decomposes them into the per-slot tasks
+// the auction mechanisms allocate, winning phones deliver readings, and
+// the platform aggregates the readings back into per-query answers.
+//
+// The package closes the loop the paper's evaluation leaves open: it
+// measures how auction-level metrics (service rate, welfare) translate
+// into application-level data quality (coverage and aggregation error
+// against a synthetic ground truth).
+package sensing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/workload"
+)
+
+// QueryID identifies a sensing query.
+type QueryID int
+
+// Query is one end-user request: sample a region once per slot over a
+// window.
+type Query struct {
+	ID     QueryID
+	Region string    // free-form location label ("Old Town")
+	From   core.Slot // first slot to sample, inclusive
+	To     core.Slot // last slot to sample, inclusive
+}
+
+// Validate checks the query against a round of m slots.
+func (q Query) Validate(m core.Slot) error {
+	if q.Region == "" {
+		return fmt.Errorf("sensing: query %d has no region", q.ID)
+	}
+	if q.From < 1 || q.To > m || q.From > q.To {
+		return fmt.Errorf("sensing: query %d window [%d,%d] invalid for %d slots", q.ID, q.From, q.To, m)
+	}
+	return nil
+}
+
+// Plan maps queries to auction tasks: one task per (query, slot) sample,
+// in slot order (the order core.Instance requires), and remembers which
+// task answers which query.
+type Plan struct {
+	Queries []Query
+	Tasks   []core.Task
+	// Origin[k] is the query that task k samples for.
+	Origin []QueryID
+	// SlotOf[k] is task k's sample slot (== Tasks[k].Arrival).
+	SlotOf []core.Slot
+}
+
+// NewPlan decomposes the queries for a round of m slots.
+func NewPlan(m core.Slot, queries []Query) (*Plan, error) {
+	p := &Plan{Queries: append([]Query(nil), queries...)}
+	type sample struct {
+		q    QueryID
+		slot core.Slot
+	}
+	var samples []sample
+	for _, q := range queries {
+		if err := q.Validate(m); err != nil {
+			return nil, err
+		}
+		for t := q.From; t <= q.To; t++ {
+			samples = append(samples, sample{q: q.ID, slot: t})
+		}
+	}
+	sort.SliceStable(samples, func(i, j int) bool { return samples[i].slot < samples[j].slot })
+	for k, s := range samples {
+		p.Tasks = append(p.Tasks, core.Task{ID: core.TaskID(k), Arrival: s.slot})
+		p.Origin = append(p.Origin, s.q)
+		p.SlotOf = append(p.SlotOf, s.slot)
+	}
+	return p, nil
+}
+
+// Instance builds the auction round for the plan given the supply-side
+// bids and the per-sample value ν.
+func (p *Plan) Instance(m core.Slot, value float64, bids []core.Bid) *core.Instance {
+	return &core.Instance{
+		Slots: m,
+		Value: value,
+		Bids:  append([]core.Bid(nil), bids...),
+		Tasks: append([]core.Task(nil), p.Tasks...),
+	}
+}
+
+// Reading is one delivered measurement.
+type Reading struct {
+	Task  core.TaskID
+	Query QueryID
+	Slot  core.Slot
+	Phone core.PhoneID
+	Value float64
+}
+
+// GroundTruth synthesizes the phenomenon being sensed: a per-region
+// baseline plus a slow sinusoidal drift over the day, so aggregation
+// error is measurable.
+type GroundTruth struct {
+	rng  *workload.RNG
+	base map[string]float64
+	// NoiseStdDev perturbs each phone's reading (sensor noise).
+	NoiseStdDev float64
+}
+
+// NewGroundTruth creates a reproducible phenomenon.
+func NewGroundTruth(seed uint64, noiseStdDev float64) *GroundTruth {
+	return &GroundTruth{
+		rng:         workload.NewRNG(seed),
+		base:        make(map[string]float64),
+		NoiseStdDev: noiseStdDev,
+	}
+}
+
+// At returns the true value of the phenomenon for a region at a slot.
+func (g *GroundTruth) At(region string, slot core.Slot, m core.Slot) float64 {
+	base, ok := g.base[region]
+	if !ok {
+		base = 40 + g.rng.Float64()*40 // e.g. dB for a noise map
+		g.base[region] = base
+	}
+	phase := 0.0
+	if m > 1 {
+		phase = float64(slot-1) / float64(m-1)
+	}
+	return base + 6*math.Sin(2*math.Pi*phase)
+}
+
+// Collect simulates winners delivering readings for the plan under the
+// given allocation: every served task yields the ground truth plus
+// sensor noise; unserved tasks yield nothing.
+func (g *GroundTruth) Collect(p *Plan, m core.Slot, alloc *core.Allocation) []Reading {
+	var out []Reading
+	for k, phone := range alloc.ByTask {
+		if phone == core.NoPhone {
+			continue
+		}
+		q := p.query(p.Origin[k])
+		value := g.At(q.Region, p.SlotOf[k], m) + g.rng.Normal()*g.NoiseStdDev
+		out = append(out, Reading{
+			Task:  core.TaskID(k),
+			Query: p.Origin[k],
+			Slot:  p.SlotOf[k],
+			Phone: phone,
+			Value: value,
+		})
+	}
+	return out
+}
+
+func (p *Plan) query(id QueryID) Query {
+	for _, q := range p.Queries {
+		if q.ID == id {
+			return q
+		}
+	}
+	return Query{}
+}
+
+// Answer is the aggregated result of one query.
+type Answer struct {
+	Query    QueryID
+	Region   string
+	Samples  int     // readings received
+	Want     int     // samples requested
+	Coverage float64 // Samples / Want
+	Mean     float64 // mean of received readings (NaN if none)
+	RMSE     float64 // error vs ground truth over received samples (NaN if none)
+}
+
+// Aggregate reduces readings into per-query answers, scoring them
+// against the ground truth.
+func Aggregate(p *Plan, m core.Slot, readings []Reading, truth *GroundTruth) []Answer {
+	byQuery := make(map[QueryID][]Reading)
+	for _, r := range readings {
+		byQuery[r.Query] = append(byQuery[r.Query], r)
+	}
+	var answers []Answer
+	for _, q := range p.Queries {
+		rs := byQuery[q.ID]
+		a := Answer{
+			Query:  q.ID,
+			Region: q.Region,
+			Want:   int(q.To - q.From + 1),
+		}
+		a.Samples = len(rs)
+		if a.Want > 0 {
+			a.Coverage = float64(a.Samples) / float64(a.Want)
+		}
+		if len(rs) == 0 {
+			a.Mean = math.NaN()
+			a.RMSE = math.NaN()
+			answers = append(answers, a)
+			continue
+		}
+		var sum, sq float64
+		for _, r := range rs {
+			sum += r.Value
+			d := r.Value - truth.At(q.Region, r.Slot, m)
+			sq += d * d
+		}
+		a.Mean = sum / float64(len(rs))
+		a.RMSE = math.Sqrt(sq / float64(len(rs)))
+		answers = append(answers, a)
+	}
+	return answers
+}
+
+// CampaignResult ties auction metrics to data quality for one round.
+type CampaignResult struct {
+	Answers      []Answer
+	MeanCoverage float64
+	MeanRMSE     float64 // over answered queries
+	Welfare      float64
+	TotalPaid    float64
+}
+
+// RunCampaign plans the queries, runs the mechanism, collects readings,
+// and aggregates — the full Fig. 1 pipeline in one call.
+func RunCampaign(m core.Slot, value float64, queries []Query, bids []core.Bid, mech core.Mechanism, truth *GroundTruth) (*CampaignResult, error) {
+	plan, err := NewPlan(m, queries)
+	if err != nil {
+		return nil, err
+	}
+	in := plan.Instance(m, value, bids)
+	out, err := mech.Run(in)
+	if err != nil {
+		return nil, fmt.Errorf("sensing: %w", err)
+	}
+	readings := truth.Collect(plan, m, out.Allocation)
+	answers := Aggregate(plan, m, readings, truth)
+
+	res := &CampaignResult{
+		Answers:   answers,
+		Welfare:   out.Welfare,
+		TotalPaid: out.TotalPayment(),
+	}
+	var covSum, rmseSum float64
+	answered := 0
+	for _, a := range answers {
+		covSum += a.Coverage
+		if !math.IsNaN(a.RMSE) {
+			rmseSum += a.RMSE
+			answered++
+		}
+	}
+	if len(answers) > 0 {
+		res.MeanCoverage = covSum / float64(len(answers))
+	}
+	if answered > 0 {
+		res.MeanRMSE = rmseSum / float64(answered)
+	}
+	return res, nil
+}

@@ -1,0 +1,207 @@
+package sensing
+
+import (
+	"math"
+	"testing"
+
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/workload"
+)
+
+func demoQueries() []Query {
+	return []Query{
+		{ID: 0, Region: "Old Town", From: 1, To: 4},
+		{ID: 1, Region: "Docklands", From: 2, To: 3},
+	}
+}
+
+func TestQueryValidate(t *testing.T) {
+	bad := []Query{
+		{ID: 0, Region: "", From: 1, To: 2},
+		{ID: 1, Region: "x", From: 0, To: 2},
+		{ID: 2, Region: "x", From: 1, To: 9},
+		{ID: 3, Region: "x", From: 3, To: 2},
+	}
+	for _, q := range bad {
+		if q.Validate(5) == nil {
+			t.Errorf("query %d accepted", q.ID)
+		}
+	}
+	if (Query{ID: 4, Region: "x", From: 1, To: 5}).Validate(5) != nil {
+		t.Error("valid query rejected")
+	}
+}
+
+func TestNewPlanDecomposes(t *testing.T) {
+	p, err := NewPlan(5, demoQueries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 samples for query 0, 2 for query 1.
+	if len(p.Tasks) != 6 {
+		t.Fatalf("planned %d tasks, want 6", len(p.Tasks))
+	}
+	// Tasks must be in arrival order with dense IDs (core invariant).
+	for k, task := range p.Tasks {
+		if task.ID != core.TaskID(k) {
+			t.Fatalf("task %d has id %d", k, task.ID)
+		}
+		if k > 0 && task.Arrival < p.Tasks[k-1].Arrival {
+			t.Fatal("tasks out of arrival order")
+		}
+		if p.SlotOf[k] != task.Arrival {
+			t.Fatal("SlotOf mismatch")
+		}
+	}
+	// Sample counts per query.
+	count := map[QueryID]int{}
+	for _, q := range p.Origin {
+		count[q]++
+	}
+	if count[0] != 4 || count[1] != 2 {
+		t.Fatalf("sample counts: %v", count)
+	}
+	// The instance must validate.
+	in := p.Instance(5, 20, []core.Bid{{Phone: 0, Arrival: 1, Departure: 5, Cost: 2}})
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewPlanRejectsBadQuery(t *testing.T) {
+	if _, err := NewPlan(3, []Query{{ID: 0, Region: "x", From: 1, To: 9}}); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestGroundTruthStableAndDrifting(t *testing.T) {
+	g := NewGroundTruth(1, 0)
+	a := g.At("Old Town", 1, 24)
+	b := g.At("Old Town", 1, 24)
+	if a != b {
+		t.Fatal("ground truth not stable")
+	}
+	mid := g.At("Old Town", 7, 24) // quarter phase: +6 sin(π/2·...)
+	if mid == a {
+		t.Fatal("no diurnal drift")
+	}
+	other := g.At("Docklands", 1, 24)
+	if other == a {
+		t.Fatal("regions share a baseline (vanishingly unlikely)")
+	}
+}
+
+func TestCollectOnlyServedTasks(t *testing.T) {
+	p, err := NewPlan(4, demoQueries()[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc := core.NewAllocation(len(p.Tasks), 2)
+	alloc.Assign(0, 0, p.Tasks[0].Arrival)
+	alloc.Assign(2, 1, p.Tasks[2].Arrival)
+	g := NewGroundTruth(2, 0) // zero sensor noise: readings equal truth
+	readings := g.Collect(p, 4, alloc)
+	if len(readings) != 2 {
+		t.Fatalf("got %d readings, want 2", len(readings))
+	}
+	for _, r := range readings {
+		want := g.At("Old Town", r.Slot, 4)
+		if math.Abs(r.Value-want) > 1e-9 {
+			t.Fatalf("noise-free reading %g != truth %g", r.Value, want)
+		}
+	}
+}
+
+func TestAggregateScoresCoverageAndError(t *testing.T) {
+	p, err := NewPlan(4, demoQueries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGroundTruth(3, 0)
+	// Answer query 0 with 2 of 4 samples; query 1 with none.
+	var readings []Reading
+	for k := range p.Tasks {
+		if p.Origin[k] == 0 && len(readings) < 2 {
+			readings = append(readings, Reading{
+				Task: core.TaskID(k), Query: 0, Slot: p.SlotOf[k], Phone: 0,
+				Value: g.At("Old Town", p.SlotOf[k], 4),
+			})
+		}
+	}
+	answers := Aggregate(p, 4, readings, g)
+	if len(answers) != 2 {
+		t.Fatalf("got %d answers", len(answers))
+	}
+	a0, a1 := answers[0], answers[1]
+	if a0.Coverage != 0.5 || a0.Samples != 2 || a0.Want != 4 {
+		t.Fatalf("query 0 coverage: %+v", a0)
+	}
+	if a0.RMSE > 1e-9 {
+		t.Fatalf("noise-free RMSE %g != 0", a0.RMSE)
+	}
+	if a1.Samples != 0 || !math.IsNaN(a1.Mean) || !math.IsNaN(a1.RMSE) {
+		t.Fatalf("unanswered query: %+v", a1)
+	}
+}
+
+// TestRunCampaignEndToEnd exercises the full pipeline and ties data
+// quality to auction performance: with abundant cheap phones, coverage
+// is full and RMSE tracks the sensor noise.
+func TestRunCampaignEndToEnd(t *testing.T) {
+	rng := workload.NewRNG(4)
+	var bids []core.Bid
+	for i := 0; i < 30; i++ {
+		a := core.Slot(1 + rng.Intn(4))
+		d := a + core.Slot(rng.Intn(3))
+		if d > 4 {
+			d = 4
+		}
+		bids = append(bids, core.Bid{
+			Phone: core.PhoneID(i), Arrival: a, Departure: d, Cost: rng.Uniform(1, 10),
+		})
+	}
+	// Bids must be sorted by arrival for instance validity? Not required
+	// by core, only dense IDs — already dense.
+	truth := NewGroundTruth(5, 1.5)
+	res, err := RunCampaign(4, 20, demoQueries(), bids, &core.OnlineMechanism{}, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanCoverage < 0.99 {
+		t.Fatalf("coverage %g with abundant supply", res.MeanCoverage)
+	}
+	// RMSE should be on the order of the sensor noise, not the signal.
+	if res.MeanRMSE <= 0 || res.MeanRMSE > 6 {
+		t.Fatalf("RMSE %g implausible for noise σ=1.5", res.MeanRMSE)
+	}
+	if res.Welfare <= 0 || res.TotalPaid < res.Welfare*0 {
+		t.Fatalf("auction metrics missing: %+v", res)
+	}
+}
+
+// TestRunCampaignScarcity: with no phones, coverage is zero and RMSE
+// undefined but the campaign still completes.
+func TestRunCampaignScarcity(t *testing.T) {
+	truth := NewGroundTruth(6, 1)
+	res, err := RunCampaign(4, 20, demoQueries(), nil, &core.OnlineMechanism{}, truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanCoverage != 0 {
+		t.Fatalf("coverage %g with no phones", res.MeanCoverage)
+	}
+	if res.MeanRMSE != 0 {
+		t.Fatalf("RMSE %g should be zero-valued when nothing answered", res.MeanRMSE)
+	}
+}
+
+func TestRunCampaignPropagatesErrors(t *testing.T) {
+	truth := NewGroundTruth(7, 1)
+	if _, err := RunCampaign(3, 20, []Query{{ID: 0, Region: "x", From: 1, To: 9}}, nil, &core.OnlineMechanism{}, truth); err == nil {
+		t.Fatal("want plan error")
+	}
+	bad := []core.Bid{{Phone: 9, Arrival: 1, Departure: 2, Cost: 1}}
+	if _, err := RunCampaign(3, 20, demoQueries()[:1], bad, &core.OnlineMechanism{}, truth); err == nil {
+		t.Fatal("want mechanism error")
+	}
+}

@@ -1,0 +1,210 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Figure is a set of series over the same swept parameter — the in-memory
+// form of one paper figure.
+type Figure struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []*Series
+}
+
+// AddSeries appends a named series and returns it for population.
+func (f *Figure) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	f.Series = append(f.Series, s)
+	return s
+}
+
+// WriteTable renders the figure as an aligned ASCII table: one row per
+// swept value, one "mean ± ci" column per series.
+func (f *Figure) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s\n", f.Title); err != nil {
+		return err
+	}
+	header := []string{f.XLabel}
+	for _, s := range f.Series {
+		header = append(header, s.Name)
+	}
+	rows := [][]string{header}
+	for i := range f.xValues() {
+		row := []string{trimFloat(f.xValues()[i])}
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				row = append(row, s.Points[i].Summary.String())
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(header))
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for ri, row := range rows {
+		var b strings.Builder
+		for c, cell := range row {
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(pad(cell, widths[c]))
+		}
+		if _, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " ")); err != nil {
+			return err
+		}
+		if ri == 0 {
+			if _, err := fmt.Fprintln(w, strings.Repeat("-", sum(widths)+2*(len(widths)-1))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteChart renders the figure as an ASCII line chart (mean values),
+// one glyph per series, with the y-axis auto-scaled across all series.
+func (f *Figure) WriteChart(w io.Writer, width, height int) error {
+	if width < 16 {
+		width = 16
+	}
+	if height < 6 {
+		height = 6
+	}
+	xs := f.xValues()
+	if len(xs) == 0 || len(f.Series) == 0 {
+		_, err := fmt.Fprintf(w, "%s\n(no data)\n", f.Title)
+		return err
+	}
+	yLo, yHi := math.Inf(1), math.Inf(-1)
+	for _, s := range f.Series {
+		lo, hi := s.YRange()
+		yLo = math.Min(yLo, lo)
+		yHi = math.Max(yHi, hi)
+	}
+	if yHi == yLo {
+		yHi = yLo + 1
+	}
+	xLo, xHi := xs[0], xs[len(xs)-1]
+	if xHi == xLo {
+		xHi = xLo + 1
+	}
+
+	glyphs := []byte{'o', 'x', '+', '*', '#', '@'}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range f.Series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points {
+			col := int(math.Round((p.X - xLo) / (xHi - xLo) * float64(width-1)))
+			row := height - 1 - int(math.Round((p.Summary.Mean-yLo)/(yHi-yLo)*float64(height-1)))
+			if col >= 0 && col < width && row >= 0 && row < height {
+				grid[row][col] = g
+			}
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s\n", f.Title); err != nil {
+		return err
+	}
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8s", trimFloat(yHi))
+		case height - 1:
+			label = fmt.Sprintf("%8s", trimFloat(yLo))
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(line)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%8s +%s\n", "", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%8s  %-*s%s  (%s)\n", "", width-len(trimFloat(xHi)), trimFloat(xLo), trimFloat(xHi), f.XLabel); err != nil {
+		return err
+	}
+	var legend []string
+	for si, s := range f.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", glyphs[si%len(glyphs)], s.Name))
+	}
+	_, err := fmt.Fprintf(w, "%8s  legend: %s; y=%s\n", "", strings.Join(legend, " "), f.YLabel)
+	return err
+}
+
+// WriteCSV emits the figure as CSV: x, then mean and ci95 per series.
+func (f *Figure) WriteCSV(w io.Writer) error {
+	cols := []string{f.XLabel}
+	for _, s := range f.Series {
+		cols = append(cols, s.Name+"_mean", s.Name+"_ci95")
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	xs := f.xValues()
+	for i := range xs {
+		row := []string{trimFloat(xs[i])}
+		for _, s := range f.Series {
+			if i < len(s.Points) {
+				row = append(row,
+					fmt.Sprintf("%.6g", s.Points[i].Summary.Mean),
+					fmt.Sprintf("%.6g", s.Points[i].Summary.CI95()))
+			} else {
+				row = append(row, "", "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// xValues returns the swept values of the longest series.
+func (f *Figure) xValues() []float64 {
+	var xs []float64
+	for _, s := range f.Series {
+		if len(s.Points) > len(xs) {
+			xs = xs[:0]
+			for _, p := range s.Points {
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	return xs
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}

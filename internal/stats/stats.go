@@ -1,0 +1,124 @@
+// Package stats provides the descriptive statistics and lightweight
+// rendering used by the experiment harness: per-point sample summaries
+// (mean, deviation, 95% confidence interval), labelled series keyed by a
+// swept parameter, and ASCII table / chart / CSV output so every paper
+// figure can be regenerated without a plotting stack.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64 // sample standard deviation (n−1)
+	Min    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of the given observations. An empty input
+// yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		var sq float64
+		for _, x := range xs {
+			d := x - s.Mean
+			sq += d * d
+		}
+		s.StdDev = math.Sqrt(sq / float64(s.N-1))
+	}
+	return s
+}
+
+// CI95 returns the half-width of the 95% confidence interval for the
+// mean, using the normal approximation (sample counts in the harness are
+// ≥ 20, where the t correction is negligible).
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+}
+
+// String renders "mean ± ci95".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.3f ± %.3f", s.Mean, s.CI95())
+}
+
+// Quantile returns the q-th sample quantile (0 ≤ q ≤ 1) using linear
+// interpolation between order statistics. It sorts a copy of the input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Point is one swept-parameter position in a series with its sample
+// summary across seeds.
+type Point struct {
+	X       float64
+	Summary Summary
+}
+
+// Series is a named line in a figure: one Point per swept value.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point summarizing the samples at x.
+func (s *Series) Add(x float64, samples []float64) {
+	s.Points = append(s.Points, Point{X: x, Summary: Summarize(samples)})
+}
+
+// YRange returns the min and max of mean values across the series.
+func (s *Series) YRange() (lo, hi float64) {
+	if len(s.Points) == 0 {
+		return 0, 0
+	}
+	lo, hi = s.Points[0].Summary.Mean, s.Points[0].Summary.Mean
+	for _, p := range s.Points[1:] {
+		if p.Summary.Mean < lo {
+			lo = p.Summary.Mean
+		}
+		if p.Summary.Mean > hi {
+			hi = p.Summary.Mean
+		}
+	}
+	return lo, hi
+}

@@ -1,0 +1,205 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.StdDev != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if s.CI95() != 0 {
+		t.Fatal("empty CI must be 0")
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.N != 1 || s.Mean != 7 || s.StdDev != 0 || s.Min != 7 || s.Max != 7 {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	// Sample {2,4,4,4,5,5,7,9}: mean 5, sample variance 32/7.
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Fatalf("mean = %g, want 5", s.Mean)
+	}
+	want := math.Sqrt(32.0 / 7.0)
+	if math.Abs(s.StdDev-want) > 1e-12 {
+		t.Fatalf("stddev = %g, want %g", s.StdDev, want)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("min/max = %g/%g", s.Min, s.Max)
+	}
+	wantCI := 1.96 * want / math.Sqrt(8)
+	if math.Abs(s.CI95()-wantCI) > 1e-12 {
+		t.Fatalf("ci = %g, want %g", s.CI95(), wantCI)
+	}
+	if !strings.Contains(s.String(), "5.000") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+// TestSummarizeProperties: mean within [min,max]; stddev ≥ 0; invariant
+// under permutation.
+func TestSummarizeProperties(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+		}
+		s := Summarize(xs)
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 || s.StdDev < 0 {
+			return false
+		}
+		rng.Shuffle(n, func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+		s2 := Summarize(xs)
+		return math.Abs(s.Mean-s2.Mean) < 1e-9 && math.Abs(s.StdDev-s2.StdDev) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Fatalf("q0 = %g", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Fatalf("q1 = %g", got)
+	}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Fatalf("median = %g", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Fatalf("q25 = %g", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Fatal("empty quantile must be NaN")
+	}
+	// Input must not be mutated.
+	if xs[0] != 3 {
+		t.Fatal("Quantile sorted the caller's slice")
+	}
+}
+
+func TestSeriesAddAndRange(t *testing.T) {
+	var s Series
+	s.Add(1, []float64{10, 12})
+	s.Add(2, []float64{20})
+	s.Add(3, []float64{5, 5, 5})
+	lo, hi := s.YRange()
+	if lo != 5 || hi != 20 {
+		t.Fatalf("YRange = %g,%g want 5,20", lo, hi)
+	}
+	var empty Series
+	lo, hi = empty.YRange()
+	if lo != 0 || hi != 0 {
+		t.Fatal("empty range must be 0,0")
+	}
+}
+
+func buildFigure() *Figure {
+	f := &Figure{Title: "Social welfare vs slots", XLabel: "m", YLabel: "welfare"}
+	on := f.AddSeries("online")
+	off := f.AddSeries("offline")
+	for _, m := range []float64{30, 40, 50} {
+		on.Add(m, []float64{m * 10, m*10 + 2})
+		off.Add(m, []float64{m * 12, m*12 + 2})
+	}
+	return f
+}
+
+func TestWriteTable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildFigure().WriteTable(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Social welfare vs slots", "m", "online", "offline", "30", "50", "±"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 { // title, header, rule, 3 rows
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestWriteChart(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildFigure().WriteChart(&buf, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "o") || !strings.Contains(out, "x") {
+		t.Fatalf("chart missing series glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "legend: o=online x=offline") {
+		t.Fatalf("chart missing legend:\n%s", out)
+	}
+	// The offline series dominates online, so the top row should contain
+	// an 'x' and the bottom row an 'o'.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "x") {
+		t.Fatalf("top row should hold the max (offline):\n%s", out)
+	}
+}
+
+func TestWriteChartEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	f := &Figure{Title: "empty"}
+	if err := f.WriteChart(&buf, 40, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no data") {
+		t.Fatal("empty figure must say so")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := buildFigure().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("csv has %d lines", len(lines))
+	}
+	if lines[0] != "m,online_mean,online_ci95,offline_mean,offline_ci95" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "30,") {
+		t.Fatalf("first row = %q", lines[1])
+	}
+	for _, line := range lines[1:] {
+		if got := strings.Count(line, ","); got != 4 {
+			t.Fatalf("row %q has %d commas, want 4", line, got)
+		}
+	}
+}
+
+func TestChartSingletonRanges(t *testing.T) {
+	f := &Figure{Title: "flat", XLabel: "x", YLabel: "y"}
+	s := f.AddSeries("s")
+	s.Add(5, []float64{1})
+	var buf bytes.Buffer
+	if err := f.WriteChart(&buf, 20, 6); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "o") {
+		t.Fatal("single point must still render")
+	}
+}

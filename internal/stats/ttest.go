@@ -1,0 +1,46 @@
+package stats
+
+import "math"
+
+// TTestResult is the outcome of Welch's two-sample t-test.
+type TTestResult struct {
+	T  float64 // test statistic
+	DF float64 // Welch–Satterthwaite degrees of freedom
+	P  float64 // two-sided p-value (normal approximation to the t CDF)
+}
+
+// WelchTTest compares the means of two independent samples without
+// assuming equal variances. The experiment harness uses it to decide
+// whether two mechanisms' metrics are statistically distinguishable
+// (e.g. the online vs offline overpayment ratios in EXPERIMENTS.md).
+// The p-value uses the normal approximation, which is accurate to a few
+// percent for the ≥ 20-sample runs the harness performs; callers with
+// tiny samples should treat P as indicative.
+func WelchTTest(a, b []float64) TTestResult {
+	sa, sb := Summarize(a), Summarize(b)
+	if sa.N < 2 || sb.N < 2 {
+		return TTestResult{P: 1}
+	}
+	va := sa.StdDev * sa.StdDev / float64(sa.N)
+	vb := sb.StdDev * sb.StdDev / float64(sb.N)
+	if va+vb == 0 {
+		if sa.Mean == sb.Mean {
+			return TTestResult{P: 1}
+		}
+		return TTestResult{T: math.Inf(1), P: 0}
+	}
+	t := (sa.Mean - sb.Mean) / math.Sqrt(va+vb)
+	df := (va + vb) * (va + vb) /
+		(va*va/float64(sa.N-1) + vb*vb/float64(sb.N-1))
+	p := 2 * (1 - normalCDF(math.Abs(t)))
+	return TTestResult{T: t, DF: df, P: p}
+}
+
+// Distinguishable reports whether the test rejects equal means at the
+// given significance level (e.g. 0.05).
+func (r TTestResult) Distinguishable(alpha float64) bool { return r.P < alpha }
+
+// normalCDF is Φ(x) via the complementary error function.
+func normalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}

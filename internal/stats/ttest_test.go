@@ -1,0 +1,84 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func normalSample(rng *rand.Rand, n int, mean, sd float64) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = mean + sd*rng.NormFloat64()
+	}
+	return xs
+}
+
+func TestWelchDetectsDifference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := normalSample(rng, 50, 10, 1)
+	b := normalSample(rng, 50, 12, 1)
+	res := WelchTTest(a, b)
+	if !res.Distinguishable(0.05) {
+		t.Fatalf("clear difference not detected: %+v", res)
+	}
+	if res.T >= 0 {
+		t.Fatalf("sign wrong: mean(a) < mean(b) should give negative t, got %g", res.T)
+	}
+}
+
+func TestWelchAcceptsEqualMeans(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rejections := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		a := normalSample(rng, 30, 5, 2)
+		b := normalSample(rng, 30, 5, 2)
+		if WelchTTest(a, b).Distinguishable(0.05) {
+			rejections++
+		}
+	}
+	// Under the null, ~5% false rejections; allow a wide band.
+	if rejections > 15 {
+		t.Fatalf("rejected equal means %d/%d times", rejections, trials)
+	}
+}
+
+func TestWelchUnequalVariances(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := normalSample(rng, 40, 10, 0.5)
+	b := normalSample(rng, 12, 10.1, 8)
+	res := WelchTTest(a, b)
+	// High-variance small sample: must NOT claim a difference.
+	if res.Distinguishable(0.05) {
+		t.Fatalf("overconfident under unequal variance: %+v", res)
+	}
+	if res.DF <= 0 || math.IsNaN(res.DF) {
+		t.Fatalf("bad degrees of freedom %g", res.DF)
+	}
+}
+
+func TestWelchDegenerateInputs(t *testing.T) {
+	if res := WelchTTest(nil, []float64{1, 2}); res.P != 1 {
+		t.Fatalf("tiny samples must be indistinguishable, got %+v", res)
+	}
+	if res := WelchTTest([]float64{3, 3, 3}, []float64{3, 3, 3}); res.P != 1 {
+		t.Fatalf("identical constant samples: %+v", res)
+	}
+	res := WelchTTest([]float64{3, 3, 3}, []float64{4, 4, 4})
+	if res.P != 0 || !math.IsInf(res.T, 1) && !math.IsInf(res.T, -1) {
+		t.Fatalf("distinct constant samples: %+v", res)
+	}
+}
+
+func TestNormalCDFAnchors(t *testing.T) {
+	for _, tc := range []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.96, 0.975},
+		{-1.96, 0.025},
+	} {
+		if got := normalCDF(tc.x); math.Abs(got-tc.want) > 1e-3 {
+			t.Fatalf("Φ(%g) = %g, want %g", tc.x, got, tc.want)
+		}
+	}
+}

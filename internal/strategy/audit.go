@@ -1,0 +1,160 @@
+package strategy
+
+import (
+	"fmt"
+
+	"dynacrowd/internal/core"
+)
+
+// AuditOptions bounds the misreport search space.
+type AuditOptions struct {
+	// CostFactors are the multipliers applied to the true cost; 1 (the
+	// truthful report) is implicit. Nil selects DefaultCostFactors.
+	CostFactors []float64
+	// MaxWindowSpan caps the number of (arrival, departure) pairs tried
+	// per phone; 0 means exhaustive over all nested windows. Phones with
+	// long windows make the exhaustive audit quadratic in the span, so
+	// large studies should cap it.
+	MaxWindowSpan int
+}
+
+// DefaultCostFactors spans understatement through strong inflation.
+var DefaultCostFactors = []float64{0, 0.5, 0.8, 0.9, 0.99, 1.01, 1.1, 1.25, 1.5, 2, 4}
+
+// AuditResult is the outcome of the misreport search for one phone.
+type AuditResult struct {
+	Phone           core.PhoneID
+	TruthfulUtility float64
+	BestUtility     float64
+	BestBid         core.Bid // the report achieving BestUtility
+	ReportsSearched int
+}
+
+// Gain is the maximum utility improvement a misreport achieved; a value
+// meaningfully above zero disproves truthfulness of the mechanism on
+// this instance.
+func (r AuditResult) Gain() float64 { return r.BestUtility - r.TruthfulUtility }
+
+// AuditPhone exhaustively searches phone i's feasible misreports (nested
+// windows × cost factors) for the report maximizing i's true utility,
+// holding all other reports truthful.
+func AuditPhone(mech core.Mechanism, truth *core.Instance, i core.PhoneID, opts AuditOptions) (AuditResult, error) {
+	if int(i) < 0 || int(i) >= truth.NumPhones() {
+		return AuditResult{}, fmt.Errorf("audit: no phone %d", i)
+	}
+	trueBid := truth.Bids[i]
+	baseline, err := mech.Run(truth)
+	if err != nil {
+		return AuditResult{}, fmt.Errorf("audit: %w", err)
+	}
+	res := AuditResult{
+		Phone:           i,
+		TruthfulUtility: baseline.Utility(i, trueBid.Cost),
+		BestBid:         trueBid,
+	}
+	res.BestUtility = res.TruthfulUtility
+
+	factors := opts.CostFactors
+	if factors == nil {
+		factors = DefaultCostFactors
+	}
+
+	work := truth.Clone()
+	tried := 0
+	for a := trueBid.Arrival; a <= trueBid.Departure; a++ {
+		for d := a; d <= trueBid.Departure; d++ {
+			if opts.MaxWindowSpan > 0 && tried >= opts.MaxWindowSpan*len(factors) {
+				break
+			}
+			for _, f := range factors {
+				if f < 0 {
+					continue
+				}
+				work.Bids[i] = core.Bid{Phone: i, Arrival: a, Departure: d, Cost: trueBid.Cost * f}
+				out, err := mech.Run(work)
+				if err != nil {
+					return AuditResult{}, fmt.Errorf("audit: %w", err)
+				}
+				tried++
+				if u := out.Utility(i, trueBid.Cost); u > res.BestUtility {
+					res.BestUtility = u
+					res.BestBid = work.Bids[i]
+				}
+			}
+		}
+	}
+	res.ReportsSearched = tried
+	return res, nil
+}
+
+// Audit runs AuditPhone for every phone and returns the per-phone
+// results in PhoneID order.
+func Audit(mech core.Mechanism, truth *core.Instance, opts AuditOptions) ([]AuditResult, error) {
+	results := make([]AuditResult, 0, truth.NumPhones())
+	for i := 0; i < truth.NumPhones(); i++ {
+		r, err := AuditPhone(mech, truth, core.PhoneID(i), opts)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+// MaxGain returns the largest misreport gain across audit results and
+// the phone achieving it.
+func MaxGain(results []AuditResult) (core.PhoneID, float64) {
+	best := core.NoPhone
+	var gain float64
+	for _, r := range results {
+		if g := r.Gain(); g > gain {
+			gain = g
+			best = r.Phone
+		}
+	}
+	return best, gain
+}
+
+// CampaignResult aggregates audits across many generated instances.
+type CampaignResult struct {
+	Instances       int
+	PhonesAudited   int
+	ReportsSearched int
+	// WorstGain is the largest misreport gain found anywhere, with the
+	// instance seed and phone that produced it.
+	WorstGain  float64
+	WorstSeed  uint64
+	WorstPhone core.PhoneID
+}
+
+// Truthful reports whether no profitable misreport was found.
+func (r CampaignResult) Truthful() bool { return r.WorstGain <= 1e-9 }
+
+// AuditCampaign audits the mechanism on every instance produced by
+// gen(seed) for the given seeds — the statistical version of a
+// single-instance audit, used to build confidence (or find rare
+// counterexamples) across workloads.
+func AuditCampaign(mech core.Mechanism, gen func(seed uint64) (*core.Instance, error), seeds []uint64, opts AuditOptions) (CampaignResult, error) {
+	var res CampaignResult
+	for _, seed := range seeds {
+		in, err := gen(seed)
+		if err != nil {
+			return res, fmt.Errorf("audit campaign: %w", err)
+		}
+		results, err := Audit(mech, in, opts)
+		if err != nil {
+			return res, fmt.Errorf("audit campaign (seed %d): %w", seed, err)
+		}
+		res.Instances++
+		res.PhonesAudited += len(results)
+		for _, r := range results {
+			res.ReportsSearched += r.ReportsSearched
+			if g := r.Gain(); g > res.WorstGain {
+				res.WorstGain = g
+				res.WorstSeed = seed
+				res.WorstPhone = r.Phone
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,120 @@
+// Package strategy models strategic smartphone behaviour and audits
+// mechanisms for truthfulness. A Behavior maps a phone's private truth to
+// the bid it actually reports (always within the feasible misreport space:
+// no early arrival, no late departure, non-negative cost). The Auditor
+// searches that space for profitable deviations — the empirical
+// counterpart of the paper's Theorems 1 and 4, and the tool that exposes
+// the Fig. 5 counterexample in the second-price baseline automatically.
+package strategy
+
+import (
+	"fmt"
+
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/workload"
+)
+
+// Behavior decides the bid a phone reports given its private truth.
+// Implementations must return a feasible bid: arrival not before the
+// true arrival, departure not after the true departure, cost ≥ 0.
+type Behavior interface {
+	// Name identifies the behaviour in reports.
+	Name() string
+	// Report returns the bid submitted for the given truth. rng supplies
+	// randomness for stochastic behaviours.
+	Report(truth core.Bid, rng *workload.RNG) core.Bid
+}
+
+// Truthful reports the private information unchanged.
+type Truthful struct{}
+
+// Name implements Behavior.
+func (Truthful) Name() string { return "truthful" }
+
+// Report implements Behavior.
+func (Truthful) Report(truth core.Bid, _ *workload.RNG) core.Bid { return truth }
+
+// CostScale multiplies the claimed cost by Factor (e.g. 1.5 = inflate
+// 50%, 0.5 = understate). Factor must be ≥ 0; the window is truthful.
+type CostScale struct {
+	Factor float64
+}
+
+// Name implements Behavior.
+func (b CostScale) Name() string { return fmt.Sprintf("cost-scale-%.2f", b.Factor) }
+
+// Report implements Behavior.
+func (b CostScale) Report(truth core.Bid, _ *workload.RNG) core.Bid {
+	truth.Cost *= b.Factor
+	if truth.Cost < 0 {
+		truth.Cost = 0
+	}
+	return truth
+}
+
+// ArrivalDelay postpones the reported arrival by up to Slots slots
+// (clamped to the true departure), as in the paper's Fig. 5 attack.
+type ArrivalDelay struct {
+	Slots core.Slot
+}
+
+// Name implements Behavior.
+func (b ArrivalDelay) Name() string { return fmt.Sprintf("arrival-delay-%d", b.Slots) }
+
+// Report implements Behavior.
+func (b ArrivalDelay) Report(truth core.Bid, _ *workload.RNG) core.Bid {
+	truth.Arrival += b.Slots
+	if truth.Arrival > truth.Departure {
+		truth.Arrival = truth.Departure
+	}
+	return truth
+}
+
+// DepartureAdvance moves the reported departure earlier by up to Slots
+// slots (clamped to the reported arrival).
+type DepartureAdvance struct {
+	Slots core.Slot
+}
+
+// Name implements Behavior.
+func (b DepartureAdvance) Name() string { return fmt.Sprintf("departure-advance-%d", b.Slots) }
+
+// Report implements Behavior.
+func (b DepartureAdvance) Report(truth core.Bid, _ *workload.RNG) core.Bid {
+	truth.Departure -= b.Slots
+	if truth.Departure < truth.Arrival {
+		truth.Departure = truth.Arrival
+	}
+	return truth
+}
+
+// RandomMisreport draws a uniformly random feasible misreport: a window
+// nested in the truth and a cost scaled by U[0.5, 2).
+type RandomMisreport struct{}
+
+// Name implements Behavior.
+func (RandomMisreport) Name() string { return "random-misreport" }
+
+// Report implements Behavior.
+func (RandomMisreport) Report(truth core.Bid, rng *workload.RNG) core.Bid {
+	span := int(truth.Departure - truth.Arrival + 1)
+	a := truth.Arrival + core.Slot(rng.Intn(span))
+	d := a + core.Slot(rng.Intn(int(truth.Departure-a)+1))
+	return core.Bid{
+		Phone:     truth.Phone,
+		Arrival:   a,
+		Departure: d,
+		Cost:      truth.Cost * rng.Uniform(0.5, 2),
+	}
+}
+
+// Apply builds the reported instance: phones listed in deviants use the
+// behaviour, everyone else reports truthfully. The returned instance
+// shares no storage with the truth.
+func Apply(truth *core.Instance, b Behavior, deviants []core.PhoneID, rng *workload.RNG) *core.Instance {
+	reported := truth.Clone()
+	for _, i := range deviants {
+		reported.Bids[i] = b.Report(truth.Bids[i], rng)
+	}
+	return reported
+}

@@ -1,0 +1,38 @@
+package typed_test
+
+import (
+	"fmt"
+
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/typed"
+)
+
+// ExampleOnlineMechanism_Run: heterogeneous sensing — a cheap phone
+// without the right sensor loses to a capable one, and the winner's
+// payment is its binary-searched critical value.
+func ExampleOnlineMechanism_Run() {
+	const (
+		noise typed.Kind = 0
+		air   typed.Kind = 1
+	)
+	in := &typed.Instance{
+		Slots:  1,
+		Values: []float64{10, 50}, // air readings are precious
+		Bids: []typed.Bid{
+			{Phone: 0, Arrival: 1, Departure: 1, Cost: 2, Caps: typed.Caps(noise)},
+			{Phone: 1, Arrival: 1, Departure: 1, Cost: 9, Caps: typed.Caps(noise, air)},
+		},
+		Tasks: []typed.Task{{ID: 0, Arrival: 1, Kind: air}},
+	}
+	out, err := (&typed.OnlineMechanism{}).Run(in)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("air task -> phone %d\n", out.ByTask[0])
+	fmt.Printf("phone 0 (no sensor) wins nothing: %v\n", out.ByTask[0] != core.PhoneID(0))
+	fmt.Printf("winner paid %.0f (the air reserve: no rival is capable)\n", out.Payments[1])
+	// Output:
+	// air task -> phone 1
+	// phone 0 (no sensor) wins nothing: true
+	// winner paid 50 (the air reserve: no rival is capable)
+}

@@ -1,0 +1,173 @@
+package typed
+
+import (
+	"fmt"
+
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/matching"
+)
+
+// OfflineMechanism is the VCG auction generalized to typed tasks: exact
+// maximum weighted matching over capability-feasible edges, payments by
+// externality. The proof obligations are identical to the homogeneous
+// case because VCG truthfulness needs only an optimal allocation over
+// reported types and one-sided misreport spaces.
+type OfflineMechanism struct{}
+
+// Name identifies the mechanism.
+func (of *OfflineMechanism) Name() string { return "typed-offline-vcg" }
+
+// Run executes the auction.
+func (of *OfflineMechanism) Run(in *Instance) (*Outcome, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("typed offline: %w", err)
+	}
+	sv := matching.NewSolver(len(in.Tasks), len(in.Bids), in.surplus)
+	res := sv.Result()
+	out := &Outcome{
+		ByTask:   make([]core.PhoneID, len(in.Tasks)),
+		Payments: make([]float64, len(in.Bids)),
+		Welfare:  res.Weight,
+	}
+	for k := range out.ByTask {
+		out.ByTask[k] = core.NoPhone
+	}
+	for task, phone := range res.MatchLeft {
+		if phone == matching.Unmatched {
+			continue
+		}
+		out.ByTask[task] = core.PhoneID(phone)
+	}
+	for _, i := range out.Winners() {
+		// p_i = ω*(B) + b_i − ω*(B₋ᵢ), via the O(s²) post-optimal query.
+		out.Payments[i] = res.Weight + in.Bids[i].Cost - sv.WeightWithoutRight(int(i))
+	}
+	return out, nil
+}
+
+// Welfare returns the optimal social welfare (the typed ω*).
+func (of *OfflineMechanism) Welfare(in *Instance) (float64, error) {
+	if err := in.Validate(); err != nil {
+		return 0, fmt.Errorf("typed offline: %w", err)
+	}
+	return matching.MaxWeightMatching(len(in.Tasks), len(in.Bids), in.surplus).Weight, nil
+}
+
+// OnlineMechanism generalizes the paper's Algorithm 1/2 to typed tasks:
+// tasks are processed in arrival order and each takes the cheapest
+// currently active, still-free phone that is capable of its kind and
+// profitable for it. Payments are each winner's critical cost, found by
+// binary search on the win/lose boundary.
+type OnlineMechanism struct{}
+
+// Name identifies the mechanism.
+func (on *OnlineMechanism) Name() string { return "typed-online-greedy" }
+
+// Run executes the auction.
+func (on *OnlineMechanism) Run(in *Instance) (*Outcome, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("typed online: %w", err)
+	}
+	byTask := allocate(in, core.NoPhone, 0)
+	out := &Outcome{
+		ByTask:   byTask,
+		Payments: make([]float64, len(in.Bids)),
+	}
+	for k, p := range byTask {
+		if p != core.NoPhone {
+			out.Welfare += in.surplus(k, int(p))
+		}
+	}
+	for _, i := range out.Winners() {
+		out.Payments[i] = criticalCost(in, i)
+	}
+	return out, nil
+}
+
+// allocate runs the greedy allocation. If override targets a phone
+// (≠ NoPhone), that phone's claimed cost is replaced by overrideCost —
+// the probe used by the critical-cost search.
+func allocate(in *Instance, override core.PhoneID, overrideCost float64) []core.PhoneID {
+	byTask := make([]core.PhoneID, len(in.Tasks))
+	taken := make([]bool, len(in.Bids))
+	cost := func(i int) float64 {
+		if core.PhoneID(i) == override {
+			return overrideCost
+		}
+		return in.Bids[i].Cost
+	}
+	for k := range byTask {
+		byTask[k] = core.NoPhone
+		t := in.Tasks[k]
+		best, bestCost := core.NoPhone, 0.0
+		for i, b := range in.Bids {
+			if taken[i] || !b.Covers(t.Arrival) || !b.Caps.Has(t.Kind) {
+				continue
+			}
+			c := cost(i)
+			if c >= in.Values[t.Kind] {
+				continue // reserve price per kind
+			}
+			if best == core.NoPhone || c < bestCost || (c == bestCost && core.PhoneID(i) < best) {
+				best, bestCost = core.PhoneID(i), c
+			}
+		}
+		if best != core.NoPhone {
+			byTask[k] = best
+			taken[best] = true
+		}
+	}
+	return byTask
+}
+
+// wins reports whether phone i wins some task when bidding cost c.
+func wins(in *Instance, i core.PhoneID, c float64) bool {
+	for _, p := range allocate(in, i, c) {
+		if p == i {
+			return true
+		}
+	}
+	return false
+}
+
+// criticalCost binary-searches the win/lose threshold θ of winner i:
+// i wins iff its claimed cost is below θ, so θ is the Myerson payment.
+//
+// Monotonicity argument (why θ exists): compare the greedy runs at costs
+// b and b' < b with everything else fixed. Walk the tasks in processing
+// order; the first task where the two runs pick different phones must
+// pick i in the b' run (only i's cost changed, and only downward), at
+// which point i has won. If no task ever differs, i wins in the b' run
+// exactly where it won in the b run. Either way a win at b implies a win
+// at every b' < b.
+//
+// The search brackets θ in [0, maxValue] and stops at an absolute width
+// of criticalEps, then returns the lower end (pessimistic for the
+// platform by at most criticalEps, never below the winner's bid, so
+// individual rationality is preserved up to the same ε).
+func criticalCost(in *Instance, i core.PhoneID) float64 {
+	var hi float64
+	for _, v := range in.Values {
+		if v > hi {
+			hi = v
+		}
+	}
+	lo := in.Bids[i].Cost // i wins at its own bid
+	if !wins(in, i, hi) {
+		for hi-lo > criticalEps {
+			mid := lo + (hi-lo)/2
+			if wins(in, i, mid) {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+	} else {
+		lo = hi
+	}
+	return lo
+}
+
+// criticalEps is the payment resolution of the binary search. Costs in
+// this codebase are O(10); 1e-6 is far below any meaningful money unit.
+const criticalEps = 1e-6

@@ -1,0 +1,176 @@
+package typed
+
+import (
+	"fmt"
+
+	"dynacrowd/internal/core"
+)
+
+// StreamBid is a typed bid submitted in the current slot; the claimed
+// arrival is implicitly the slot of submission (no-early-arrival by
+// construction, as in core.OnlineAuction).
+type StreamBid struct {
+	Departure core.Slot
+	Cost      float64
+	Caps      Capabilities
+}
+
+// StreamTask is a task announced in the current slot.
+type StreamTask struct {
+	Kind Kind
+}
+
+// SlotResult reports one slot of a typed streaming auction.
+type SlotResult struct {
+	Slot        core.Slot
+	Joined      []core.PhoneID
+	Assignments []core.Assignment
+	Unserved    int
+	Payments    []core.PaymentNotice
+}
+
+// OnlineAuction drives the typed online mechanism slot by slot,
+// mirroring core.OnlineAuction for heterogeneous tasks: greedy
+// capability-aware allocation as tasks are announced, binary-search
+// critical payments finalized at each winner's reported departure. A
+// completed run yields the same outcome as OnlineMechanism.Run on the
+// equivalent batch instance.
+type OnlineAuction struct {
+	slots  core.Slot
+	values []float64
+
+	now   core.Slot
+	bids  []Bid
+	tasks []Task
+
+	byTask []core.PhoneID
+	wonAt  []core.Slot
+	taken  []bool
+}
+
+// NewOnlineAuction starts a typed streaming round of m slots with the
+// given per-kind values.
+func NewOnlineAuction(m core.Slot, values []float64) (*OnlineAuction, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("typed auction: round length %d < 1", m)
+	}
+	if len(values) == 0 || len(values) > MaxKinds {
+		return nil, fmt.Errorf("typed auction: %d kinds outside [1,%d]", len(values), MaxKinds)
+	}
+	for k, v := range values {
+		if v < 0 {
+			return nil, fmt.Errorf("typed auction: negative value %g for kind %d", v, k)
+		}
+	}
+	return &OnlineAuction{slots: m, values: append([]float64(nil), values...)}, nil
+}
+
+// Now returns the last processed slot.
+func (oa *OnlineAuction) Now() core.Slot { return oa.now }
+
+// Done reports whether the round is complete.
+func (oa *OnlineAuction) Done() bool { return oa.now >= oa.slots }
+
+// Step advances one slot: arriving bids join, announced tasks are
+// allocated greedily (cheapest capable active free phone per task, in
+// announcement order), and payments are finalized for departing winners.
+func (oa *OnlineAuction) Step(arriving []StreamBid, announced []StreamTask) (*SlotResult, error) {
+	if oa.Done() {
+		return nil, fmt.Errorf("typed auction: round already complete (%d slots)", oa.slots)
+	}
+	t := oa.now + 1
+	for _, sb := range arriving {
+		if sb.Departure < t || sb.Departure > oa.slots {
+			return nil, fmt.Errorf("typed auction: departure %d outside [%d,%d]", sb.Departure, t, oa.slots)
+		}
+		if sb.Cost < 0 {
+			return nil, fmt.Errorf("typed auction: negative cost %g", sb.Cost)
+		}
+		if sb.Caps == 0 {
+			return nil, fmt.Errorf("typed auction: bid has no capabilities")
+		}
+	}
+	for _, st := range announced {
+		if int(st.Kind) >= len(oa.values) {
+			return nil, fmt.Errorf("typed auction: task kind %d has no value", st.Kind)
+		}
+	}
+	oa.now = t
+	res := &SlotResult{Slot: t}
+
+	for _, sb := range arriving {
+		id := core.PhoneID(len(oa.bids))
+		oa.bids = append(oa.bids, Bid{
+			Phone: id, Arrival: t, Departure: sb.Departure, Cost: sb.Cost, Caps: sb.Caps,
+		})
+		oa.wonAt = append(oa.wonAt, 0)
+		oa.taken = append(oa.taken, false)
+		res.Joined = append(res.Joined, id)
+	}
+
+	for _, st := range announced {
+		id := core.TaskID(len(oa.tasks))
+		oa.tasks = append(oa.tasks, Task{ID: id, Arrival: t, Kind: st.Kind})
+		oa.byTask = append(oa.byTask, core.NoPhone)
+
+		winner := core.NoPhone
+		bestCost := 0.0
+		for i, b := range oa.bids {
+			if oa.taken[i] || !b.Covers(t) || !b.Caps.Has(st.Kind) || b.Cost >= oa.values[st.Kind] {
+				continue
+			}
+			if winner == core.NoPhone || b.Cost < bestCost {
+				winner, bestCost = core.PhoneID(i), b.Cost
+			}
+		}
+		if winner == core.NoPhone {
+			res.Unserved++
+			continue
+		}
+		oa.byTask[id] = winner
+		oa.wonAt[winner] = t
+		oa.taken[winner] = true
+		res.Assignments = append(res.Assignments, core.Assignment{Task: id, Phone: winner, Slot: t})
+	}
+
+	// Finalize payments for winners departing this slot. criticalCost
+	// replays the greedy allocation over the accumulated instance; tasks
+	// and bids arriving after a winner's departure cannot affect slots
+	// up to it, so paying now equals paying at the end of the round.
+	snapshot := oa.instance()
+	for i := range oa.bids {
+		if oa.bids[i].Departure != t || oa.wonAt[i] == 0 {
+			continue
+		}
+		res.Payments = append(res.Payments, core.PaymentNotice{
+			Phone:  core.PhoneID(i),
+			Amount: criticalCost(snapshot, core.PhoneID(i)),
+		})
+	}
+	return res, nil
+}
+
+func (oa *OnlineAuction) instance() *Instance {
+	return &Instance{Slots: oa.slots, Values: oa.values, Bids: oa.bids, Tasks: oa.tasks}
+}
+
+// Instance returns a copy of the accumulated round.
+func (oa *OnlineAuction) Instance() *Instance { return oa.instance().Clone() }
+
+// Outcome assembles the round outcome so far.
+func (oa *OnlineAuction) Outcome() *Outcome {
+	in := oa.instance()
+	out := &Outcome{
+		ByTask:   append([]core.PhoneID(nil), oa.byTask...),
+		Payments: make([]float64, len(oa.bids)),
+	}
+	for k, p := range oa.byTask {
+		if p != core.NoPhone {
+			out.Welfare += in.surplus(k, int(p))
+		}
+	}
+	for _, i := range out.Winners() {
+		out.Payments[i] = criticalCost(in, i)
+	}
+	return out
+}

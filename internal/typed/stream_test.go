@@ -1,0 +1,156 @@
+package typed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dynacrowd/internal/core"
+)
+
+// replayTyped drives a typed streaming auction through a batch instance
+// whose bids are grouped by arrival; returns the stream->original
+// PhoneID permutation.
+func replayTyped(t *testing.T, in *Instance) (*OnlineAuction, []core.PhoneID) {
+	t.Helper()
+	oa, err := NewOnlineAuction(in.Slots, in.Values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byArrival := make([][]int, in.Slots+1)
+	for i, b := range in.Bids {
+		byArrival[b.Arrival] = append(byArrival[b.Arrival], i)
+	}
+	tasksByArrival := make([][]StreamTask, in.Slots+1)
+	for _, task := range in.Tasks {
+		tasksByArrival[task.Arrival] = append(tasksByArrival[task.Arrival], StreamTask{Kind: task.Kind})
+	}
+	var perm []core.PhoneID
+	for s := core.Slot(1); s <= in.Slots; s++ {
+		var arriving []StreamBid
+		for _, i := range byArrival[s] {
+			arriving = append(arriving, StreamBid{
+				Departure: in.Bids[i].Departure, Cost: in.Bids[i].Cost, Caps: in.Bids[i].Caps,
+			})
+			perm = append(perm, core.PhoneID(i))
+		}
+		if _, err := oa.Step(arriving, tasksByArrival[s]); err != nil {
+			t.Fatalf("slot %d: %v", s, err)
+		}
+	}
+	return oa, perm
+}
+
+// TestTypedStreamMatchesBatch: full equivalence against the batch typed
+// mechanism on random instances (distinct costs make the permutation
+// irrelevant to tiebreaks).
+func TestTypedStreamMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1001))
+	for trial := 0; trial < 60; trial++ {
+		in := randomTyped(rng, trial%2 == 0)
+		batch, err := (&OnlineMechanism{}).Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oa, perm := replayTyped(t, in)
+		stream := oa.Outcome()
+
+		if math.Abs(stream.Welfare-batch.Welfare) > 1e-9 {
+			t.Fatalf("trial %d: stream welfare %g != batch %g", trial, stream.Welfare, batch.Welfare)
+		}
+		for sid, orig := range perm {
+			if math.Abs(stream.Payments[sid]-batch.Payments[orig]) > 1e-6 {
+				t.Fatalf("trial %d: payment stream[%d]=%g != batch[%d]=%g",
+					trial, sid, stream.Payments[sid], orig, batch.Payments[orig])
+			}
+		}
+		for k := range batch.ByTask {
+			want := batch.ByTask[k]
+			got := stream.ByTask[k]
+			if (want == core.NoPhone) != (got == core.NoPhone) {
+				t.Fatalf("trial %d: task %d served-ness differs", trial, k)
+			}
+			if want != core.NoPhone && perm[got] != want {
+				t.Fatalf("trial %d: task %d -> stream %d (orig %d), batch %d",
+					trial, k, got, perm[got], want)
+			}
+		}
+	}
+}
+
+// TestTypedStreamPaymentTiming: payments land exactly at departures.
+func TestTypedStreamPaymentTiming(t *testing.T) {
+	oa, err := NewOnlineAuction(3, []float64{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := oa.Step([]StreamBid{{Departure: 2, Cost: 4, Caps: Caps(0)}}, []StreamTask{{Kind: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != 1 || len(res.Payments) != 0 {
+		t.Fatalf("slot 1: %+v", res)
+	}
+	res, err = oa.Step(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The binary-search critical value converges to the reserve from
+	// below, within criticalEps-scale resolution.
+	if len(res.Payments) != 1 || math.Abs(res.Payments[0].Amount-10) > 1e-5 {
+		t.Fatalf("slot 2 payments: %+v (want uncontested reserve ≈10)", res.Payments)
+	}
+}
+
+func TestTypedStreamValidation(t *testing.T) {
+	if _, err := NewOnlineAuction(0, []float64{10}); err == nil {
+		t.Fatal("want slots error")
+	}
+	if _, err := NewOnlineAuction(3, nil); err == nil {
+		t.Fatal("want kinds error")
+	}
+	if _, err := NewOnlineAuction(3, []float64{-1}); err == nil {
+		t.Fatal("want value error")
+	}
+
+	oa, _ := NewOnlineAuction(2, []float64{10})
+	if _, err := oa.Step([]StreamBid{{Departure: 9, Cost: 1, Caps: Caps(0)}}, nil); err == nil {
+		t.Fatal("want departure error")
+	}
+	if _, err := oa.Step([]StreamBid{{Departure: 2, Cost: -1, Caps: Caps(0)}}, nil); err == nil {
+		t.Fatal("want cost error")
+	}
+	if _, err := oa.Step([]StreamBid{{Departure: 2, Cost: 1}}, nil); err == nil {
+		t.Fatal("want capability error")
+	}
+	if _, err := oa.Step(nil, []StreamTask{{Kind: 9}}); err == nil {
+		t.Fatal("want kind error")
+	}
+	if oa.Now() != 0 {
+		t.Fatal("failed steps consumed the clock")
+	}
+	for !oa.Done() {
+		if _, err := oa.Step(nil, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := oa.Step(nil, nil); err == nil {
+		t.Fatal("want round-complete error")
+	}
+}
+
+// TestTypedStreamCapabilityFiltering: a task only goes to capable phones
+// even when cheaper incapable ones are active.
+func TestTypedStreamCapabilityFiltering(t *testing.T) {
+	oa, _ := NewOnlineAuction(1, []float64{10, 20})
+	res, err := oa.Step([]StreamBid{
+		{Departure: 1, Cost: 1, Caps: Caps(0)}, // cheap, wrong kind
+		{Departure: 1, Cost: 5, Caps: Caps(1)},
+	}, []StreamTask{{Kind: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != 1 || res.Assignments[0].Phone != 1 {
+		t.Fatalf("assignments: %+v (want phone 1)", res.Assignments)
+	}
+}

@@ -1,0 +1,214 @@
+// Package typed extends the paper's model to heterogeneous sensing.
+// The paper assumes "each smartphone can provide all kinds of sensing
+// services" (Section III-A); real fleets are not uniform — a phone
+// without a barometer cannot serve a pressure-sensing task. This package
+// generalizes both mechanisms to tasks with a Kind, phones with a
+// capability set, and per-kind task values:
+//
+//   - OfflineMechanism stays an exact VCG auction: the bipartite
+//     reduction only gains a capability constraint on edges, so
+//     optimality, truthfulness, and individual rationality carry over
+//     unchanged (capability misreports are one-sided, like time
+//     misreports: a phone can hide a sensor but cannot fake one).
+//   - OnlineMechanism keeps the paper's greedy slot-by-slot allocation
+//     with capability filtering. The allocation remains monotone in a
+//     phone's claimed cost (lowering a cost either leaves the run
+//     untouched until the phone wins earlier, or changes nothing — see
+//     the proof sketch on criticalCost), so Myerson payments still
+//     exist; they are computed by binary search on the win/lose
+//     boundary instead of the homogeneous case's closed form.
+//
+// The package is self-contained (its own Instance/Bid/Task carrying the
+// kind information) and reuses internal/matching for the offline
+// optimum. The test suite audits truthfulness of both generalized
+// mechanisms the same way internal/strategy audits the originals.
+package typed
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"dynacrowd/internal/core"
+)
+
+// Kind is a sensing-task category (noise, air quality, imagery, ...).
+// Kinds are small dense integers; at most 64 are supported so that a
+// capability set fits one word.
+type Kind uint8
+
+// MaxKinds bounds the number of distinct kinds.
+const MaxKinds = 64
+
+// Capabilities is the set of kinds a phone can serve, as a bitmask.
+type Capabilities uint64
+
+// Caps builds a capability set.
+func Caps(kinds ...Kind) Capabilities {
+	var c Capabilities
+	for _, k := range kinds {
+		c |= 1 << k
+	}
+	return c
+}
+
+// Has reports whether the set contains kind k.
+func (c Capabilities) Has(k Kind) bool { return c&(1<<k) != 0 }
+
+// Count returns the number of kinds in the set.
+func (c Capabilities) Count() int { return bits.OnesCount64(uint64(c)) }
+
+// Task is a sensing task with a kind.
+type Task struct {
+	ID      core.TaskID
+	Arrival core.Slot
+	Kind    Kind
+}
+
+// Bid is a phone's bid: window, cost, and claimed capability set. As
+// with arrival and departure, capability misreports are one-sided: a
+// phone may withhold capabilities it has, but claiming a sensor it
+// lacks means failing the task, which the platform verifies on
+// delivery.
+type Bid struct {
+	Phone     core.PhoneID
+	Arrival   core.Slot
+	Departure core.Slot
+	Cost      float64
+	Caps      Capabilities
+}
+
+// Covers reports whether the bid's window contains slot t.
+func (b Bid) Covers(t core.Slot) bool { return b.Arrival <= t && t <= b.Departure }
+
+// Instance is one heterogeneous auction round.
+type Instance struct {
+	Slots core.Slot
+	// Values[k] is the platform's value for completing a task of kind k.
+	Values []float64
+	Bids   []Bid
+	Tasks  []Task
+}
+
+// Validate checks the structural invariants.
+func (in *Instance) Validate() error {
+	if in.Slots < 1 {
+		return fmt.Errorf("typed: round length %d < 1", in.Slots)
+	}
+	if len(in.Values) == 0 || len(in.Values) > MaxKinds {
+		return fmt.Errorf("typed: %d kinds outside [1,%d]", len(in.Values), MaxKinds)
+	}
+	for k, v := range in.Values {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("typed: value %g for kind %d is not a non-negative finite number", v, k)
+		}
+	}
+	for i, b := range in.Bids {
+		if b.Phone != core.PhoneID(i) {
+			return fmt.Errorf("typed: bid %d has phone id %d", i, b.Phone)
+		}
+		if b.Arrival < 1 || b.Departure > in.Slots || b.Arrival > b.Departure {
+			return fmt.Errorf("typed: bid %d window [%d,%d] invalid", i, b.Arrival, b.Departure)
+		}
+		if b.Cost < 0 || math.IsNaN(b.Cost) || math.IsInf(b.Cost, 0) {
+			return fmt.Errorf("typed: bid %d cost %g is not a non-negative finite number", i, b.Cost)
+		}
+		if b.Caps == 0 {
+			return fmt.Errorf("typed: bid %d has no capabilities", i)
+		}
+	}
+	var prev core.Slot
+	for k, t := range in.Tasks {
+		if t.ID != core.TaskID(k) {
+			return fmt.Errorf("typed: task %d has id %d", k, t.ID)
+		}
+		if t.Arrival < 1 || t.Arrival > in.Slots {
+			return fmt.Errorf("typed: task %d arrival %d outside round", k, t.Arrival)
+		}
+		if t.Arrival < prev {
+			return fmt.Errorf("typed: task %d out of arrival order", k)
+		}
+		if int(t.Kind) >= len(in.Values) {
+			return fmt.Errorf("typed: task %d kind %d has no value", k, t.Kind)
+		}
+		prev = t.Arrival
+	}
+	return nil
+}
+
+// Clone deep-copies the instance.
+func (in *Instance) Clone() *Instance {
+	out := &Instance{Slots: in.Slots}
+	out.Values = append([]float64(nil), in.Values...)
+	out.Bids = append([]Bid(nil), in.Bids...)
+	out.Tasks = append([]Task(nil), in.Tasks...)
+	return out
+}
+
+// surplus returns the platform's gain from phone serving task, or ≤ 0
+// when infeasible (outside window, missing capability, or at a loss).
+func (in *Instance) surplus(task, phone int) float64 {
+	t := in.Tasks[task]
+	b := in.Bids[phone]
+	if !b.Covers(t.Arrival) || !b.Caps.Has(t.Kind) {
+		return 0
+	}
+	return in.Values[t.Kind] - b.Cost
+}
+
+// Outcome mirrors core.Outcome for the typed model.
+type Outcome struct {
+	// ByTask maps TaskID -> PhoneID (core.NoPhone when unserved).
+	ByTask []core.PhoneID
+	// Payments maps PhoneID -> payment (0 for losers).
+	Payments []float64
+	// Welfare is Σ (value(kind) − cost) over served tasks.
+	Welfare float64
+}
+
+// Winners returns the phones that were allocated a task.
+func (o *Outcome) Winners() []core.PhoneID {
+	seen := make(map[core.PhoneID]bool)
+	var w []core.PhoneID
+	for _, p := range o.ByTask {
+		if p != core.NoPhone && !seen[p] {
+			seen[p] = true
+			w = append(w, p)
+		}
+	}
+	return w
+}
+
+// Utility returns phone i's utility given its real cost.
+func (o *Outcome) Utility(i core.PhoneID, realCost float64) float64 {
+	for _, p := range o.ByTask {
+		if p == i {
+			return o.Payments[i] - realCost
+		}
+	}
+	return 0
+}
+
+// Validate checks outcome feasibility against the instance.
+func (o *Outcome) Validate(in *Instance) error {
+	if len(o.ByTask) != len(in.Tasks) || len(o.Payments) != len(in.Bids) {
+		return fmt.Errorf("typed: outcome size mismatch")
+	}
+	used := make(map[core.PhoneID]core.TaskID)
+	for k, p := range o.ByTask {
+		if p == core.NoPhone {
+			continue
+		}
+		if int(p) >= len(in.Bids) {
+			return fmt.Errorf("typed: task %d assigned to unknown phone %d", k, p)
+		}
+		if prev, ok := used[p]; ok {
+			return fmt.Errorf("typed: phone %d serves tasks %d and %d", p, prev, k)
+		}
+		used[p] = core.TaskID(k)
+		if in.surplus(k, int(p)) <= 0 {
+			return fmt.Errorf("typed: infeasible or unprofitable assignment task %d -> phone %d", k, p)
+		}
+	}
+	return nil
+}

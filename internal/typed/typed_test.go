@@ -1,0 +1,425 @@
+package typed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/matching"
+)
+
+const (
+	kindNoise Kind = iota
+	kindAir
+	kindPhoto
+)
+
+// demoInstance: 3 kinds with different values, phones with partial
+// capability sets.
+func demoInstance() *Instance {
+	return &Instance{
+		Slots:  4,
+		Values: []float64{20, 40, 30}, // noise, air, photo
+		Bids: []Bid{
+			{Phone: 0, Arrival: 1, Departure: 4, Cost: 5, Caps: Caps(kindNoise, kindAir, kindPhoto)},
+			{Phone: 1, Arrival: 1, Departure: 2, Cost: 3, Caps: Caps(kindNoise)},
+			{Phone: 2, Arrival: 2, Departure: 4, Cost: 8, Caps: Caps(kindAir)},
+			{Phone: 3, Arrival: 1, Departure: 4, Cost: 6, Caps: Caps(kindPhoto, kindNoise)},
+		},
+		Tasks: []Task{
+			{ID: 0, Arrival: 1, Kind: kindNoise},
+			{ID: 1, Arrival: 2, Kind: kindAir},
+			{ID: 2, Arrival: 3, Kind: kindPhoto},
+		},
+	}
+}
+
+func TestCapabilities(t *testing.T) {
+	c := Caps(kindNoise, kindPhoto)
+	if !c.Has(kindNoise) || !c.Has(kindPhoto) || c.Has(kindAir) {
+		t.Fatalf("caps = %b", c)
+	}
+	if c.Count() != 2 {
+		t.Fatalf("count = %d", c.Count())
+	}
+	if Caps().Count() != 0 {
+		t.Fatal("empty caps")
+	}
+}
+
+func TestInstanceValidate(t *testing.T) {
+	if err := demoInstance().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Instance){
+		func(in *Instance) { in.Slots = 0 },
+		func(in *Instance) { in.Values = nil },
+		func(in *Instance) { in.Values[1] = -1 },
+		func(in *Instance) { in.Bids[0].Phone = 9 },
+		func(in *Instance) { in.Bids[0].Arrival = 0 },
+		func(in *Instance) { in.Bids[0].Cost = -1 },
+		func(in *Instance) { in.Bids[0].Caps = 0 },
+		func(in *Instance) { in.Tasks[0].ID = 5 },
+		func(in *Instance) { in.Tasks[0].Arrival = 9 },
+		func(in *Instance) { in.Tasks[2].Kind = 7 },
+		func(in *Instance) { in.Tasks[0].Arrival = 4 }, // out of order
+	}
+	for i, mut := range mutations {
+		in := demoInstance()
+		mut(in)
+		if in.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestSurplusRespectsCapabilityAndWindow(t *testing.T) {
+	in := demoInstance()
+	// Phone 1 (noise only) on the air task: no edge.
+	if s := in.surplus(1, 1); s > 0 {
+		t.Fatalf("capability violation has surplus %g", s)
+	}
+	// Phone 1 on the photo task in slot 3: outside window [1,2].
+	if s := in.surplus(2, 1); s > 0 {
+		t.Fatalf("window violation has surplus %g", s)
+	}
+	// Phone 0 on the air task: 40 − 5.
+	if s := in.surplus(1, 0); s != 35 {
+		t.Fatalf("surplus = %g, want 35", s)
+	}
+}
+
+func runBoth(t *testing.T, in *Instance) (*Outcome, *Outcome) {
+	t.Helper()
+	on, err := (&OnlineMechanism{}).Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := on.Validate(in); err != nil {
+		t.Fatalf("online outcome invalid: %v", err)
+	}
+	off, err := (&OfflineMechanism{}).Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := off.Validate(in); err != nil {
+		t.Fatalf("offline outcome invalid: %v", err)
+	}
+	return on, off
+}
+
+func TestDemoAllocation(t *testing.T) {
+	in := demoInstance()
+	on, off := runBoth(t, in)
+
+	// Online greedy: task 0 (noise, slot 1) -> phone 1 (cost 3);
+	// task 1 (air, slot 2) -> phone 0 (cost 5 < phone 2's 8);
+	// task 2 (photo, slot 3) -> phone 3 (phone 0 taken).
+	want := []core.PhoneID{1, 0, 3}
+	for k, p := range on.ByTask {
+		if p != want[k] {
+			t.Fatalf("online task %d -> phone %d, want %d", k, p, want[k])
+		}
+	}
+	// Offline can do no worse.
+	if off.Welfare < on.Welfare-1e-9 {
+		t.Fatalf("offline %g < online %g", off.Welfare, on.Welfare)
+	}
+}
+
+func TestOfflineRejectsInvalid(t *testing.T) {
+	in := demoInstance()
+	in.Bids[0].Caps = 0
+	if _, err := (&OfflineMechanism{}).Run(in); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := (&OnlineMechanism{}).Run(in); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := (&OfflineMechanism{}).Welfare(in); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+// randomTyped builds a random heterogeneous instance. equalValues makes
+// all kinds worth the same (the regime where the 1/2-competitive bound
+// still applies).
+func randomTyped(rng *rand.Rand, equalValues bool) *Instance {
+	kinds := 2 + rng.Intn(3)
+	m := core.Slot(3 + rng.Intn(5))
+	in := &Instance{Slots: m}
+	for k := 0; k < kinds; k++ {
+		if equalValues {
+			in.Values = append(in.Values, 30)
+		} else {
+			in.Values = append(in.Values, 10+rng.Float64()*40)
+		}
+	}
+	n := 1 + rng.Intn(8)
+	for i := 0; i < n; i++ {
+		a := core.Slot(1 + rng.Intn(int(m)))
+		d := a + core.Slot(rng.Intn(int(m-a)+1))
+		caps := Capabilities(0)
+		for caps == 0 {
+			for k := 0; k < kinds; k++ {
+				if rng.Intn(2) == 0 {
+					caps |= 1 << Kind(k)
+				}
+			}
+		}
+		in.Bids = append(in.Bids, Bid{
+			Phone: core.PhoneID(i), Arrival: a, Departure: d,
+			Cost: rng.Float64() * 45, Caps: caps,
+		})
+	}
+	numTasks := rng.Intn(8)
+	arr := make([]int, numTasks)
+	for k := range arr {
+		arr[k] = 1 + rng.Intn(int(m))
+	}
+	for i := 1; i < len(arr); i++ {
+		for j := i; j > 0 && arr[j] < arr[j-1]; j-- {
+			arr[j], arr[j-1] = arr[j-1], arr[j]
+		}
+	}
+	for k, a := range arr {
+		in.Tasks = append(in.Tasks, Task{ID: core.TaskID(k), Arrival: core.Slot(a), Kind: Kind(rng.Intn(kinds))})
+	}
+	return in
+}
+
+// TestOfflineOptimalTyped cross-checks against the brute-force matcher.
+func TestOfflineOptimalTyped(t *testing.T) {
+	rng := rand.New(rand.NewSource(701))
+	of := &OfflineMechanism{}
+	for trial := 0; trial < 120; trial++ {
+		in := randomTyped(rng, trial%2 == 0)
+		out, err := of.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := matching.BruteForceMaxWeight(len(in.Tasks), len(in.Bids), in.surplus)
+		if math.Abs(out.Welfare-oracle.Weight) > 1e-6 {
+			t.Fatalf("trial %d: offline %g != oracle %g", trial, out.Welfare, oracle.Weight)
+		}
+	}
+}
+
+// TestOnlineAtMostOffline: greedy never beats the optimum.
+func TestOnlineAtMostOffline(t *testing.T) {
+	rng := rand.New(rand.NewSource(702))
+	for trial := 0; trial < 120; trial++ {
+		in := randomTyped(rng, trial%2 == 0)
+		on, off := runBoth(t, in)
+		if on.Welfare > off.Welfare+1e-9 {
+			t.Fatalf("trial %d: online %g > offline %g", trial, on.Welfare, off.Welfare)
+		}
+	}
+}
+
+// TestOnlineHalfCompetitiveEqualValues: with uniform task values the
+// paper's 1/2 bound carries over to the typed greedy (exchange argument
+// over the feasibility graph). With heterogeneous values it provably
+// does NOT (a cheap phone can be burned on a low-value task), which
+// TestHeterogeneousValuesBreakHalf demonstrates.
+func TestOnlineHalfCompetitiveEqualValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(703))
+	for trial := 0; trial < 200; trial++ {
+		in := randomTyped(rng, true)
+		on, off := runBoth(t, in)
+		if on.Welfare < off.Welfare/2-1e-9 {
+			t.Fatalf("trial %d: online %g < offline/2 = %g\n%+v", trial, on.Welfare, off.Welfare/2, in)
+		}
+	}
+}
+
+// TestHeterogeneousValuesBreakHalf pins the counterexample showing the
+// competitive guarantee is value-homogeneity-dependent: one phone, a
+// low-value task first, a high-value task later.
+func TestHeterogeneousValuesBreakHalf(t *testing.T) {
+	in := &Instance{
+		Slots:  2,
+		Values: []float64{10, 100}, // kind 0 cheap, kind 1 precious
+		Bids: []Bid{
+			{Phone: 0, Arrival: 1, Departure: 2, Cost: 1, Caps: Caps(0, 1)},
+		},
+		Tasks: []Task{
+			{ID: 0, Arrival: 1, Kind: 0},
+			{ID: 1, Arrival: 2, Kind: 1},
+		},
+	}
+	on, off := runBoth(t, in)
+	if on.Welfare != 9 {
+		t.Fatalf("online welfare %g, want 9 (burned on the cheap task)", on.Welfare)
+	}
+	if off.Welfare != 99 {
+		t.Fatalf("offline welfare %g, want 99", off.Welfare)
+	}
+	if on.Welfare >= off.Welfare/2 {
+		t.Fatal("counterexample lost its bite")
+	}
+}
+
+// TestOnlineMonotoneInCost verifies the monotonicity lemma the critical
+// payment rests on: a winner keeps winning at any lower cost.
+func TestOnlineMonotoneInCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(704))
+	for trial := 0; trial < 150; trial++ {
+		in := randomTyped(rng, trial%2 == 0)
+		out, err := (&OnlineMechanism{}).Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, i := range out.Winners() {
+			lower := in.Bids[i].Cost * rng.Float64()
+			if !wins(in, i, lower) {
+				t.Fatalf("trial %d: phone %d wins at %g but loses at %g", trial, i, in.Bids[i].Cost, lower)
+			}
+		}
+	}
+}
+
+// TestCriticalCostBoundary: bidding just below the payment wins, just
+// above loses — the Myerson property, now via binary search.
+func TestCriticalCostBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(705))
+	for trial := 0; trial < 80; trial++ {
+		in := randomTyped(rng, trial%2 == 0)
+		out, err := (&OnlineMechanism{}).Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, i := range out.Winners() {
+			p := out.Payments[i]
+			if p < in.Bids[i].Cost-1e-9 {
+				t.Fatalf("trial %d: payment %g below bid %g", trial, p, in.Bids[i].Cost)
+			}
+			if p > 2*criticalEps && !wins(in, i, p-10*criticalEps) {
+				t.Fatalf("trial %d: phone %d loses just below its payment %g", trial, i, p)
+			}
+			if wins(in, i, p+10*criticalEps) {
+				t.Fatalf("trial %d: phone %d still wins just above its payment %g", trial, i, p)
+			}
+		}
+	}
+}
+
+// TestTypedOnlineTruthfulness audits cost and window misreports under
+// the typed online mechanism.
+func TestTypedOnlineTruthfulness(t *testing.T) {
+	rng := rand.New(rand.NewSource(706))
+	on := &OnlineMechanism{}
+	for trial := 0; trial < 30; trial++ {
+		in := randomTyped(rng, trial%2 == 0)
+		truthOut, err := on.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range in.Bids {
+			truth := in.Bids[i]
+			uTruth := truthOut.Utility(core.PhoneID(i), truth.Cost)
+			for a := truth.Arrival; a <= truth.Departure; a++ {
+				for d := a; d <= truth.Departure; d++ {
+					for _, f := range []float64{0, 0.5, 0.9, 1.2, 2} {
+						alt := in.Clone()
+						alt.Bids[i].Arrival = a
+						alt.Bids[i].Departure = d
+						alt.Bids[i].Cost = truth.Cost * f
+						altOut, err := on.Run(alt)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if u := altOut.Utility(core.PhoneID(i), truth.Cost); u > uTruth+1e-4 {
+							t.Fatalf("trial %d: phone %d gains %g > %g via (%d,%d,%g)",
+								trial, i, u, uTruth, a, d, alt.Bids[i].Cost)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTypedCapabilityWithholdingNeverHelps: hiding a capability (the
+// only feasible capability misreport) cannot raise utility.
+func TestTypedCapabilityWithholdingNeverHelps(t *testing.T) {
+	rng := rand.New(rand.NewSource(707))
+	for trial := 0; trial < 60; trial++ {
+		in := randomTyped(rng, trial%2 == 0)
+		for _, mech := range []interface {
+			Run(*Instance) (*Outcome, error)
+		}{&OnlineMechanism{}, &OfflineMechanism{}} {
+			truthOut, err := mech.Run(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range in.Bids {
+				truth := in.Bids[i]
+				if truth.Caps.Count() < 2 {
+					continue
+				}
+				uTruth := truthOut.Utility(core.PhoneID(i), truth.Cost)
+				for k := Kind(0); int(k) < len(in.Values); k++ {
+					if !truth.Caps.Has(k) {
+						continue
+					}
+					alt := in.Clone()
+					alt.Bids[i].Caps &^= 1 << k
+					if alt.Bids[i].Caps == 0 {
+						continue
+					}
+					altOut, err := mech.Run(alt)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if u := altOut.Utility(core.PhoneID(i), truth.Cost); u > uTruth+1e-4 {
+						t.Fatalf("trial %d: phone %d gains %g > %g by hiding kind %d", trial, i, u, uTruth, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTypedOfflineIR: truthful utilities non-negative under typed VCG.
+func TestTypedOfflineIR(t *testing.T) {
+	rng := rand.New(rand.NewSource(708))
+	of := &OfflineMechanism{}
+	for trial := 0; trial < 80; trial++ {
+		in := randomTyped(rng, trial%2 == 0)
+		out, err := of.Run(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range in.Bids {
+			if u := out.Utility(core.PhoneID(i), in.Bids[i].Cost); u < -1e-9 {
+				t.Fatalf("trial %d: phone %d utility %g", trial, i, u)
+			}
+		}
+	}
+}
+
+func TestOutcomeValidateRejects(t *testing.T) {
+	in := demoInstance()
+	out := &Outcome{
+		ByTask:   []core.PhoneID{1, core.NoPhone, core.NoPhone},
+		Payments: make([]float64, 4),
+	}
+	if err := out.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	out.ByTask[1] = 1 // phone 1 twice
+	if out.Validate(in) == nil {
+		t.Fatal("double assignment accepted")
+	}
+	out.ByTask[1] = core.NoPhone
+	out.ByTask[2] = 1 // phone 1 lacks photo capability and window
+	if out.Validate(in) == nil {
+		t.Fatal("infeasible assignment accepted")
+	}
+	out.ByTask = out.ByTask[:2]
+	if out.Validate(in) == nil {
+		t.Fatal("size mismatch accepted")
+	}
+}

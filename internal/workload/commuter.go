@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"fmt"
+
+	"dynacrowd/internal/core"
+)
+
+// CommuterScenario generates supply from a population of commuters
+// rather than a memoryless Poisson stream: each person's phone becomes
+// available during up to three idle periods of the day — on the morning
+// commute, over lunch, and on the evening commute — with per-person
+// jitter. The same person contributes at most one bid per idle period
+// (each period is a separate market entry with its own window, matching
+// the paper's one-bid-per-round rule applied per appearance).
+//
+// Compared to Scenario's stationary arrivals, commuter supply is bursty
+// and correlated, which stresses the online mechanism's worst side:
+// tasks arriving off-peak find a thin market. The citysense example and
+// robustness experiments use it as the "realistic city" workload.
+type CommuterScenario struct {
+	// People is the population size (each contributes 1-3 windows).
+	People int
+	// Slots is the day length m; idle periods scale with it.
+	Slots core.Slot
+	// MeanCost is c̄ as in Scenario; costs are U[0, 2c̄].
+	MeanCost float64
+	// Value is ν per task.
+	Value float64
+	// LunchFraction is the chance a person also idles at midday.
+	LunchFraction float64
+}
+
+// DefaultCommuterScenario mirrors Table I's magnitudes over a 48-slot
+// day (one slot per half hour of a 6:00-20:00 span, settings rounded).
+func DefaultCommuterScenario() CommuterScenario {
+	return CommuterScenario{
+		People:        150,
+		Slots:         48,
+		MeanCost:      25,
+		Value:         30,
+		LunchFraction: 0.4,
+	}
+}
+
+// Validate checks the parameters.
+func (c CommuterScenario) Validate() error {
+	switch {
+	case c.People < 1:
+		return fmt.Errorf("commuter: population %d < 1", c.People)
+	case c.Slots < 8:
+		return fmt.Errorf("commuter: day of %d slots too short (need ≥ 8)", c.Slots)
+	case c.MeanCost <= 0:
+		return fmt.Errorf("commuter: mean cost %g must be positive", c.MeanCost)
+	case c.Value < 0:
+		return fmt.Errorf("commuter: negative value %g", c.Value)
+	case c.LunchFraction < 0 || c.LunchFraction > 1:
+		return fmt.Errorf("commuter: lunch fraction %g outside [0,1]", c.LunchFraction)
+	}
+	return nil
+}
+
+// Generate draws one day of commuter supply. Bids are ordered by
+// arrival with dense PhoneIDs, ready for core.Instance.
+func (c CommuterScenario) Generate(seed uint64) (*core.Instance, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	rng := NewRNG(seed)
+	m := int(c.Slots)
+
+	// Anchor the three idle periods at fractions of the day.
+	anchor := func(frac float64) int { return 1 + int(frac*float64(m-1)) }
+	morning, lunch, evening := anchor(0.15), anchor(0.5), anchor(0.8)
+
+	type window struct {
+		a, d core.Slot
+		cost float64
+	}
+	var windows []window
+	addWindow := func(center int, cost float64) {
+		start := center + rng.UniformInt(-2, 2)
+		length := rng.UniformInt(1, 4)
+		if start < 1 {
+			start = 1
+		}
+		if start > m {
+			start = m
+		}
+		end := start + length - 1
+		if end > m {
+			end = m
+		}
+		windows = append(windows, window{a: core.Slot(start), d: core.Slot(end), cost: cost})
+	}
+
+	for p := 0; p < c.People; p++ {
+		cost := rng.Uniform(0, 2*c.MeanCost) // a person's intrinsic cost
+		addWindow(morning, cost)
+		if rng.Float64() < c.LunchFraction {
+			addWindow(lunch, cost)
+		}
+		addWindow(evening, cost)
+	}
+
+	// Sort by arrival and number densely.
+	for i := 1; i < len(windows); i++ {
+		for j := i; j > 0 && windows[j].a < windows[j-1].a; j-- {
+			windows[j], windows[j-1] = windows[j-1], windows[j]
+		}
+	}
+	in := &core.Instance{Slots: c.Slots, Value: c.Value}
+	for i, w := range windows {
+		in.Bids = append(in.Bids, core.Bid{
+			Phone: core.PhoneID(i), Arrival: w.a, Departure: w.d, Cost: w.cost,
+		})
+	}
+	return in, nil
+}
+
+// WithTasks adds Poisson task arrivals at the given rate to a commuter
+// instance (tasks arrive uniformly through the day, which is exactly
+// the supply-demand misalignment the model is for).
+func (c CommuterScenario) WithTasks(in *core.Instance, rate float64, seed uint64) *core.Instance {
+	rng := NewRNG(seed ^ 0x5eed7a5c)
+	out := in.Clone()
+	for t := core.Slot(1); t <= c.Slots; t++ {
+		for k := rng.Poisson(rate); k > 0; k-- {
+			out.Tasks = append(out.Tasks, core.Task{
+				ID:      core.TaskID(len(out.Tasks)),
+				Arrival: t,
+			})
+		}
+	}
+	return out
+}

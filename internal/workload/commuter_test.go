@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"testing"
+
+	"dynacrowd/internal/core"
+)
+
+func TestCommuterValidate(t *testing.T) {
+	good := DefaultCommuterScenario()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mods := []func(*CommuterScenario){
+		func(c *CommuterScenario) { c.People = 0 },
+		func(c *CommuterScenario) { c.Slots = 4 },
+		func(c *CommuterScenario) { c.MeanCost = 0 },
+		func(c *CommuterScenario) { c.Value = -1 },
+		func(c *CommuterScenario) { c.LunchFraction = 2 },
+	}
+	for i, mod := range mods {
+		c := DefaultCommuterScenario()
+		mod(&c)
+		if c.Validate() == nil {
+			t.Errorf("mod %d accepted", i)
+		}
+		if _, err := c.Generate(1); err == nil {
+			t.Errorf("mod %d: Generate accepted invalid scenario", i)
+		}
+	}
+}
+
+func TestCommuterGenerateStructure(t *testing.T) {
+	c := DefaultCommuterScenario()
+	in, err := c.Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Each person contributes 2-3 windows.
+	if n := in.NumPhones(); n < 2*c.People || n > 3*c.People {
+		t.Fatalf("%d windows for %d people", n, c.People)
+	}
+	for i := 1; i < len(in.Bids); i++ {
+		if in.Bids[i].Arrival < in.Bids[i-1].Arrival {
+			t.Fatal("bids out of arrival order")
+		}
+	}
+}
+
+// TestCommuterSupplyIsBursty: the rush-hour anchors hold far more
+// arrivals than the mid-morning trough.
+func TestCommuterSupplyIsBursty(t *testing.T) {
+	c := DefaultCommuterScenario()
+	perSlot := make([]int, c.Slots+1)
+	for seed := uint64(0); seed < 10; seed++ {
+		in, err := c.Generate(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range in.Bids {
+			perSlot[b.Arrival]++
+		}
+	}
+	zone := func(lo, hi int) int {
+		s := 0
+		for t := lo; t <= hi; t++ {
+			s += perSlot[t]
+		}
+		return s
+	}
+	morning := zone(5, 12)  // around the 15% anchor of 48 slots
+	trough := zone(14, 21)  // between morning and lunch
+	evening := zone(36, 43) // around the 80% anchor
+	if morning <= 2*trough || evening <= 2*trough {
+		t.Fatalf("supply not bursty: morning %d, trough %d, evening %d", morning, trough, evening)
+	}
+}
+
+func TestCommuterWithTasks(t *testing.T) {
+	c := DefaultCommuterScenario()
+	in, err := c.Generate(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := c.WithTasks(in, 1.5, 5)
+	if err := full.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Tasks) == 0 {
+		t.Fatal("no tasks added")
+	}
+	if len(in.Tasks) != 0 {
+		t.Fatal("original mutated")
+	}
+	// The full instance drives both mechanisms.
+	on, err := (&core.OnlineMechanism{}).Run(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := (&core.OfflineMechanism{}).Welfare(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Welfare < opt/2-1e-9 || on.Welfare > opt+1e-9 {
+		t.Fatalf("commuter instance: online %g outside [opt/2, opt] of %g", on.Welfare, opt)
+	}
+}
+
+func TestCommuterDeterministic(t *testing.T) {
+	c := DefaultCommuterScenario()
+	a, _ := c.Generate(9)
+	b, _ := c.Generate(9)
+	if len(a.Bids) != len(b.Bids) {
+		t.Fatal("nondeterministic")
+	}
+	for i := range a.Bids {
+		if a.Bids[i] != b.Bids[i] {
+			t.Fatal("nondeterministic bids")
+		}
+	}
+}

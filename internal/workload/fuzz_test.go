@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"dynacrowd/internal/core"
+)
+
+// FuzzReadTrace throws arbitrary bytes at the trace parser: no panics,
+// and anything it accepts must materialize into a valid instance or
+// return a descriptive error.
+func FuzzReadTrace(f *testing.F) {
+	// Seed with a real trace.
+	s := DefaultScenario()
+	s.Slots = 5
+	in, err := s.Generate(1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := NewTrace(s, 1, in).Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":99}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		inst, err := tr.Materialize()
+		if err != nil {
+			return
+		}
+		if err := inst.Validate(); err != nil {
+			t.Fatalf("Materialize returned invalid instance: %v", err)
+		}
+	})
+}
+
+// FuzzScenarioGenerate drives the generator across the seed space and
+// random-ish parameter picks: generated instances must always validate
+// and respect the scenario's structural bounds.
+func FuzzScenarioGenerate(f *testing.F) {
+	f.Add(uint64(0), uint8(10), uint8(3), uint8(2))
+	f.Add(uint64(12345), uint8(50), uint8(6), uint8(5))
+	f.Fuzz(func(t *testing.T, seed uint64, slots, rate, length uint8) {
+		s := DefaultScenario()
+		s.Slots = 1 + core.Slot(slots%100)
+		s.PhoneRate = float64(rate % 12)
+		s.MeanActiveLength = 1 + int(length%10)
+		in, err := s.Generate(seed)
+		if err != nil {
+			t.Fatalf("valid scenario rejected: %v", err)
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("generated instance invalid: %v", err)
+		}
+		for _, b := range in.Bids {
+			if l := int(b.Departure - b.Arrival + 1); l > 2*s.MeanActiveLength-1 {
+				t.Fatalf("window length %d exceeds bound %d", l, 2*s.MeanActiveLength-1)
+			}
+		}
+	})
+}

@@ -1,0 +1,136 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"dynacrowd/internal/core"
+)
+
+// RateProfile modulates an arrival rate over the slots of a round,
+// turning the paper's stationary Poisson arrivals into time-varying
+// ones (rush hours, overnight lulls). A profile maps a slot to a
+// non-negative multiplier applied to the base rate; the identity
+// profile reproduces the paper's setup exactly.
+type RateProfile interface {
+	// Name identifies the profile in reports.
+	Name() string
+	// Multiplier returns the rate multiplier for slot t of a round of m
+	// slots. Implementations must return non-negative values.
+	Multiplier(t, m core.Slot) float64
+}
+
+// FlatProfile is the identity: the paper's stationary arrivals.
+type FlatProfile struct{}
+
+// Name implements RateProfile.
+func (FlatProfile) Name() string { return "flat" }
+
+// Multiplier implements RateProfile.
+func (FlatProfile) Multiplier(core.Slot, core.Slot) float64 { return 1 }
+
+// DiurnalProfile is a day-shaped sinusoid: quiet at the round's start
+// and end, peaking in the middle, averaging 1 across the round so
+// aggregate volume matches the flat profile.
+//
+//	multiplier(t) = 1 + Amplitude · sin(π·(t−1)/(m−1))·π/2 − Amplitude
+//
+// Amplitude in [0, 1]; 0 is flat.
+type DiurnalProfile struct {
+	Amplitude float64
+}
+
+// Name implements RateProfile.
+func (p DiurnalProfile) Name() string { return fmt.Sprintf("diurnal-%.2f", p.Amplitude) }
+
+// Multiplier implements RateProfile.
+func (p DiurnalProfile) Multiplier(t, m core.Slot) float64 {
+	if m <= 1 {
+		return 1
+	}
+	x := float64(t-1) / float64(m-1) // 0..1 across the round
+	// sin(πx) has mean 2/π over [0,1]; scale so the profile's mean is 1.
+	wave := math.Sin(math.Pi*x) * math.Pi / 2
+	v := 1 + p.Amplitude*(wave-1)
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// RushHourProfile has two peaks (morning and evening commute) over the
+// round, normalized to mean ≈ 1.
+type RushHourProfile struct {
+	// Peak is the multiplier at the top of each rush (≥ 1); troughs
+	// compensate to keep the mean near 1.
+	Peak float64
+}
+
+// Name implements RateProfile.
+func (p RushHourProfile) Name() string { return fmt.Sprintf("rush-hour-%.1f", p.Peak) }
+
+// Multiplier implements RateProfile.
+func (p RushHourProfile) Multiplier(t, m core.Slot) float64 {
+	if m <= 1 || p.Peak <= 1 {
+		return 1
+	}
+	x := float64(t-1) / float64(m-1)
+	// Two Gaussian bumps at 25% and 75% of the round.
+	bump := func(center float64) float64 {
+		d := (x - center) / 0.08
+		return math.Exp(-d * d / 2)
+	}
+	raw := bump(0.25) + bump(0.75)
+	// Each bump integrates to ≈ 0.08·√(2π) ≈ 0.2 of the range; keep the
+	// baseline low enough that the mean stays near 1.
+	base := 1 - (p.Peak-1)*0.4
+	if base < 0 {
+		base = 0
+	}
+	return base + (p.Peak-base)*raw
+}
+
+// GenerateWithProfiles draws a round like Scenario.Generate but
+// modulates the phone and task arrival rates with the given profiles
+// (nil means flat). It is the workload behind the time-varying examples
+// and the robustness experiments.
+func (s Scenario) GenerateWithProfiles(seed uint64, phones, tasks RateProfile) (*core.Instance, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if phones == nil {
+		phones = FlatProfile{}
+	}
+	if tasks == nil {
+		tasks = FlatProfile{}
+	}
+	rng := NewRNG(seed)
+	in := &core.Instance{Slots: s.Slots, Value: s.Value, AllocateAtLoss: s.AllocateAtLoss}
+	for t := core.Slot(1); t <= s.Slots; t++ {
+		pm := phones.Multiplier(t, s.Slots)
+		tm := tasks.Multiplier(t, s.Slots)
+		if pm < 0 || tm < 0 {
+			return nil, fmt.Errorf("workload: negative profile multiplier at slot %d", t)
+		}
+		for k := rng.Poisson(s.PhoneRate * pm); k > 0; k-- {
+			length := rng.UniformInt(1, 2*s.MeanActiveLength-1)
+			depart := t + core.Slot(length) - 1
+			if depart > s.Slots {
+				depart = s.Slots
+			}
+			in.Bids = append(in.Bids, core.Bid{
+				Phone:     core.PhoneID(len(in.Bids)),
+				Arrival:   t,
+				Departure: depart,
+				Cost:      s.sampleCost(rng),
+			})
+		}
+		for k := rng.Poisson(s.TaskRate * tm); k > 0; k-- {
+			in.Tasks = append(in.Tasks, core.Task{
+				ID:      core.TaskID(len(in.Tasks)),
+				Arrival: t,
+			})
+		}
+	}
+	return in, nil
+}

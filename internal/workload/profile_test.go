@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"dynacrowd/internal/core"
+)
+
+func TestFlatProfile(t *testing.T) {
+	p := FlatProfile{}
+	if p.Name() != "flat" {
+		t.Fatal("name")
+	}
+	for _, tc := range []core.Slot{1, 25, 50} {
+		if p.Multiplier(tc, 50) != 1 {
+			t.Fatalf("flat multiplier at %d != 1", tc)
+		}
+	}
+}
+
+func TestDiurnalProfileShape(t *testing.T) {
+	p := DiurnalProfile{Amplitude: 1}
+	if !strings.Contains(p.Name(), "1.00") {
+		t.Fatal("name")
+	}
+	const m = 51
+	start := p.Multiplier(1, m)
+	mid := p.Multiplier(26, m)
+	end := p.Multiplier(m, m)
+	if start >= mid || end >= mid {
+		t.Fatalf("diurnal not peaked: start %g mid %g end %g", start, mid, end)
+	}
+	// Non-negative everywhere; mean ≈ 1.
+	var sum float64
+	for s := core.Slot(1); s <= m; s++ {
+		v := p.Multiplier(s, m)
+		if v < 0 {
+			t.Fatalf("negative multiplier %g at slot %d", v, s)
+		}
+		sum += v
+	}
+	if mean := sum / m; math.Abs(mean-1) > 0.1 {
+		t.Fatalf("diurnal mean %g, want ≈ 1", mean)
+	}
+	// Zero amplitude degenerates to flat.
+	flat := DiurnalProfile{Amplitude: 0}
+	if flat.Multiplier(10, m) != 1 {
+		t.Fatal("zero-amplitude diurnal not flat")
+	}
+	if (DiurnalProfile{}).Multiplier(1, 1) != 1 {
+		t.Fatal("single-slot round must be flat")
+	}
+}
+
+func TestRushHourProfileShape(t *testing.T) {
+	p := RushHourProfile{Peak: 3}
+	const m = 100
+	peak1 := p.Multiplier(26, m) // ≈ 25% of the round
+	trough := p.Multiplier(50, m)
+	peak2 := p.Multiplier(76, m)
+	if peak1 <= trough || peak2 <= trough {
+		t.Fatalf("no rush-hour peaks: %g / %g / %g", peak1, trough, peak2)
+	}
+	if peak1 < 2 || peak2 < 2 {
+		t.Fatalf("peaks too small: %g, %g", peak1, peak2)
+	}
+	var sum float64
+	for s := core.Slot(1); s <= m; s++ {
+		v := p.Multiplier(s, m)
+		if v < 0 {
+			t.Fatalf("negative multiplier at %d", s)
+		}
+		sum += v
+	}
+	if mean := sum / m; mean < 0.6 || mean > 1.4 {
+		t.Fatalf("rush-hour mean %g strays from 1", mean)
+	}
+	if (RushHourProfile{Peak: 1}).Multiplier(10, m) != 1 {
+		t.Fatal("peak 1 must be flat")
+	}
+}
+
+func TestGenerateWithProfiles(t *testing.T) {
+	s := DefaultScenario()
+	s.Slots = 60
+	in, err := s.GenerateWithProfiles(5, RushHourProfile{Peak: 4}, DiurnalProfile{Amplitude: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phone arrivals concentrate at the rush peaks vs the trough.
+	perSlot := make([]int, s.Slots+1)
+	for _, b := range in.Bids {
+		perSlot[b.Arrival]++
+	}
+	peakZone, troughZone := 0, 0
+	for t := 10; t <= 20; t++ { // around 25% of 60
+		peakZone += perSlot[t]
+	}
+	for t := 26; t <= 36; t++ { // middle trough
+		troughZone += perSlot[t]
+	}
+	if peakZone <= troughZone {
+		t.Fatalf("rush profile had no effect: peak %d vs trough %d", peakZone, troughZone)
+	}
+}
+
+func TestGenerateWithProfilesNilIsFlat(t *testing.T) {
+	s := DefaultScenario()
+	s.Slots = 20
+	a, err := s.GenerateWithProfiles(9, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Generate(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Bids) != len(b.Bids) || len(a.Tasks) != len(b.Tasks) {
+		t.Fatal("nil profiles differ from Generate")
+	}
+	for i := range a.Bids {
+		if a.Bids[i] != b.Bids[i] {
+			t.Fatal("nil profiles differ from Generate")
+		}
+	}
+}
+
+func TestGenerateWithProfilesRejectsInvalidScenario(t *testing.T) {
+	s := DefaultScenario()
+	s.MeanCost = -1
+	if _, err := s.GenerateWithProfiles(1, nil, nil); err == nil {
+		t.Fatal("want error")
+	}
+}

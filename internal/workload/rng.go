@@ -1,0 +1,109 @@
+// Package workload generates the synthetic auction workloads used by the
+// paper's evaluation (Section VI): Poisson smartphone and task arrivals,
+// uniformly distributed active-time lengths, and uniformly distributed
+// per-task costs, parameterized exactly as the paper's Table I. It also
+// provides JSON trace serialization so generated rounds can be archived,
+// inspected, and replayed bit-for-bit.
+package workload
+
+import "math"
+
+// RNG is a deterministic 64-bit pseudo-random generator (SplitMix64,
+// Steele et al. 2014). Unlike math/rand, its stream is fixed by this
+// package forever, so archived experiment seeds reproduce identical
+// workloads across Go releases. It is not safe for concurrent use; give
+// each goroutine its own RNG (see Split).
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with the given value. Distinct seeds
+// give statistically independent streams.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Split derives an independent generator from the current one, advancing
+// the parent. Use it to hand child streams to parallel workers.
+func (r *RNG) Split() *RNG { return NewRNG(r.Uint64() ^ 0x9e3779b97f4a7c15) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0, matching
+// math/rand semantics.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n)) // negligible bias for n << 2^64
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + r.Float64()*(hi-lo)
+}
+
+// UniformInt returns a uniform integer in [lo, hi] inclusive.
+func (r *RNG) UniformInt(lo, hi int) int {
+	if hi < lo {
+		return lo
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Poisson samples a Poisson-distributed count with the given mean using
+// Knuth's product method for small means and the PTRS transformed
+// rejection method's simpler normal-approximation fallback for large
+// ones. Means in this codebase are single digits, so the Knuth branch is
+// the hot path.
+func (r *RNG) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean < 30 {
+		limit := math.Exp(-mean)
+		product := r.Float64()
+		n := 0
+		for product > limit {
+			product *= r.Float64()
+			n++
+		}
+		return n
+	}
+	// Normal approximation with continuity correction; adequate for the
+	// tail configs (mean ≥ 30) used only in stress benchmarks.
+	n := int(math.Round(mean + math.Sqrt(mean)*r.Normal()))
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Exponential samples an exponential variate with the given mean.
+func (r *RNG) Exponential(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// Normal samples a standard normal variate (Box–Muller).
+func (r *RNG) Normal() float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

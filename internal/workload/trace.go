@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"dynacrowd/internal/core"
+)
+
+// traceFormatVersion guards against silently reading traces written by
+// incompatible future layouts.
+const traceFormatVersion = 1
+
+// Trace is an archived auction round: the scenario and seed it was drawn
+// from plus the fully materialized instance, so a trace is replayable
+// even if the generator's sampling ever changes.
+type Trace struct {
+	Version  int           `json:"version"`
+	Scenario Scenario      `json:"scenario"`
+	Seed     uint64        `json:"seed"`
+	Instance traceInstance `json:"instance"`
+}
+
+// traceInstance is the JSON shape of core.Instance. core types stay free
+// of serialization tags; the mapping lives here at the boundary.
+type traceInstance struct {
+	Slots          core.Slot   `json:"slots"`
+	Value          float64     `json:"value"`
+	AllocateAtLoss bool        `json:"allocateAtLoss,omitempty"`
+	Bids           []traceBid  `json:"bids"`
+	Tasks          []traceTask `json:"tasks"`
+}
+
+type traceBid struct {
+	Arrival   core.Slot `json:"arrival"`
+	Departure core.Slot `json:"departure"`
+	Cost      float64   `json:"cost"`
+}
+
+type traceTask struct {
+	Arrival core.Slot `json:"arrival"`
+}
+
+// NewTrace captures an instance (and its provenance) as a trace.
+func NewTrace(s Scenario, seed uint64, in *core.Instance) *Trace {
+	tr := &Trace{Version: traceFormatVersion, Scenario: s, Seed: seed}
+	tr.Instance.Slots = in.Slots
+	tr.Instance.Value = in.Value
+	tr.Instance.AllocateAtLoss = in.AllocateAtLoss
+	for _, b := range in.Bids {
+		tr.Instance.Bids = append(tr.Instance.Bids, traceBid{Arrival: b.Arrival, Departure: b.Departure, Cost: b.Cost})
+	}
+	for _, t := range in.Tasks {
+		tr.Instance.Tasks = append(tr.Instance.Tasks, traceTask{Arrival: t.Arrival})
+	}
+	return tr
+}
+
+// Materialize reconstructs the instance recorded in the trace.
+func (tr *Trace) Materialize() (*core.Instance, error) {
+	if tr.Version != traceFormatVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d (want %d)", tr.Version, traceFormatVersion)
+	}
+	in := &core.Instance{
+		Slots:          tr.Instance.Slots,
+		Value:          tr.Instance.Value,
+		AllocateAtLoss: tr.Instance.AllocateAtLoss,
+	}
+	for i, b := range tr.Instance.Bids {
+		in.Bids = append(in.Bids, core.Bid{
+			Phone: core.PhoneID(i), Arrival: b.Arrival, Departure: b.Departure, Cost: b.Cost,
+		})
+	}
+	for k, t := range tr.Instance.Tasks {
+		in.Tasks = append(in.Tasks, core.Task{ID: core.TaskID(k), Arrival: t.Arrival})
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return in, nil
+}
+
+// Write serializes the trace as indented JSON.
+func (tr *Trace) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tr); err != nil {
+		return fmt.Errorf("write trace: %w", err)
+	}
+	return nil
+}
+
+// ReadTrace parses a trace written by Write.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	var tr Trace
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&tr); err != nil {
+		return nil, fmt.Errorf("read trace: %w", err)
+	}
+	if tr.Version != traceFormatVersion {
+		return nil, fmt.Errorf("read trace: unsupported version %d (want %d)", tr.Version, traceFormatVersion)
+	}
+	return &tr, nil
+}

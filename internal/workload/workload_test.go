@@ -1,0 +1,430 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dynacrowd/internal/core"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a, b := NewRNG(12345), NewRNG(12345)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+// TestRNGStreamPinned pins the first outputs of the SplitMix64 stream so
+// archived experiment seeds stay replayable forever. These constants are
+// from the reference SplitMix64 implementation with seed 0.
+func TestRNGStreamPinned(t *testing.T) {
+	r := NewRNG(0)
+	want := []uint64{
+		0xe220a8397b1dcdaf,
+		0x6e789e6aa1b965f4,
+		0x06c45d188009454f,
+	}
+	for i, w := range want {
+		if got := r.Uint64(); got != w {
+			t.Fatalf("output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestRNGSplitIndependent(t *testing.T) {
+	parent := NewRNG(1)
+	child := parent.Split()
+	if parent.Uint64() == child.Uint64() {
+		t.Fatal("parent and child emit identical values")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(2)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %g", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestUniformIntBounds(t *testing.T) {
+	r := NewRNG(3)
+	seen := map[int]bool{}
+	for i := 0; i < 5000; i++ {
+		v := r.UniformInt(2, 5)
+		if v < 2 || v > 5 {
+			t.Fatalf("UniformInt out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	for v := 2; v <= 5; v++ {
+		if !seen[v] {
+			t.Fatalf("value %d never drawn", v)
+		}
+	}
+	if got := r.UniformInt(7, 3); got != 7 {
+		t.Fatalf("inverted bounds should return lo, got %d", got)
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	r := NewRNG(4)
+	for _, mean := range []float64{0.5, 3, 6, 40} {
+		const n = 20000
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			v := float64(r.Poisson(mean))
+			sum += v
+			sumSq += v * v
+		}
+		avg := sum / n
+		variance := sumSq/n - avg*avg
+		if math.Abs(avg-mean) > 0.05*mean+0.05 {
+			t.Errorf("Poisson(%g): sample mean %g", mean, avg)
+		}
+		if math.Abs(variance-mean) > 0.15*mean+0.1 {
+			t.Errorf("Poisson(%g): sample variance %g", mean, variance)
+		}
+	}
+	if got := r.Poisson(0); got != 0 {
+		t.Fatalf("Poisson(0) = %d", got)
+	}
+	if got := r.Poisson(-1); got != 0 {
+		t.Fatalf("Poisson(-1) = %d", got)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRNG(5)
+	const n = 40000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := r.Exponential(25)
+		if v < 0 {
+			t.Fatal("negative exponential draw")
+		}
+		sum += v
+	}
+	if avg := sum / n; math.Abs(avg-25) > 1 {
+		t.Fatalf("Exponential(25) sample mean %g", avg)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(6)
+	const n = 40000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal()
+		sum += v
+		sumSq += v * v
+	}
+	avg := sum / n
+	if math.Abs(avg) > 0.03 {
+		t.Fatalf("Normal sample mean %g", avg)
+	}
+	if variance := sumSq/n - avg*avg; math.Abs(variance-1) > 0.05 {
+		t.Fatalf("Normal sample variance %g", variance)
+	}
+}
+
+func TestDefaultScenarioMatchesTableI(t *testing.T) {
+	s := DefaultScenario()
+	if s.Slots != 50 || s.PhoneRate != 6 || s.TaskRate != 3 || s.MeanCost != 25 || s.MeanActiveLength != 5 {
+		t.Fatalf("defaults diverge from Table I: %+v", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	mod := func(f func(*Scenario)) Scenario {
+		s := DefaultScenario()
+		f(&s)
+		return s
+	}
+	bad := []Scenario{
+		mod(func(s *Scenario) { s.Slots = 0 }),
+		mod(func(s *Scenario) { s.PhoneRate = -1 }),
+		mod(func(s *Scenario) { s.TaskRate = -1 }),
+		mod(func(s *Scenario) { s.MeanCost = 0 }),
+		mod(func(s *Scenario) { s.MeanActiveLength = 0 }),
+		mod(func(s *Scenario) { s.Value = -5 }),
+		mod(func(s *Scenario) { s.Costs = 0 }),
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("case %d: invalid scenario accepted: %+v", i, s)
+		}
+		if _, err := s.Generate(1); err == nil {
+			t.Errorf("case %d: Generate accepted invalid scenario", i)
+		}
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	s := DefaultScenario()
+	in, err := s.Generate(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatalf("generated instance invalid: %v", err)
+	}
+	// Bids must be sorted by arrival (streaming order).
+	for i := 1; i < len(in.Bids); i++ {
+		if in.Bids[i].Arrival < in.Bids[i-1].Arrival {
+			t.Fatal("bids not in arrival order")
+		}
+	}
+	// Windows never exceed the round and never exceed 2·mean−1 slots.
+	for _, b := range in.Bids {
+		if l := int(b.Departure - b.Arrival + 1); l > 2*s.MeanActiveLength-1 {
+			t.Fatalf("active length %d exceeds max %d", l, 2*s.MeanActiveLength-1)
+		}
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	s := DefaultScenario()
+	a, _ := s.Generate(7)
+	b, _ := s.Generate(7)
+	c, _ := s.Generate(8)
+	if len(a.Bids) != len(b.Bids) || len(a.Tasks) != len(b.Tasks) {
+		t.Fatal("same seed produced different shapes")
+	}
+	for i := range a.Bids {
+		if a.Bids[i] != b.Bids[i] {
+			t.Fatal("same seed produced different bids")
+		}
+	}
+	if len(a.Bids) == len(c.Bids) {
+		same := true
+		for i := range a.Bids {
+			if a.Bids[i] != c.Bids[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical workloads")
+		}
+	}
+}
+
+func TestGenerateStatistics(t *testing.T) {
+	s := DefaultScenario()
+	var phones, tasks, costSum, lenSum float64
+	var bidCount float64
+	const runs = 60
+	for seed := uint64(0); seed < runs; seed++ {
+		in, err := s.Generate(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		phones += float64(len(in.Bids))
+		tasks += float64(len(in.Tasks))
+		for _, b := range in.Bids {
+			costSum += b.Cost
+			lenSum += float64(b.Departure - b.Arrival + 1)
+			bidCount++
+		}
+	}
+	meanPhones := phones / runs
+	meanTasks := tasks / runs
+	if want := s.PhoneRate * float64(s.Slots); math.Abs(meanPhones-want) > 0.1*want {
+		t.Errorf("mean phones per round %g, want ≈ %g", meanPhones, want)
+	}
+	if want := s.TaskRate * float64(s.Slots); math.Abs(meanTasks-want) > 0.1*want {
+		t.Errorf("mean tasks per round %g, want ≈ %g", meanTasks, want)
+	}
+	if avg := costSum / bidCount; math.Abs(avg-s.MeanCost) > 1 {
+		t.Errorf("mean cost %g, want ≈ %g", avg, s.MeanCost)
+	}
+	// End-of-round clamping shortens some windows, so the observed mean
+	// sits slightly below the nominal 5.
+	if avg := lenSum / bidCount; avg < 4 || avg > 5.5 {
+		t.Errorf("mean active length %g, want ≈ 4.6-5", avg)
+	}
+}
+
+func TestCostDistributions(t *testing.T) {
+	for _, dist := range []CostDistribution{CostUniform, CostExponential, CostNormal} {
+		s := DefaultScenario()
+		s.Costs = dist
+		var sum, count float64
+		for seed := uint64(0); seed < 30; seed++ {
+			in, err := s.Generate(seed)
+			if err != nil {
+				t.Fatalf("%v: %v", dist, err)
+			}
+			for _, b := range in.Bids {
+				if b.Cost < 0 {
+					t.Fatalf("%v: negative cost", dist)
+				}
+				sum += b.Cost
+				count++
+			}
+		}
+		if avg := sum / count; math.Abs(avg-25) > 2 {
+			t.Errorf("%v: mean cost %g, want ≈ 25", dist, avg)
+		}
+	}
+}
+
+func TestCostDistributionString(t *testing.T) {
+	if CostUniform.String() != "uniform" || CostExponential.String() != "exponential" || CostNormal.String() != "normal" {
+		t.Fatal("String() names wrong")
+	}
+	if !strings.Contains(CostDistribution(9).String(), "9") {
+		t.Fatal("unknown distribution should render its number")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	s := DefaultScenario()
+	s.Slots = 10
+	in, err := s.Generate(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTrace(s, 42, in)
+
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Seed != 42 || back.Scenario != s {
+		t.Fatalf("metadata mangled: %+v", back)
+	}
+	out, err := back.Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Bids) != len(in.Bids) || len(out.Tasks) != len(in.Tasks) {
+		t.Fatal("shape changed through round trip")
+	}
+	for i := range in.Bids {
+		if out.Bids[i] != in.Bids[i] {
+			t.Fatalf("bid %d changed: %+v -> %+v", i, in.Bids[i], out.Bids[i])
+		}
+	}
+	for k := range in.Tasks {
+		if out.Tasks[k] != in.Tasks[k] {
+			t.Fatalf("task %d changed", k)
+		}
+	}
+	if out.Value != in.Value || out.Slots != in.Slots {
+		t.Fatal("instance scalars changed")
+	}
+}
+
+// TestTraceRoundTripProperty uses testing/quick over random seeds.
+func TestTraceRoundTripProperty(t *testing.T) {
+	s := DefaultScenario()
+	s.Slots = 8
+	prop := func(seed uint64) bool {
+		in, err := s.Generate(seed)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := NewTrace(s, seed, in).Write(&buf); err != nil {
+			return false
+		}
+		back, err := ReadTrace(&buf)
+		if err != nil {
+			return false
+		}
+		out, err := back.Materialize()
+		if err != nil {
+			return false
+		}
+		if len(out.Bids) != len(in.Bids) {
+			return false
+		}
+		for i := range in.Bids {
+			if out.Bids[i] != in.Bids[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("{not json")); err == nil {
+		t.Fatal("want parse error")
+	}
+	if _, err := ReadTrace(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Fatal("want version error")
+	}
+	if _, err := ReadTrace(strings.NewReader(`{"version": 1, "bogusField": 3}`)); err == nil {
+		t.Fatal("want unknown-field error")
+	}
+}
+
+func TestMaterializeRejectsBadInstance(t *testing.T) {
+	tr := &Trace{Version: traceFormatVersion}
+	tr.Instance.Slots = 5
+	tr.Instance.Value = 10
+	tr.Instance.Bids = []traceBid{{Arrival: 0, Departure: 3, Cost: 1}} // arrival 0 invalid
+	if _, err := tr.Materialize(); err == nil {
+		t.Fatal("want validation error")
+	}
+	tr2 := &Trace{Version: 99}
+	if _, err := tr2.Materialize(); err == nil {
+		t.Fatal("want version error")
+	}
+}
+
+// TestGeneratedInstancesDriveMechanisms is a smoke check that generated
+// rounds run through both mechanisms at paper scale.
+func TestGeneratedInstancesDriveMechanisms(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale instance")
+	}
+	s := DefaultScenario()
+	in, err := s.Generate(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := (&core.OnlineMechanism{}).Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := (&core.OfflineMechanism{}).Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Welfare <= 0 || off.Welfare <= 0 {
+		t.Fatalf("degenerate welfare: online %g offline %g", on.Welfare, off.Welfare)
+	}
+	if off.Welfare < on.Welfare {
+		t.Fatalf("offline optimum %g below online %g", off.Welfare, on.Welfare)
+	}
+}
