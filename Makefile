@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all check vet build test race bench clean
+
+all: check
+
+# check is the tier-1 gate: everything CI runs, in order.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+clean:
+	$(GO) clean ./...

@@ -13,6 +13,8 @@
 //	-duration slots   active time in slots; with -n > 1, mean (default 5)
 //	-join-spread d    agents join uniformly within this window (default 10s)
 //	-seed n           randomness seed (default 1)
+//	-reconnect        automatically reconnect and resume an admitted
+//	                  phone after a dropped connection (default true)
 package main
 
 import (
@@ -35,15 +37,16 @@ func main() {
 	duration := flag.Int("duration", 5, "active slots (mean when -n > 1)")
 	joinSpread := flag.Duration("join-spread", 10*time.Second, "join-time window")
 	seed := flag.Uint64("seed", 1, "randomness seed")
+	reconnect := flag.Bool("reconnect", true, "reconnect and resume after connection loss")
 	flag.Parse()
 
-	if err := run(*addr, *n, *cost, *duration, *joinSpread, *seed); err != nil {
+	if err := run(*addr, *n, *cost, *duration, *joinSpread, *seed, *reconnect); err != nil {
 		fmt.Fprintln(os.Stderr, "crowd-agent:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, n int, cost float64, duration int, joinSpread time.Duration, seed uint64) error {
+func run(addr string, n int, cost float64, duration int, joinSpread time.Duration, seed uint64, reconnect bool) error {
 	if n < 1 {
 		return fmt.Errorf("need at least one agent, got %d", n)
 	}
@@ -52,6 +55,7 @@ func run(addr string, n int, cost float64, duration int, joinSpread time.Duratio
 	errs := make(chan error, n)
 	for i := 0; i < n; i++ {
 		name := fmt.Sprintf("agent-%d", i)
+		agentSeed := int64(seed) + int64(i)
 		c, d, delay := cost, duration, time.Duration(0)
 		if n > 1 {
 			c = rng.Uniform(0, 2*cost)
@@ -62,7 +66,7 @@ func run(addr string, n int, cost float64, duration int, joinSpread time.Duratio
 		go func() {
 			defer wg.Done()
 			time.Sleep(delay)
-			if err := runAgent(addr, name, core.Slot(d), c); err != nil {
+			if err := runAgent(addr, name, core.Slot(d), c, reconnect, agentSeed); err != nil {
 				errs <- fmt.Errorf("%s: %w", name, err)
 			}
 		}()
@@ -76,8 +80,14 @@ func run(addr string, n int, cost float64, duration int, joinSpread time.Duratio
 }
 
 // runAgent plays one phone's life: hello, bid, consume events to the end.
-func runAgent(addr, name string, duration core.Slot, cost float64) error {
-	a, err := platform.Dial(addr)
+func runAgent(addr, name string, duration core.Slot, cost float64, reconnect bool, seed int64) error {
+	var a *platform.Agent
+	var err error
+	if reconnect {
+		a, err = platform.DialResilient(addr, platform.ReconnectPolicy{Seed: seed})
+	} else {
+		a, err = platform.Dial(addr)
+	}
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,280 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipePair returns both ends of an in-memory connection with the local
+// end chaos-wrapped.
+func pipePair(plan Plan, index int64) (*Conn, net.Conn) {
+	local, remote := net.Pipe()
+	return WrapConn(local, plan, index), remote
+}
+
+// TestTransparentByDefault: a zero Plan forwards bytes unchanged.
+func TestTransparentByDefault(t *testing.T) {
+	c, remote := pipePair(Plan{}, 1)
+	defer c.Close()
+	go func() {
+		c.Write([]byte("hello\n"))
+	}()
+	buf := make([]byte, 16)
+	n, err := remote.Read(buf)
+	if err != nil || string(buf[:n]) != "hello\n" {
+		t.Fatalf("read %q, %v", buf[:n], err)
+	}
+}
+
+// TestDeterministicSchedule: the same seed and index produce the same
+// fault decisions; a different index produces an independent stream.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func(index int64) []bool {
+		plan := Plan{Seed: 7, DisconnectProb: 0.5}
+		c, remote := pipePair(plan, index)
+		defer c.Close()
+		go io.Copy(io.Discard, remote)
+		var cuts []bool
+		for i := 0; i < 20; i++ {
+			_, err := c.Write([]byte("x"))
+			cuts = append(cuts, err != nil)
+			if err != nil {
+				break
+			}
+		}
+		return cuts
+	}
+	a, b, other := run(3), run(3), run(4)
+	if len(a) != len(b) {
+		t.Fatalf("same seed+index diverged: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed+index diverged at op %d", i)
+		}
+	}
+	if len(a) == len(other) {
+		same := true
+		for i := range a {
+			if a[i] != other[i] {
+				same = false
+			}
+		}
+		if same {
+			t.Log("warning: indexes 3 and 4 coincided (possible but unlikely)")
+		}
+	}
+}
+
+// TestCutAfterWrites: the connection dies after exactly N writes.
+func TestCutAfterWrites(t *testing.T) {
+	c, remote := pipePair(Plan{CutAfterWrites: 3}, 1)
+	go io.Copy(io.Discard, remote)
+	for i := 1; i <= 2; i++ {
+		if _, err := c.Write([]byte("ok")); err != nil {
+			t.Fatalf("write %d failed early: %v", i, err)
+		}
+	}
+	if _, err := c.Write([]byte("ok")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("write 3 err = %v, want injected cut", err)
+	}
+	if _, err := c.Write([]byte("dead")); err == nil {
+		t.Fatal("write after cut succeeded")
+	}
+}
+
+// TestArmAfterBytes: cutting faults hold off until the handshake
+// byte budget is spent.
+func TestArmAfterBytes(t *testing.T) {
+	c, remote := pipePair(Plan{CutAfterWrites: 1, ArmAfterBytes: 10}, 1)
+	go io.Copy(io.Discard, remote)
+	// 4 bytes written: below the arming threshold, no cut.
+	if _, err := c.Write([]byte("abcd")); err != nil {
+		t.Fatalf("unarmed write failed: %v", err)
+	}
+	// 12 bytes total: past the threshold, the cut fires.
+	if _, err := c.Write([]byte("efghijkl")); err != nil {
+		t.Fatalf("arming write failed: %v", err)
+	}
+	if _, err := c.Write([]byte("mnop")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("armed write err = %v, want injected cut", err)
+	}
+}
+
+// TestTruncateDeliversStrictPrefix: a truncating write hands the peer
+// some but not all bytes, then the connection is dead.
+func TestTruncateDeliversStrictPrefix(t *testing.T) {
+	c, remote := pipePair(Plan{Seed: 1, TruncateProb: 1}, 1)
+	var got bytes.Buffer
+	done := make(chan struct{})
+	go func() {
+		io.Copy(&got, remote)
+		close(done)
+	}()
+	payload := []byte("0123456789abcdef")
+	n, err := c.Write(payload)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want injected", err)
+	}
+	if n <= 0 || n >= len(payload) {
+		t.Fatalf("delivered %d bytes, want strict prefix of %d", n, len(payload))
+	}
+	<-done
+	if got.Len() != n || !bytes.Equal(got.Bytes(), payload[:n]) {
+		t.Fatalf("peer saw %q, want %q", got.Bytes(), payload[:n])
+	}
+}
+
+// TestChunkedWritesReassemble: chunking changes segmentation, never
+// content.
+func TestChunkedWritesReassemble(t *testing.T) {
+	c, remote := pipePair(Plan{ChunkBytes: 3}, 1)
+	var got bytes.Buffer
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		io.Copy(&got, remote)
+	}()
+	msg := []byte(`{"type":"welcome","phone":3}` + "\n")
+	if n, err := c.Write(msg); err != nil || n != len(msg) {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	c.Close()
+	wg.Wait()
+	if !bytes.Equal(got.Bytes(), msg) {
+		t.Fatalf("peer saw %q, want %q", got.Bytes(), msg)
+	}
+}
+
+// TestStallReadsReleasedByClose: a stalled Read does not hang forever —
+// Close releases it.
+func TestStallReadsReleasedByClose(t *testing.T) {
+	c, remote := pipePair(Plan{StallReads: true}, 1)
+	defer remote.Close()
+	go remote.Write([]byte("you never see this\n"))
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Read(make([]byte, 64))
+		errCh <- err
+	}()
+	select {
+	case err := <-errCh:
+		t.Fatalf("stalled read returned early: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	c.Close()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("released read returned nil error")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not release the stalled read")
+	}
+}
+
+// TestStallWritesReleasedByClose mirrors the read stall for writes.
+func TestStallWritesReleasedByClose(t *testing.T) {
+	c, remote := pipePair(Plan{StallWrites: true}, 1)
+	defer remote.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Write([]byte("stuck"))
+		errCh <- err
+	}()
+	select {
+	case err := <-errCh:
+		t.Fatalf("stalled write returned early: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	c.Close()
+	if err := <-errCh; err == nil {
+		t.Fatal("released write returned nil error")
+	}
+}
+
+// TestLatencyInjection: with LatencyProb 1 every op takes at least a
+// measurable delay (the uniform draw is over (0, max]).
+func TestLatencyInjection(t *testing.T) {
+	c, remote := pipePair(Plan{Seed: 5, LatencyProb: 1, MaxLatency: 20 * time.Millisecond}, 1)
+	defer c.Close()
+	go io.Copy(io.Discard, remote)
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if _, err := c.Write([]byte("z")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed == 0 {
+		t.Fatal("no latency injected")
+	}
+}
+
+// TestListenerWrapsTCP: an end-to-end TCP accept path with a scripted
+// cut, proving the listener derives per-connection streams.
+func TestListenerWrapsTCP(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := Wrap(raw, Plan{Seed: 11, CutAfterWrites: 2})
+	defer ln.Close()
+
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		conn.Write([]byte("one\n"))
+		conn.Write([]byte("two\n")) // cut fires here
+		conn.Write([]byte("three\n"))
+	}()
+
+	client, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	data, _ := io.ReadAll(client)
+	if string(data) != "one\ntwo\n" {
+		t.Fatalf("client saw %q, want the first two lines then a cut", data)
+	}
+}
+
+// TestDialerWrapsOutbound: the dialer injects faults on the agent side.
+func TestDialerWrapsOutbound(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	got := make(chan []byte, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		data, _ := io.ReadAll(conn)
+		got <- data
+	}()
+
+	d := &Dialer{Plan: Plan{Seed: 3, CutAfterWrites: 1}}
+	conn, err := d.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("only\n")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want injected cut on first write", err)
+	}
+	if data := <-got; string(data) != "only\n" {
+		t.Fatalf("server saw %q", data)
+	}
+}

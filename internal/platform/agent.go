@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -70,36 +71,126 @@ type RoundState struct {
 	Round int       // current round number (1-based)
 }
 
+// ReconnectPolicy configures a resilient agent's automatic reconnect:
+// exponential backoff with jitter between dial attempts, resuming the
+// agent's admitted phone via the resume{phone} protocol message. The
+// zero value of any field takes the documented default.
+type ReconnectPolicy struct {
+	// MaxAttempts is the number of dial attempts per outage before the
+	// agent gives up (default 8).
+	MaxAttempts int
+	// BaseDelay is the first backoff delay (default 50ms); each retry
+	// doubles it up to MaxDelay (default 2s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed drives the jitter (each delay is scaled uniformly into
+	// [0.5, 1.5)), so a swarm of reconnecting agents does not stampede
+	// in lockstep while tests stay reproducible.
+	Seed int64
+	// DialTimeout bounds each dial attempt (default 5s). Ignored when
+	// Dialer is set.
+	DialTimeout time.Duration
+	// Dialer overrides how connections are made — e.g. a chaos.Dialer
+	// in fault-injection tests. Nil means plain TCP.
+	Dialer func(addr string) (net.Conn, error)
+}
+
+func (p *ReconnectPolicy) withDefaults() *ReconnectPolicy {
+	q := *p
+	if q.MaxAttempts < 1 {
+		q.MaxAttempts = 8
+	}
+	if q.BaseDelay <= 0 {
+		q.BaseDelay = 50 * time.Millisecond
+	}
+	if q.MaxDelay <= 0 {
+		q.MaxDelay = 2 * time.Second
+	}
+	if q.DialTimeout <= 0 {
+		q.DialTimeout = 5 * time.Second
+	}
+	return &q
+}
+
+func (p *ReconnectPolicy) dial(addr string) (net.Conn, error) {
+	if p.Dialer != nil {
+		return p.Dialer(addr)
+	}
+	return net.DialTimeout("tcp", addr, p.DialTimeout)
+}
+
 // Agent is a smartphone client of the platform: it submits one bid and
 // then consumes platform events until the round ends or the connection
 // drops. Events are delivered on the Events channel in wire order; the
-// channel closes when the connection ends.
+// channel closes when the connection ends for good.
+//
+// An agent dialed with DialResilient additionally survives connection
+// loss: once its bid has been admitted (EventWelcome), a dropped
+// connection triggers automatic redials with exponential backoff, and
+// the new connection re-attaches to the same phone via resume{phone}.
+// The platform replays the phone's standing on resume; the agent
+// deduplicates the replay, so consumers still see each of welcome,
+// assign, payment, and end at most once per round.
 type Agent struct {
-	conn   net.Conn
-	w      *protocol.Writer
+	addr   string
+	policy *ReconnectPolicy // nil: a dropped connection is final
 	events chan Event
 
 	mu       sync.Mutex
+	conn     net.Conn
+	w        *protocol.Writer
+	closed   bool
 	stateful chan RoundState // pending hello reply
 	acks     chan error      // pending bid acknowledgements
 
-	closeOnce sync.Once
+	// Resume and dedup state, touched only by the run goroutine.
+	phone    core.PhoneID
+	round    int
+	welcomed bool
+	assigned bool
+	paid     bool
+	ended    bool
+	rng      *rand.Rand
 }
 
-// Dial connects an agent to the platform.
+// Dial connects an agent to the platform. The connection is not
+// resilient: if it drops, the event channel closes (see DialResilient).
 func Dial(addr string) (*Agent, error) {
-	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	return dial(addr, nil)
+}
+
+// DialResilient connects an agent that automatically reconnects and
+// resumes its phone when the connection drops mid-round.
+func DialResilient(addr string, policy ReconnectPolicy) (*Agent, error) {
+	return dial(addr, policy.withDefaults())
+}
+
+func dial(addr string, policy *ReconnectPolicy) (*Agent, error) {
+	var conn net.Conn
+	var err error
+	if policy != nil {
+		conn, err = policy.dial(addr)
+	} else {
+		conn, err = net.DialTimeout("tcp", addr, 5*time.Second)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("agent: %w", err)
 	}
 	a := &Agent{
+		addr:     addr,
+		policy:   policy,
 		conn:     conn,
 		w:        protocol.NewWriter(conn),
 		events:   make(chan Event, 64),
 		stateful: make(chan RoundState, 1),
 		acks:     make(chan error, 1),
+		phone:    core.NoPhone,
+		round:    1,
 	}
-	go a.readLoop()
+	if policy != nil {
+		a.rng = rand.New(rand.NewSource(policy.Seed))
+	}
+	go a.run(conn)
 	return a, nil
 }
 
@@ -146,14 +237,27 @@ func (a *Agent) SubmitBid(name string, duration core.Slot, cost float64) error {
 }
 
 // Events returns the platform notification stream. The channel closes
-// when the connection ends.
+// when the connection ends (for a resilient agent: once reconnection is
+// exhausted or no longer useful).
 func (a *Agent) Events() <-chan Event { return a.events }
 
 // Close tears down the connection; pending events are still drained.
 func (a *Agent) Close() error {
-	var err error
-	a.closeOnce.Do(func() { err = a.conn.Close() })
-	return err
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	conn := a.conn
+	a.mu.Unlock()
+	return conn.Close()
+}
+
+func (a *Agent) isClosed() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.closed
 }
 
 func (a *Agent) send(m *protocol.Message) error {
@@ -162,36 +266,138 @@ func (a *Agent) send(m *protocol.Message) error {
 	return a.w.Send(m)
 }
 
-func (a *Agent) readLoop() {
+// run owns the agent's read side across the lifetime of possibly many
+// connections. It exits — closing the event and reply channels — when a
+// connection ends and resuming is impossible (not resilient, closed by
+// the user, never admitted, round already over) or reconnection gives
+// up.
+func (a *Agent) run(conn net.Conn) {
 	defer close(a.events)
 	defer close(a.stateful)
 	defer close(a.acks)
-	r := protocol.NewReader(a.conn)
 	for {
-		m, err := r.Receive()
-		if err != nil {
-			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+		err := a.readConn(conn)
+		if !a.shouldResume() {
+			if err != nil && !a.isClosed() && !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				a.events <- Event{Kind: EventError, Err: err}
 			}
 			return
 		}
+		next := a.redial()
+		if next == nil {
+			return
+		}
+		conn = next
+	}
+}
+
+// shouldResume reports whether a dropped connection is worth resuming:
+// the agent is resilient, still wanted, holds an admitted phone, and
+// the round is not over.
+func (a *Agent) shouldResume() bool {
+	return a.policy != nil && !a.isClosed() && a.welcomed && !a.ended
+}
+
+// redial attempts to re-establish the connection with exponential
+// backoff and jitter, then re-attaches to the admitted phone with
+// resume{phone, round}. It returns nil once attempts are exhausted or
+// the agent is closed.
+func (a *Agent) redial() net.Conn {
+	delay := a.policy.BaseDelay
+	for attempt := 1; attempt <= a.policy.MaxAttempts; attempt++ {
+		// Jitter: scale into [0.5, 1.5) so reconnecting swarms spread out.
+		time.Sleep(delay/2 + time.Duration(a.rng.Int63n(int64(delay))))
+		if delay *= 2; delay > a.policy.MaxDelay {
+			delay = a.policy.MaxDelay
+		}
+		if a.isClosed() {
+			return nil
+		}
+		conn, err := a.policy.dial(a.addr)
+		if err != nil {
+			continue
+		}
+		a.mu.Lock()
+		if a.closed {
+			a.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		a.conn = conn
+		a.w = protocol.NewWriter(conn)
+		err = a.w.Send(&protocol.Message{Type: protocol.TypeResume, Phone: a.phone, Round: a.round})
+		a.mu.Unlock()
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		return conn
+	}
+	if !a.isClosed() {
+		a.events <- Event{
+			Kind: EventError,
+			Err:  fmt.Errorf("agent: gave up reconnecting after %d attempts", a.policy.MaxAttempts),
+		}
+	}
+	return nil
+}
+
+// readConn consumes one connection's messages until it fails, updating
+// the resume/dedup state and emitting events. Resume replays are
+// deduplicated: each of welcome, assign, payment, and end reaches the
+// consumer at most once per round.
+func (a *Agent) readConn(conn net.Conn) error {
+	r := protocol.NewReader(conn)
+	for {
+		m, err := r.Receive()
+		if err != nil {
+			return err
+		}
 		switch m.Type {
 		case protocol.TypeState:
+			if m.Round > 0 {
+				a.round = m.Round
+			}
 			select {
 			case a.stateful <- RoundState{Slot: m.Slot, Slots: m.Slots, Value: m.Value, Round: m.Round}:
 			default: // unsolicited state replies are dropped
 			}
 		case protocol.TypeWelcome:
-			a.events <- Event{Kind: EventWelcome, Phone: m.Phone, Slot: m.Slot, Departure: m.Departure}
+			first := !a.welcomed
+			a.welcomed = true
+			a.phone = m.Phone
+			if m.Round > 0 {
+				a.round = m.Round
+			}
+			if first {
+				a.events <- Event{Kind: EventWelcome, Phone: m.Phone, Slot: m.Slot, Departure: m.Departure, Round: m.Round}
+			}
 		case protocol.TypeSlot:
 			a.events <- Event{Kind: EventSlot, Slot: m.Slot}
 		case protocol.TypeAssign:
-			a.events <- Event{Kind: EventAssign, Phone: m.Phone, Task: m.Task, Slot: m.Slot}
+			first := !a.assigned
+			a.assigned = true
+			if first {
+				a.events <- Event{Kind: EventAssign, Phone: m.Phone, Task: m.Task, Slot: m.Slot}
+			}
 		case protocol.TypePayment:
-			a.events <- Event{Kind: EventPayment, Phone: m.Phone, Amount: m.Amount, Slot: m.Slot}
+			first := !a.paid
+			a.paid = true
+			if first {
+				a.events <- Event{Kind: EventPayment, Phone: m.Phone, Amount: m.Amount, Slot: m.Slot}
+			}
 		case protocol.TypeEnd:
-			a.events <- Event{Kind: EventEnd, Welfare: m.Welfare, Payments: m.Payments, Round: m.Round}
+			first := !a.ended
+			a.ended = true
+			if first {
+				a.events <- Event{Kind: EventEnd, Welfare: m.Welfare, Payments: m.Payments, Round: m.Round}
+			}
 		case protocol.TypeRound:
+			// A fresh round: phone IDs restarted, the dedup ledger resets,
+			// and the agent may bid again.
+			a.phone = core.NoPhone
+			a.welcomed, a.assigned, a.paid, a.ended = false, false, false, false
+			a.round = m.Round
 			a.events <- Event{Kind: EventRound, Round: m.Round}
 		case protocol.TypeAck:
 			select {

@@ -1,0 +1,178 @@
+package platform
+
+import (
+	"log/slog"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"dynacrowd/internal/chaos"
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/protocol"
+)
+
+// chaosServer starts a platform server behind a fault-injecting
+// listener.
+func chaosServer(t *testing.T, plan chaos.Plan, cfg Config) *Server {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Serve(chaos.Wrap(ln, plan), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// TestStalledAgentDoesNotStallTick: an agent whose connection stops
+// accepting bytes entirely (writes stall forever) must not delay the
+// slot clock. The session's bounded queue overflows, the slow consumer
+// is disconnected and counted, and every Tick returns promptly.
+func TestStalledAgentDoesNotStallTick(t *testing.T) {
+	s := chaosServer(t, chaos.Plan{StallWrites: true}, Config{
+		Slots: 3, Value: 10,
+		OutboundQueue: 2,
+		WriteTimeout:  200 * time.Millisecond,
+	})
+
+	// A raw client that bids and never reads; the ack write already
+	// stalls the session's writer.
+	conn, err := net.Dial("tcp", s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte(`{"type":"bid","name":"stalled","duration":3,"cost":2}` + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(30 * time.Millisecond) // let the server queue the bid
+
+	start := time.Now()
+	for !s.Done() {
+		if _, err := s.Tick(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("ticks took %v with a stalled agent; the slot clock must not wait on peers", elapsed)
+	}
+
+	st := s.Stats()
+	if st.SlowConsumers == 0 {
+		t.Fatalf("stalled session not counted as slow consumer: %+v", st)
+	}
+	if st.MessagesDropped == 0 {
+		t.Fatalf("no dropped messages recorded: %+v", st)
+	}
+	// The auction kept the stalled phone's bid (it promised availability).
+	if s.Outcome().Allocation.NumServed() == 0 {
+		t.Fatal("stalled phone's bid lost from the auction")
+	}
+}
+
+// TestWriteDeadlineKillsBlockedWriter: a session write that cannot
+// complete within WriteTimeout fails and tears the session down instead
+// of blocking its writer forever. net.Pipe is unbuffered, so an unread
+// write blocks until the deadline fires.
+func TestWriteDeadlineKillsBlockedWriter(t *testing.T) {
+	srv := &Server{cfg: Config{WriteTimeout: 50 * time.Millisecond, Logger: slog.New(discardHandler{})}}
+	server, client := net.Pipe()
+	defer client.Close()
+	sess := newSession(srv, server)
+	srv.wg.Add(1)
+	go sess.writeLoop()
+
+	sess.send(&protocol.Message{Type: protocol.TypeSlot, Slot: 1})
+	deadline := time.After(2 * time.Second)
+	for !sess.gone.Load() {
+		select {
+		case <-deadline:
+			t.Fatal("writer still alive long after the write deadline")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	srv.wg.Wait()
+}
+
+// TestRunClockStopsOnClose: closing the server (and with it the
+// listener) mid-round ends RunClock cleanly instead of surfacing a raw
+// tick error.
+func TestRunClockStopsOnClose(t *testing.T) {
+	s := newTestServer(t, Config{Slots: 100000, Value: 10})
+	done := make(chan error, 1)
+	go func() { done <- s.RunClock(time.Millisecond, func(core.Slot) int { return 0 }) }()
+	time.Sleep(15 * time.Millisecond)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("RunClock returned %v on close, want clean nil", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("RunClock did not stop after Close")
+	}
+}
+
+// TestDurationOverflowClamped: a duration large enough to wrap the
+// departure arithmetic negative is clamped to the round end, not
+// admitted with a bogus window. (The wire layer already rejects such
+// durations; this guards the in-process path.)
+func TestDurationOverflowClamped(t *testing.T) {
+	s := newTestServer(t, Config{Slots: 5, Value: 10})
+	server, client := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+	sess := newSession(s, server)
+	if err := s.enqueueBid(&protocol.Message{
+		Type:     protocol.TypeBid,
+		Name:     "overflow",
+		Duration: core.Slot(math.MaxInt64),
+		Cost:     1,
+	}, sess); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Tick(0); err != nil {
+		t.Fatalf("tick rejected overflowing duration instead of clamping: %v", err)
+	}
+	inst := s.Instance()
+	if inst.NumPhones() != 1 || inst.Bids[0].Departure != 5 {
+		t.Fatalf("departure = %+v, want clamp to slot 5", inst.Bids)
+	}
+}
+
+// TestLatencyAndChunkingPreserveSemantics: pure delay plus pathological
+// TCP segmentation must not change what an agent experiences.
+func TestLatencyAndChunkingPreserveSemantics(t *testing.T) {
+	s := chaosServer(t, chaos.Plan{
+		Seed:        9,
+		LatencyProb: 0.5,
+		MaxLatency:  3 * time.Millisecond,
+		ChunkBytes:  5,
+	}, Config{Slots: 3, Value: 10})
+
+	a := dialAgent(t, s.Addr())
+	if err := a.SubmitBid("chunked", 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Tick(1); err != nil {
+		t.Fatal(err)
+	}
+	w := waitEvent(t, a, EventWelcome)
+	if w.Phone != 0 || w.Departure != 2 {
+		t.Fatalf("welcome = %+v", w)
+	}
+	waitEvent(t, a, EventAssign)
+	if _, err := s.Tick(0); err != nil {
+		t.Fatal(err)
+	}
+	pay := waitEvent(t, a, EventPayment)
+	if pay.Amount != 10 {
+		t.Fatalf("payment = %+v, want reserve 10", pay)
+	}
+}

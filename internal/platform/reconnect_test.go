@@ -1,0 +1,267 @@
+package platform
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"dynacrowd/internal/protocol"
+)
+
+// rawConn dials the server with a bare protocol reader/writer pair for
+// scripting wire-level exchanges.
+func rawConn(t *testing.T, addr string) (net.Conn, *protocol.Reader, *protocol.Writer) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn, protocol.NewReader(conn), protocol.NewWriter(conn)
+}
+
+// readMsg receives one message with a test deadline.
+func readMsg(t *testing.T, conn net.Conn, r *protocol.Reader) *protocol.Message {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	m, err := r.Receive()
+	if err != nil {
+		t.Fatalf("receive: %v", err)
+	}
+	return m
+}
+
+// cutConn severs the agent's live connection out from under it,
+// simulating a network-level reset the agent did not ask for.
+func cutConn(a *Agent) {
+	a.mu.Lock()
+	conn := a.conn
+	a.mu.Unlock()
+	conn.Close()
+}
+
+// TestResumeReplaysPhoneState scripts the resume exchange at the wire
+// level: a second connection re-attaches to an admitted phone and
+// receives its welcome and assignment again, then the payment arrives
+// on the new connection when the phone departs.
+func TestResumeReplaysPhoneState(t *testing.T) {
+	s := newTestServer(t, Config{Slots: 3, Value: 10})
+	a := dialAgent(t, s.Addr())
+	if err := a.SubmitBid("original", 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Tick(1); err != nil { // slot 1: admitted + assigned
+		t.Fatal(err)
+	}
+	waitEvent(t, a, EventAssign)
+
+	// The "reconnected" phone arrives on a fresh connection.
+	conn, r, w := rawConn(t, s.Addr())
+	if err := w.Send(&protocol.Message{Type: protocol.TypeResume, Phone: 0, Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	welcome := readMsg(t, conn, r)
+	if welcome.Type != protocol.TypeWelcome || welcome.Phone != 0 || welcome.Slot != 1 || welcome.Departure != 2 {
+		t.Fatalf("replayed welcome = %+v", welcome)
+	}
+	assign := readMsg(t, conn, r)
+	if assign.Type != protocol.TypeAssign || assign.Task != 0 || assign.Slot != 1 {
+		t.Fatalf("replayed assign = %+v", assign)
+	}
+
+	// Departure happens at the next tick; the payment must reach the NEW
+	// connection, not the old one.
+	if _, err := s.Tick(0); err != nil {
+		t.Fatal(err)
+	}
+	var pay *protocol.Message
+	for pay == nil {
+		m := readMsg(t, conn, r)
+		if m.Type == protocol.TypePayment {
+			pay = m
+		}
+	}
+	if pay.Amount != 10 || pay.Slot != 2 {
+		t.Fatalf("payment on resumed conn = %+v, want reserve 10 at slot 2", pay)
+	}
+	if st := s.Stats(); st.Resumes != 1 {
+		t.Fatalf("Resumes = %d, want 1", st.Resumes)
+	}
+}
+
+// TestResumeAfterRoundEndReplaysEnd: a phone reconnecting after the
+// final slot still learns its payment and the round summary.
+func TestResumeAfterRoundEndReplaysEnd(t *testing.T) {
+	s := newTestServer(t, Config{Slots: 2, Value: 10})
+	a := dialAgent(t, s.Addr())
+	if err := a.SubmitBid("latecheck", 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	for !s.Done() {
+		if _, err := s.Tick(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	conn, r, w := rawConn(t, s.Addr())
+	if err := w.Send(&protocol.Message{Type: protocol.TypeResume, Phone: 0, Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	var sawWelcome, sawAssign, sawPayment, sawEnd bool
+	for !sawEnd {
+		switch m := readMsg(t, conn, r); m.Type {
+		case protocol.TypeWelcome:
+			sawWelcome = true
+		case protocol.TypeAssign:
+			sawAssign = true
+		case protocol.TypePayment:
+			sawPayment = true
+			if m.Amount != 10 {
+				t.Fatalf("replayed payment = %+v", m)
+			}
+		case protocol.TypeEnd:
+			sawEnd = true
+		default:
+			t.Fatalf("unexpected replay message %+v", m)
+		}
+	}
+	if !sawWelcome || !sawAssign || !sawPayment {
+		t.Fatalf("incomplete replay: welcome=%v assign=%v payment=%v", sawWelcome, sawAssign, sawPayment)
+	}
+}
+
+// TestResumeUnknownPhoneRejected: resuming a phone that was never
+// admitted is a protocol error.
+func TestResumeUnknownPhoneRejected(t *testing.T) {
+	s := newTestServer(t, Config{Slots: 2, Value: 10})
+	conn, r, w := rawConn(t, s.Addr())
+	if err := w.Send(&protocol.Message{Type: protocol.TypeResume, Phone: 7, Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	m := readMsg(t, conn, r)
+	if m.Type != protocol.TypeError || !strings.Contains(m.Error, "unknown phone") {
+		t.Fatalf("reply = %+v, want unknown-phone error", m)
+	}
+}
+
+// TestResumeStaleRoundAnswersRound: resuming a finished round of a
+// multi-round server yields a round announcement (bid again), because
+// the phone-ID namespace restarted.
+func TestResumeStaleRoundAnswersRound(t *testing.T) {
+	s := newTestServer(t, Config{Slots: 1, Value: 10, Rounds: 2})
+	a := dialAgent(t, s.Addr())
+	if err := a.SubmitBid("r1", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Tick(1); err != nil { // round 1 plays out entirely
+		t.Fatal(err)
+	}
+	if s.Round() != 2 {
+		t.Fatalf("round = %d, want 2", s.Round())
+	}
+
+	conn, r, w := rawConn(t, s.Addr())
+	if err := w.Send(&protocol.Message{Type: protocol.TypeResume, Phone: 0, Round: 1}); err != nil {
+		t.Fatal(err)
+	}
+	m := readMsg(t, conn, r)
+	if m.Type != protocol.TypeRound || m.Round != 2 {
+		t.Fatalf("reply = %+v, want round{2}", m)
+	}
+}
+
+// TestResilientAgentSurvivesCut is the individual-rationality guarantee
+// under a TCP reset: a winner loses its connection after the assignment
+// but before the payment, reconnects automatically, and still receives
+// its critical-value payment exactly once.
+func TestResilientAgentSurvivesCut(t *testing.T) {
+	s := newTestServer(t, Config{Slots: 3, Value: 10})
+	a, err := DialResilient(s.Addr(), ReconnectPolicy{
+		BaseDelay: 2 * time.Millisecond,
+		MaxDelay:  20 * time.Millisecond,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+
+	if err := a.SubmitBid("phoenix", 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Tick(1); err != nil { // slot 1: welcome + assign
+		t.Fatal(err)
+	}
+	waitEvent(t, a, EventWelcome)
+	waitEvent(t, a, EventAssign)
+
+	// The network eats the connection before the payment slot.
+	cutConn(a)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Resumes == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("agent never resumed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if _, err := s.Tick(0); err != nil { // slot 2: departure, payment
+		t.Fatal(err)
+	}
+	pay := waitEvent(t, a, EventPayment)
+	if pay.Amount != 10 {
+		t.Fatalf("payment after reconnect = %+v, want reserve 10", pay)
+	}
+	if _, err := s.Tick(0); err != nil { // slot 3: round ends
+		t.Fatal(err)
+	}
+	end := waitEvent(t, a, EventEnd)
+	if end.Payments != 10 {
+		t.Fatalf("end after reconnect = %+v", end)
+	}
+
+	// Dedup: the replayed welcome/assign must not surface twice. After
+	// EventEnd the resilient agent stops reconnecting; the channel
+	// closes once the server shuts the connection.
+	s.Close()
+	for ev := range a.Events() {
+		if ev.Kind == EventWelcome || ev.Kind == EventAssign || ev.Kind == EventPayment {
+			t.Fatalf("duplicate %v after replay", ev.Kind)
+		}
+	}
+}
+
+// TestResilientAgentGivesUp: with the server gone for good, the agent
+// reports one terminal error after exhausting its attempts.
+func TestResilientAgentGivesUp(t *testing.T) {
+	s := newTestServer(t, Config{Slots: 3, Value: 10})
+	a, err := DialResilient(s.Addr(), ReconnectPolicy{
+		MaxAttempts: 2,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    2 * time.Millisecond,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close() })
+	if err := a.SubmitBid("orphan", 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Tick(0); err != nil {
+		t.Fatal(err)
+	}
+	waitEvent(t, a, EventWelcome)
+	s.Close() // server vanishes permanently
+
+	sawGiveUp := false
+	for ev := range a.Events() {
+		if ev.Kind == EventError && strings.Contains(ev.Err.Error(), "gave up reconnecting") {
+			sawGiveUp = true
+		}
+	}
+	if !sawGiveUp {
+		t.Fatal("no terminal reconnect error surfaced")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dynacrowd/internal/core"
@@ -40,6 +41,14 @@ type Config struct {
 	// Logger receives structured auction events (joins, assignments,
 	// payments, protocol errors). Nil disables logging.
 	Logger *slog.Logger
+	// WriteTimeout bounds each outbound message write to a session; a
+	// session missing the deadline is disconnected. Zero means the
+	// 5-second default, negative disables the deadline.
+	WriteTimeout time.Duration
+	// OutboundQueue caps the per-session outbound message queue; a
+	// session whose queue overflows is a slow consumer and is
+	// disconnected. Zero means the default of 64.
+	OutboundQueue int
 }
 
 func (c Config) rounds() int {
@@ -48,6 +57,28 @@ func (c Config) rounds() int {
 	}
 	return c.Rounds
 }
+
+func (c Config) writeTimeout() time.Duration {
+	switch {
+	case c.WriteTimeout == 0:
+		return 5 * time.Second
+	case c.WriteTimeout < 0:
+		return 0
+	default:
+		return c.WriteTimeout
+	}
+}
+
+func (c Config) outboundQueue() int {
+	if c.OutboundQueue < 1 {
+		return 64
+	}
+	return c.OutboundQueue
+}
+
+// ErrClosed is returned by Tick once the server has been closed.
+// RunClock treats it as a clean shutdown rather than a failure.
+var ErrClosed = errors.New("platform: server closed")
 
 // Server hosts one auction round over TCP.
 type Server struct {
@@ -63,6 +94,12 @@ type Server struct {
 	stats    Stats                     // cumulative counters (Slot/Live filled on read)
 	closed   bool
 
+	// Queue counters live outside s.mu because session writer
+	// goroutines bump them without holding the server lock.
+	messagesQueued  atomic.Int64
+	messagesDropped atomic.Int64
+	slowConsumers   atomic.Int64
+
 	wg sync.WaitGroup
 }
 
@@ -73,39 +110,27 @@ type pendingBid struct {
 	sess     *session
 }
 
-// session is one agent connection.
-type session struct {
-	conn net.Conn
-
-	mu sync.Mutex // guards w
-	w  *protocol.Writer
-
-	gone bool
-	bid  bool // a bid was accepted on this connection
-}
-
-func (s *session) send(m *protocol.Message) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.gone {
-		return
-	}
-	if err := s.w.Send(m); err != nil {
-		// A dead agent does not stall the round: the auction keeps its
-		// bid (the phone promised availability), later notices are
-		// dropped.
-		s.gone = true
-	}
-}
-
 // Listen starts a platform server on addr ("127.0.0.1:0" for an
 // ephemeral test port).
 func Listen(addr string, cfg Config) (*Server, error) {
-	auction, err := core.NewOnlineAuction(cfg.Slots, cfg.Value, cfg.AllocateAtLoss)
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("platform: %w", err)
 	}
-	return listenWith(addr, cfg, auction)
+	return Serve(ln, cfg)
+}
+
+// Serve starts a platform server on an existing listener, which the
+// server takes ownership of. Injectable listeners are how fault
+// harnesses (see internal/chaos) put the platform under unreliable
+// transports.
+func Serve(ln net.Listener, cfg Config) (*Server, error) {
+	auction, err := core.NewOnlineAuction(cfg.Slots, cfg.Value, cfg.AllocateAtLoss)
+	if err != nil {
+		ln.Close()
+		return nil, fmt.Errorf("platform: %w", err)
+	}
+	return serveWith(ln, cfg, auction), nil
 }
 
 // Resume starts a platform server that continues a round from a
@@ -117,14 +142,14 @@ func Resume(addr string, cfg Config, checkpoint []byte) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("platform: %w", err)
 	}
-	return listenWith(addr, cfg, auction)
-}
-
-func listenWith(addr string, cfg Config, auction *core.OnlineAuction) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("platform: %w", err)
 	}
+	return serveWith(ln, cfg, auction), nil
+}
+
+func serveWith(ln net.Listener, cfg Config, auction *core.OnlineAuction) *Server {
 	s := &Server{
 		cfg:      cfg,
 		ln:       ln,
@@ -138,7 +163,7 @@ func listenWith(addr string, cfg Config, auction *core.OnlineAuction) (*Server, 
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Checkpoint serializes the auction state for Resume. Call between
@@ -171,7 +196,7 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return // listener closed
 		}
-		sess := &session{conn: conn, w: protocol.NewWriter(conn)}
+		sess := newSession(s, conn)
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
@@ -181,8 +206,9 @@ func (s *Server) acceptLoop() {
 		s.sessions[sess] = struct{}{}
 		s.stats.Connections++
 		s.mu.Unlock()
-		s.wg.Add(1)
+		s.wg.Add(2)
 		go s.serve(sess)
+		go sess.writeLoop()
 	}
 }
 
@@ -190,7 +216,9 @@ func (s *Server) acceptLoop() {
 func (s *Server) serve(sess *session) {
 	defer s.wg.Done()
 	defer func() {
-		sess.conn.Close()
+		// Graceful: let the writer flush any farewell (e.g. the error
+		// reply) before the connection is severed.
+		sess.shutdown()
 		s.mu.Lock()
 		delete(s.sessions, sess)
 		s.mu.Unlock()
@@ -227,6 +255,8 @@ func (s *Server) serve(sess *session) {
 			} else {
 				sess.send(&protocol.Message{Type: protocol.TypeAck})
 			}
+		case protocol.TypeResume:
+			s.handleResume(m, sess)
 		default:
 			sess.send(&protocol.Message{
 				Type:  protocol.TypeError,
@@ -264,6 +294,89 @@ func (s *Server) enqueueBid(m *protocol.Message, sess *session) error {
 	return nil
 }
 
+// handleResume re-attaches a reconnecting agent to its admitted bid and
+// replays the phone's standing — its welcome, its assignment and (if
+// already departed) its critical-value payment, and the round summary
+// if the round is over. The replay is what preserves the mechanism's
+// individual-rationality guarantee across a TCP reset: a winner that
+// vanished and came back still learns what it is owed. A resume naming
+// an earlier (finished) round is answered with round{current}, because
+// the phone-ID namespace restarted and the agent must bid afresh.
+func (s *Server) handleResume(m *protocol.Message, sess *session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		sess.send(&protocol.Message{Type: protocol.TypeError, Error: "platform: server closed"})
+		return
+	}
+	if m.Round != s.round {
+		if m.Round < s.round {
+			sess.send(&protocol.Message{Type: protocol.TypeRound, Round: s.round})
+		} else {
+			sess.send(&protocol.Message{
+				Type:  protocol.TypeError,
+				Error: fmt.Sprintf("platform: resume for round %d, but round %d is live", m.Round, s.round),
+			})
+		}
+		return
+	}
+	inst := s.auction.Instance()
+	id := m.Phone
+	if int(id) >= inst.NumPhones() {
+		s.stats.ProtocolErrors++
+		sess.send(&protocol.Message{
+			Type:  protocol.TypeError,
+			Error: fmt.Sprintf("platform: resume for unknown phone %d", id),
+		})
+		return
+	}
+	if old := s.phones[id]; old != nil && old != sess {
+		old.abort() // superseded by the reconnected phone
+	}
+	s.phones[id] = sess
+	sess.bid = true
+	s.stats.Resumes++
+	s.cfg.Logger.Info("phone resumed",
+		"phone", int(id), "remote", sess.conn.RemoteAddr().String(), "slot", int(s.auction.Now()))
+
+	bid := inst.Bids[id]
+	sess.send(&protocol.Message{
+		Type:      protocol.TypeWelcome,
+		Phone:     id,
+		Slot:      bid.Arrival,
+		Departure: bid.Departure,
+		Round:     s.round,
+	})
+	out := s.auction.Outcome()
+	if task := out.Allocation.ByPhone[id]; task != core.NoTask {
+		sess.send(&protocol.Message{
+			Type:  protocol.TypeAssign,
+			Phone: id,
+			Task:  task,
+			Slot:  out.Allocation.WonAt[id],
+		})
+		// Payments finalize at the reported departure; an undeparted
+		// winner's critical value may still move, so only a settled
+		// payment is replayed.
+		if bid.Departure <= s.auction.Now() {
+			sess.send(&protocol.Message{
+				Type:   protocol.TypePayment,
+				Phone:  id,
+				Amount: out.Payments[id],
+				Slot:   bid.Departure,
+			})
+		}
+	}
+	if s.auction.Done() {
+		sess.send(&protocol.Message{
+			Type:     protocol.TypeEnd,
+			Welfare:  out.Welfare,
+			Payments: out.TotalPayment(),
+			Round:    s.round,
+		})
+	}
+}
+
 // Tick advances the round one slot: pending bids are admitted with the
 // new slot as their arrival, numTasks tasks are announced and allocated,
 // winners receive assignments, and departing winners receive payments.
@@ -272,7 +385,7 @@ func (s *Server) Tick(numTasks int) (*core.SlotResult, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, errors.New("platform: server closed")
+		return nil, ErrClosed
 	}
 	next := s.auction.Now() + 1
 
@@ -282,7 +395,10 @@ func (s *Server) Tick(numTasks int) (*core.SlotResult, error) {
 	admitted := make([]pendingBid, 0, len(batch))
 	for _, pb := range batch {
 		depart := next + pb.duration - 1
-		if depart > s.cfg.Slots {
+		// The second clause catches integer overflow of an absurd
+		// duration wrapping negative (the wire layer bounds durations,
+		// but in-process callers get the same safety).
+		if depart > s.cfg.Slots || depart < next {
 			depart = s.cfg.Slots
 		}
 		arriving = append(arriving, core.StreamBid{Departure: depart, Cost: pb.cost})
@@ -314,6 +430,7 @@ func (s *Server) Tick(numTasks int) (*core.SlotResult, error) {
 			Phone:     id,
 			Slot:      res.Slot,
 			Departure: snapshot.Bids[id].Departure,
+			Round:     s.round,
 		})
 	}
 	for _, sess := range s.phones {
@@ -424,7 +541,8 @@ func (s *Server) Instance() *core.Instance {
 
 // RunClock drives the remaining slots on a wall clock, announcing the
 // task counts produced by tasksFor(slot) each tick. It blocks until the
-// round completes or the server closes.
+// round completes or the server closes; a server closed mid-round is a
+// clean shutdown (nil), not an error.
 func (s *Server) RunClock(slotEvery time.Duration, tasksFor func(core.Slot) int) error {
 	ticker := time.NewTicker(slotEvery)
 	defer ticker.Stop()
@@ -433,9 +551,16 @@ func (s *Server) RunClock(slotEvery time.Duration, tasksFor func(core.Slot) int)
 			return nil
 		}
 		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return nil
+		}
 		next := s.auction.Now() + 1
 		s.mu.Unlock()
 		if _, err := s.Tick(tasksFor(next)); err != nil {
+			if errors.Is(err, ErrClosed) {
+				return nil
+			}
 			return err
 		}
 		if s.Done() {
@@ -445,8 +570,11 @@ func (s *Server) RunClock(slotEvery time.Duration, tasksFor func(core.Slot) int)
 	return nil
 }
 
-// Close shuts the listener and all connections. Safe to call more than
-// once.
+// Close shuts the listener and all connections. Each session's writer
+// first flushes the messages already queued for it (so a just-ticked
+// end-of-round notice still reaches responsive agents), bounded by the
+// per-message write deadline; then the connections are severed. Safe to
+// call more than once.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -462,7 +590,7 @@ func (s *Server) Close() error {
 
 	err := s.ln.Close()
 	for _, sess := range sessions {
-		sess.conn.Close()
+		sess.shutdown()
 	}
 	s.wg.Wait()
 	return err

@@ -1,0 +1,125 @@
+package platform
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynacrowd/internal/protocol"
+)
+
+// session is one agent connection. Outbound traffic goes through a
+// bounded queue drained by a dedicated writer goroutine, so the slot
+// clock (Server.Tick) can never be stalled by a peer: a session that
+// stops draining either misses its per-message write deadline or
+// overflows its queue, and in both cases it is disconnected rather
+// than waited on.
+type session struct {
+	srv  *Server
+	conn net.Conn
+
+	out     chan *protocol.Message
+	done    chan struct{} // closed once the session is torn down
+	closing chan struct{} // closed to ask the writer to flush then sever
+
+	closeOnce    sync.Once
+	shutdownOnce sync.Once
+	gone         atomic.Bool // writer dead; further sends are dropped
+
+	bid bool // guarded by Server.mu: a bid was accepted on this connection
+}
+
+func newSession(srv *Server, conn net.Conn) *session {
+	return &session{
+		srv:     srv,
+		conn:    conn,
+		out:     make(chan *protocol.Message, srv.cfg.outboundQueue()),
+		done:    make(chan struct{}),
+		closing: make(chan struct{}),
+	}
+}
+
+// send enqueues m for delivery and never blocks. A dead session drops
+// the message; a full queue marks the session a slow consumer and
+// disconnects it. Either way the auction keeps the session's bid — the
+// phone promised availability — and the lost notices can be recovered
+// later through resume{phone}.
+func (sess *session) send(m *protocol.Message) {
+	if sess.gone.Load() {
+		sess.srv.messagesDropped.Add(1)
+		return
+	}
+	select {
+	case sess.out <- m:
+		sess.srv.messagesQueued.Add(1)
+	default:
+		sess.srv.messagesDropped.Add(1)
+		sess.srv.slowConsumers.Add(1)
+		sess.srv.cfg.Logger.Warn("slow consumer disconnected",
+			"remote", sess.conn.RemoteAddr().String(), "dropped", m.Type)
+		sess.abort()
+	}
+}
+
+// abort severs the connection; the reader and writer goroutines unwind
+// on their own. Safe to call more than once and from any goroutine.
+func (sess *session) abort() {
+	sess.closeOnce.Do(func() {
+		close(sess.done)
+		sess.conn.Close()
+	})
+}
+
+// shutdown asks the writer to flush whatever is already queued (e.g.
+// the error reply that ends a misbehaving session) and then sever the
+// connection. Safe to call more than once.
+func (sess *session) shutdown() {
+	sess.shutdownOnce.Do(func() { close(sess.closing) })
+}
+
+// writeLoop drains the outbound queue onto the wire under the
+// configured per-message write deadline. A failed or overdue write
+// kills the session: its remaining queue is abandoned, exactly like a
+// phone that powered off.
+func (sess *session) writeLoop() {
+	defer sess.srv.wg.Done()
+	w := protocol.NewWriter(sess.conn)
+	timeout := sess.srv.cfg.writeTimeout()
+	write := func(m *protocol.Message) bool {
+		if timeout > 0 {
+			sess.conn.SetWriteDeadline(time.Now().Add(timeout))
+		}
+		if err := w.Send(m); err != nil {
+			sess.gone.Store(true)
+			sess.abort()
+			return false
+		}
+		return true
+	}
+	for {
+		select {
+		case m := <-sess.out:
+			if !write(m) {
+				return
+			}
+		case <-sess.closing:
+			// Flush the backlog, then sever.
+			for {
+				select {
+				case m := <-sess.out:
+					if !write(m) {
+						return
+					}
+				default:
+					sess.gone.Store(true)
+					sess.abort()
+					return
+				}
+			}
+		case <-sess.done:
+			sess.gone.Store(true)
+			return
+		}
+	}
+}

@@ -17,6 +17,10 @@ type Stats struct {
 	PaymentsIssued  int
 	TotalPaid       float64
 	ProtocolErrors  int
+	Resumes         int   // sessions re-attached to a phone via resume{phone}
+	MessagesQueued  int64 // outbound messages accepted into session queues
+	MessagesDropped int64 // outbound messages dropped (dead or overflowing session)
+	SlowConsumers   int64 // sessions disconnected for not draining their queue
 }
 
 // Stats returns the current counters.
@@ -26,5 +30,8 @@ func (s *Server) Stats() Stats {
 	st := s.stats
 	st.Slot = s.auction.Now()
 	st.LiveConnections = len(s.sessions)
+	st.MessagesQueued = s.messagesQueued.Load()
+	st.MessagesDropped = s.messagesDropped.Load()
+	st.SlowConsumers = s.slowConsumers.Load()
 	return st
 }

@@ -17,6 +17,14 @@
 //	                          last slot
 //	                       <- round{round} when a multi-round platform opens
 //	                          the next round (agents may bid again)
+//	resume{phone, round}   -> replay of the phone's standing: welcome, its
+//	                          assignment and payment if any, and end if the
+//	                          round is over — so an agent that lost its TCP
+//	                          connection mid-round re-attaches to its
+//	                          admitted bid and still learns its critical-
+//	                          value payment. A resume naming a finished
+//	                          round is answered with round{current} instead
+//	                          (the phone-ID namespace restarted; bid again).
 //
 // Bids carry a duration (number of slots the phone stays active,
 // starting at the slot in which the platform admits the bid) rather than
@@ -31,6 +39,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"dynacrowd/internal/core"
 )
@@ -47,12 +56,19 @@ const (
 	TypePayment = "payment"
 	TypeEnd     = "end"
 	TypeRound   = "round"
+	TypeResume  = "resume"
 	TypeError   = "error"
 )
 
 // MaxLineBytes bounds a single wire message; longer lines abort the
 // connection (defense against unframed garbage).
 const MaxLineBytes = 64 * 1024
+
+// MaxDuration bounds a bid's claimed duration. The platform clamps
+// departures to the round length anyway; the bound exists so that
+// arrival+duration arithmetic can never overflow the Slot integer and
+// slip past that clamp as a negative departure.
+const MaxDuration = core.Slot(1) << 30
 
 // Message is the single wire envelope. Which fields are meaningful
 // depends on Type; the zero value of unused fields is omitted.
@@ -64,8 +80,9 @@ type Message struct {
 	Duration core.Slot `json:"duration,omitempty"` // bid: active slots from admission
 	Cost     float64   `json:"cost,omitempty"`     // bid: claimed per-task cost
 
-	// Platform fields.
-	Phone     core.PhoneID `json:"phone,omitempty"`     // welcome/assign/payment
+	// Platform fields (Phone and Round also appear on the agent-sent
+	// resume message, naming the admitted bid to re-attach).
+	Phone     core.PhoneID `json:"phone,omitempty"`     // welcome/assign/payment/resume
 	Slot      core.Slot    `json:"slot,omitempty"`      // state/welcome/slot/assign/payment
 	Slots     core.Slot    `json:"slots,omitempty"`     // state: round length
 	Value     float64      `json:"value,omitempty"`     // state: per-task value ν
@@ -74,7 +91,7 @@ type Message struct {
 	Amount    float64      `json:"amount,omitempty"`    // payment
 	Welfare   float64      `json:"welfare,omitempty"`   // end
 	Payments  float64      `json:"payments,omitempty"`  // end: total paid
-	Round     int          `json:"round,omitempty"`     // state/end/round: round number (1-based)
+	Round     int          `json:"round,omitempty"`     // state/welcome/end/round/resume: round number (1-based)
 	Error     string       `json:"error,omitempty"`     // error
 }
 
@@ -88,8 +105,25 @@ func (m *Message) Validate() error {
 		if m.Duration < 1 {
 			return fmt.Errorf("protocol: bid duration %d < 1", m.Duration)
 		}
+		if m.Duration > MaxDuration {
+			return fmt.Errorf("protocol: bid duration %d exceeds limit %d", m.Duration, MaxDuration)
+		}
+		// NaN and ±Inf compare false against every threshold, so an
+		// explicit finiteness check is required: a NaN cost would pass
+		// `cost < 0` and then poison the greedy cost ordering.
+		if math.IsNaN(m.Cost) || math.IsInf(m.Cost, 0) {
+			return fmt.Errorf("protocol: non-finite bid cost %g", m.Cost)
+		}
 		if m.Cost < 0 {
 			return fmt.Errorf("protocol: negative bid cost %g", m.Cost)
+		}
+		return nil
+	case TypeResume:
+		if m.Phone < 0 {
+			return fmt.Errorf("protocol: resume phone %d < 0", m.Phone)
+		}
+		if m.Round < 1 {
+			return fmt.Errorf("protocol: resume round %d < 1", m.Round)
 		}
 		return nil
 	case TypeState, TypeAck, TypeWelcome, TypeSlot, TypeAssign, TypePayment, TypeEnd, TypeRound, TypeError:

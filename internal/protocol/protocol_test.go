@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"math"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -22,6 +23,7 @@ func TestRoundTripAllTypes(t *testing.T) {
 		{Type: TypeAssign, Phone: 7, Task: 2, Slot: 9},
 		{Type: TypePayment, Phone: 7, Amount: 19.25, Slot: 11},
 		{Type: TypeEnd, Welfare: 812.5, Payments: 1100},
+		{Type: TypeResume, Phone: 7, Round: 2},
 		{Type: TypeError, Error: "boom"},
 	}
 	var buf bytes.Buffer
@@ -87,7 +89,10 @@ func TestValidateTable(t *testing.T) {
 		{Type: TypeHello},
 		{Type: TypeBid, Duration: 1},
 		{Type: TypeBid, Duration: 10, Cost: 3},
+		{Type: TypeBid, Duration: MaxDuration, Cost: 3},
 		{Type: TypeEnd},
+		{Type: TypeResume, Phone: 0, Round: 1},
+		{Type: TypeResume, Phone: 12, Round: 3},
 	}
 	for _, m := range good {
 		if err := m.Validate(); err != nil {
@@ -100,10 +105,49 @@ func TestValidateTable(t *testing.T) {
 		{Type: TypeBid},
 		{Type: TypeBid, Duration: -1},
 		{Type: TypeBid, Duration: 1, Cost: -0.5},
+		{Type: TypeResume, Phone: -1, Round: 1},
+		{Type: TypeResume, Phone: 0, Round: 0},
+		{Type: TypeResume, Phone: 0, Round: -2},
 	}
 	for _, m := range bad {
 		if err := m.Validate(); err == nil {
 			t.Errorf("%+v accepted", m)
+		}
+	}
+}
+
+// TestValidateRejectsHostileBids: table tests for the bid fields an
+// adversarial agent could weaponize — non-finite costs poison the
+// greedy cost ordering (NaN compares false against every threshold),
+// and durations near the integer limit overflow the departure
+// arithmetic past the round-length clamp.
+func TestValidateRejectsHostileBids(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Message
+	}{
+		{"NaN cost", Message{Type: TypeBid, Duration: 2, Cost: math.NaN()}},
+		{"+Inf cost", Message{Type: TypeBid, Duration: 2, Cost: math.Inf(1)}},
+		{"-Inf cost", Message{Type: TypeBid, Duration: 2, Cost: math.Inf(-1)}},
+		{"duration past limit", Message{Type: TypeBid, Duration: MaxDuration + 1, Cost: 1}},
+		{"overflowing duration", Message{Type: TypeBid, Duration: core.Slot(math.MaxInt64), Cost: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.m.Validate(); err == nil {
+				t.Fatalf("%+v accepted", tc.m)
+			}
+		})
+	}
+	// The wire layer rejects them too (NaN/Inf are not valid JSON
+	// numbers, so they already fail to encode; a hostile peer would
+	// hand-craft the line instead).
+	for _, line := range []string{
+		`{"type":"bid","duration":2,"cost":1e999}`,
+		`{"type":"bid","duration":9223372036854775807,"cost":1}`,
+	} {
+		if _, err := NewReader(strings.NewReader(line + "\n")).Receive(); err == nil {
+			t.Fatalf("wire accepted %s", line)
 		}
 	}
 }
