@@ -1,11 +1,19 @@
 GO ?= go
 
-.PHONY: all check vet build test race bench clean
+# bench knobs: BENCHTIME=2s for stable numbers, BENCH_SECTION=baseline
+# to record a pre-change reference into the trajectory file.
+BENCHTIME ?= 1x
+BENCH_SECTION ?= current
+BENCH_OUT ?= BENCH_PR3.json
+
+.PHONY: all check vet build test race race-hot bench profile clean
 
 all: check
 
-# check is the tier-1 gate: everything CI runs, in order.
-check: vet build test race
+# check is the tier-1 gate: everything CI runs, in order. race-hot runs
+# first so races on the mechanism/platform hot paths (pooled scratch,
+# concurrent sessions) fail fast before the full-tree race pass.
+check: vet build test race-hot race
 
 vet:
 	$(GO) vet ./...
@@ -19,8 +27,24 @@ test:
 race:
 	$(GO) test -race ./...
 
+# race-hot focuses the race detector on the packages that share scratch
+# buffers across goroutines: the payment engines and the platform server.
+race-hot:
+	$(GO) test -race -count=1 ./internal/core/... ./internal/platform/...
+
+# bench runs every benchmark and records the results (ns/op plus the
+# figure benchmarks' welfare/sigma metrics) as a section of the JSON
+# trajectory file, printing speedups against the stored baseline.
 bench:
-	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+	$(GO) test -bench=. -benchtime=$(BENCHTIME) -run='^$$' ./... \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -out $(BENCH_OUT) -section $(BENCH_SECTION)
+
+# profile captures CPU and heap profiles of a representative sweep;
+# inspect with `go tool pprof cpu.pprof`.
+profile:
+	$(GO) run ./cmd/crowdsim -figure fig6 -quick -cpuprofile cpu.pprof -memprofile mem.pprof >/dev/null
+	@echo "wrote cpu.pprof and mem.pprof"
 
 clean:
 	$(GO) clean ./...

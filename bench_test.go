@@ -5,16 +5,20 @@
 //	Fig. 6   -> BenchmarkFig6WelfareVsSlots
 //	Fig. 7   -> BenchmarkFig7WelfareVsArrivalRate
 //	Fig. 8   -> BenchmarkFig8WelfareVsCost
-//	Fig. 9   -> BenchmarkFig9OverpaymentVsSlots
-//	Fig. 10  -> BenchmarkFig10OverpaymentVsArrivalRate
-//	Fig. 11  -> BenchmarkFig11OverpaymentVsCost
+//	Fig. 9   -> sigma_* metrics of BenchmarkFig6WelfareVsSlots
+//	Fig. 10  -> sigma_* metrics of BenchmarkFig7WelfareVsArrivalRate
+//	Fig. 11  -> sigma_* metrics of BenchmarkFig8WelfareVsCost
 //
 // The figure benchmarks emit the paper's series as custom benchmark
 // metrics (welfare_online, welfare_offline, sigma_online,
 // sigma_offline), one sub-benchmark per swept x value, so `go test
-// -bench=Fig` prints the same rows the paper plots. The
-// EXPERIMENTS.md-quality runs (20+ seeds) come from cmd/crowdsim; these
-// benches use 2 seeds per point to keep `go test -bench=.` tractable.
+// -bench=Fig` prints the same rows the paper plots. Figures 9–11 plot
+// the overpayment ratio over the identical three sweeps as Figures 6–8,
+// so they have no benchmarks of their own: every sweep run emits both
+// metric families at once, and the sigma_* columns ARE the Fig. 9–11
+// series. The EXPERIMENTS.md-quality runs (20+ seeds) come from
+// cmd/crowdsim; these benches use 2 seeds per point to keep `go test
+// -bench=.` tractable.
 //
 // Ablation benchmarks cover the design choices called out in DESIGN.md:
 // Hungarian vs min-cost-flow matching (internal/matching), incremental
@@ -92,22 +96,6 @@ func BenchmarkFig8WelfareVsCost(b *testing.B) {
 	benchSweep(b, experiments.CostSweep(workload.DefaultScenario()))
 }
 
-// Figs. 9-11 plot overpayment over the same three sweeps; the sigma_*
-// metrics are the series. They are separate benchmarks so each paper
-// figure has a named, individually runnable target.
-
-func BenchmarkFig9OverpaymentVsSlots(b *testing.B) {
-	benchSweep(b, experiments.SlotsSweep(workload.DefaultScenario()))
-}
-
-func BenchmarkFig10OverpaymentVsArrivalRate(b *testing.B) {
-	benchSweep(b, experiments.PhoneRateSweep(workload.DefaultScenario()))
-}
-
-func BenchmarkFig11OverpaymentVsCost(b *testing.B) {
-	benchSweep(b, experiments.CostSweep(workload.DefaultScenario()))
-}
-
 // --- component and ablation benchmarks ---
 
 func generated(b *testing.B, slots core.Slot) *core.Instance {
@@ -134,6 +122,26 @@ func BenchmarkOnlineMechanism(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkPaymentEngines ablates the critical-value payment engines on
+// the same instance: the incremental cascade (default), the literal
+// per-winner Algorithm 2 oracle, and the parallel oracle fan-out. All
+// three return bit-identical payments (see TestCascadeMatchesOracleSweep),
+// so the spread here is pure engine cost.
+func BenchmarkPaymentEngines(b *testing.B) {
+	for _, m := range []core.Slot{50, 100} {
+		in := generated(b, m)
+		for _, mech := range sim.EngineMechs() {
+			b.Run(fmt.Sprintf("%s/slots=%d", mech.Name(), m), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := mech.Run(in); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: dynacrowd
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkOnlineMechanism/slots=100        	   88958	     26158 ns/op	   17408 B/op	       6 allocs/op
+BenchmarkFig6WelfareVsSlots/slots=30-8    	       1	  12345678 ns/op	       434.9 welfare_online	       512.3 welfare_offline	         0.52 sigma_online	         0.61 sigma_offline
+BenchmarkStreamingSlot                    	   48362	     59043 ns/op	        50.00 slots/op	   89848 B/op	     532 allocs/op
+PASS
+ok  	dynacrowd	11.074s
+`
+
+func TestParse(t *testing.T) {
+	got, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(got), got)
+	}
+	m, ok := got["dynacrowd/BenchmarkOnlineMechanism/slots=100"]
+	if !ok {
+		t.Fatalf("missing pkg-qualified benchmark, got keys %v", got)
+	}
+	if m["ns/op"] != 26158 || m["allocs/op"] != 6 || m["iterations"] != 88958 {
+		t.Errorf("wrong metrics: %v", m)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped so sections recorded on
+	// different machines stay comparable, and custom metrics must survive.
+	fig, ok := got["dynacrowd/BenchmarkFig6WelfareVsSlots/slots=30"]
+	if !ok {
+		t.Fatalf("missing suffix-stripped benchmark, got keys %v", got)
+	}
+	if fig["welfare_online"] != 434.9 || fig["sigma_offline"] != 0.61 {
+		t.Errorf("custom metrics lost: %v", fig)
+	}
+}
+
+func TestMergeKeepsOtherSections(t *testing.T) {
+	existing := []byte(`{"sections":{"baseline":{"go":"go1.0","recorded":"x","benchmarks":{"b":{"ns/op":100}}}}}`)
+	data, err := merge(existing, "current", &section{
+		Go:         "go1.24",
+		Recorded:   "now",
+		Benchmarks: map[string]metrics{"b": {"ns/op": 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traj trajectory
+	if err := json.Unmarshal(data, &traj); err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Sections) != 2 {
+		t.Fatalf("sections %v, want baseline+current", traj.Sections)
+	}
+	if traj.Sections["baseline"].Benchmarks["b"]["ns/op"] != 100 {
+		t.Error("baseline section was clobbered")
+	}
+	if traj.Sections["current"].Benchmarks["b"]["ns/op"] != 10 {
+		t.Error("current section not recorded")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	err := run([]string{"-out", out, "-section", "current"}, strings.NewReader(sample), os.Stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traj trajectory
+	if err := json.Unmarshal(data, &traj); err != nil {
+		t.Fatal(err)
+	}
+	if traj.Sections["current"] == nil || len(traj.Sections["current"].Benchmarks) != 3 {
+		t.Fatalf("bad trajectory: %s", data)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	err := run([]string{"-out", out}, strings.NewReader("no benchmarks here\n"), discard{})
+	if err == nil {
+		t.Fatal("want error on empty benchmark input")
+	}
+	if _, statErr := os.Stat(out); !os.IsNotExist(statErr) {
+		t.Error("file should not be written on empty input")
+	}
+}
+
+// discard is a throwaway writer for tests that don't care about stderr.
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

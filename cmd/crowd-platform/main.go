@@ -17,6 +17,8 @@
 //	-rounds n         consecutive auction rounds to play (default 1)
 //	-checkpoint f     write the auction state to f after every slot and,
 //	                  if f already exists at startup, resume from it
+//	-payments e       payment engine: cascade | oracle | parallel
+//	                  (default cascade; all produce identical payments)
 package main
 
 import (
@@ -41,23 +43,42 @@ func main() {
 	seed := flag.Uint64("seed", 1, "task arrival seed")
 	rounds := flag.Int("rounds", 1, "consecutive auction rounds")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file (resume if present)")
+	payments := flag.String("payments", "cascade", "payment engine: cascade | oracle | parallel")
 	flag.Parse()
 
-	if err := run(*addr, *slots, *value, *taskRate, *slotEvery, *seed, *rounds, *checkpoint); err != nil {
+	if err := run(*addr, *slots, *value, *taskRate, *slotEvery, *seed, *rounds, *checkpoint, *payments); err != nil {
 		fmt.Fprintln(os.Stderr, "crowd-platform:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, slots int, value, taskRate float64, slotEvery time.Duration, seed uint64, rounds int, checkpoint string) error {
+// paymentEngine resolves the -payments flag.
+func paymentEngine(name string) (core.PaymentEngine, error) {
+	switch name {
+	case "", "cascade":
+		return core.CascadePayments, nil
+	case "oracle":
+		return core.OraclePayments, nil
+	case "parallel":
+		return core.ParallelPayments(0), nil
+	default:
+		return nil, fmt.Errorf("unknown payment engine %q (want cascade, oracle, or parallel)", name)
+	}
+}
+
+func run(addr string, slots int, value, taskRate float64, slotEvery time.Duration, seed uint64, rounds int, checkpoint, payments string) error {
+	engine, err := paymentEngine(payments)
+	if err != nil {
+		return err
+	}
 	cfg := platform.Config{
-		Slots:  core.Slot(slots),
-		Value:  value,
-		Rounds: rounds,
-		Logger: slog.Default(),
+		Slots:         core.Slot(slots),
+		Value:         value,
+		Rounds:        rounds,
+		Logger:        slog.Default(),
+		PaymentEngine: engine,
 	}
 	var srv *platform.Server
-	var err error
 	if checkpoint != "" {
 		if data, readErr := os.ReadFile(checkpoint); readErr == nil {
 			srv, err = platform.Resume(addr, cfg, data)

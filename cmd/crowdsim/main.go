@@ -19,6 +19,8 @@
 //	-check         verify the paper's shape claims and report
 //	-value v       per-task value ν override (default scenario's 30)
 //	-quick         3 seeds and a thinned sweep, for smoke runs
+//	-cpuprofile f  write a CPU profile of the run to f (go tool pprof)
+//	-memprofile f  write an end-of-run heap profile to f
 package main
 
 import (
@@ -26,6 +28,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"dynacrowd/internal/experiments"
 	"dynacrowd/internal/stats"
@@ -48,8 +52,36 @@ func run(args []string, out io.Writer) error {
 	check := fs.Bool("check", false, "verify the paper's shape claims")
 	value := fs.Float64("value", 0, "per-task value ν override (0 = scenario default)")
 	quick := fs.Bool("quick", false, "3 seeds and thinned sweeps")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write an end-of-run heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "crowdsim: heap profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live allocations, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "crowdsim: heap profile:", err)
+			}
+		}()
 	}
 
 	base := workload.DefaultScenario()

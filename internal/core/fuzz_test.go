@@ -64,6 +64,40 @@ func FuzzMechanismInvariants(f *testing.F) {
 	})
 }
 
+// FuzzCriticalPayments differentially tests the incremental cascade
+// payment engine (and the parallel fan-out) against the literal
+// Algorithm 2 per-winner re-run on fuzz-seeded instances, demanding
+// bit-identical payments — the engines take maxima over the same stored
+// floats, so exact equality is the specification, not a tolerance.
+func FuzzCriticalPayments(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(2))
+	f.Add(int64(-13))
+	f.Add(int64(777))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomInstance(rng, 14, 14, 8, 50)
+		in.AllocateAtLoss = seed%2 == 0
+
+		ref, err := (&OnlineMechanism{Payments: OraclePayments}).Run(in)
+		if err != nil {
+			t.Fatalf("oracle: %v", err)
+		}
+		for _, engine := range []PaymentEngine{CascadePayments, ParallelPayments(3)} {
+			out, err := (&OnlineMechanism{Payments: engine}).Run(in)
+			if err != nil {
+				t.Fatalf("%s: %v", engine.Name(), err)
+			}
+			for i := range ref.Payments {
+				if out.Payments[i] != ref.Payments[i] {
+					t.Fatalf("%s: phone %d paid %v, oracle %v (atLoss=%v)",
+						engine.Name(), i, out.Payments[i], ref.Payments[i], in.AllocateAtLoss)
+				}
+			}
+		}
+	})
+}
+
 // FuzzStreamEquivalence replays fuzz-seeded instances through the
 // streaming driver and checks it matches the batch mechanism.
 func FuzzStreamEquivalence(f *testing.F) {

@@ -6,15 +6,21 @@ import "fmt"
 // where bids and tasks are revealed slot by slot. Allocation is greedy
 // (Algorithm 1): in each slot the newly arrived tasks go to the cheapest
 // currently active, still-unallocated phones. Payment is the critical
-// value (Algorithm 2): re-run the greedy allocation without the winner's
-// bid and pay the maximum claimed cost among phones allocated between the
-// winner's winning slot and its reported departure, floored at the
-// winner's own claimed cost.
+// value (Algorithm 2): the maximum claimed cost among the phones the
+// greedy allocation would select between the winner's winning slot and
+// its reported departure if the winner's bid were removed, floored at
+// the winner's own claimed cost.
 //
 // The allocation rule is monotone and the payment equals each winner's
 // critical value, so the mechanism is truthful (Theorem 4) and
 // individually rational (Theorem 5); the allocation is 1/2-competitive
 // against the offline optimum (Theorem 6).
+//
+// Payments are computed by a PaymentEngine. The default incremental
+// cascade engine prices all winners from the single baseline run
+// (docs/THEORY.md §5); the literal per-winner re-run of Algorithm 2 is
+// available as OraclePayments, and ParallelPayments fans the re-runs out
+// over a worker pool. All engines return bit-identical payments.
 //
 // Reserve price: when Instance.AllocateAtLoss is false (the default),
 // bids with cost ≥ ν never win, and a winner whose removal would leave a
@@ -22,120 +28,64 @@ import "fmt"
 // reserve). When AllocateAtLoss is true the paper's unbounded-scarcity
 // case is capped at max(ν, b_i); the paper implicitly assumes phones are
 // abundant, so this cap is a documented boundary-condition choice.
-type OnlineMechanism struct{}
+type OnlineMechanism struct {
+	// Payments selects the critical-value payment engine. Nil uses the
+	// incremental CascadePayments engine.
+	Payments PaymentEngine
+}
 
-// Name implements Mechanism.
-func (on *OnlineMechanism) Name() string { return "online-greedy" }
+// Name implements Mechanism. Explicitly configured engines are suffixed
+// ("online-greedy+oracle") so ablation tables stay distinguishable.
+func (on *OnlineMechanism) Name() string {
+	if on.Payments != nil {
+		return "online-greedy+" + on.Payments.Name()
+	}
+	return "online-greedy"
+}
+
+func (on *OnlineMechanism) engine() PaymentEngine {
+	if on.Payments != nil {
+		return on.Payments
+	}
+	return CascadePayments
+}
 
 // Run implements Mechanism by driving the greedy allocator across the
-// whole round and then computing critical-value payments for each winner.
+// whole round and then pricing every winner with the payment engine.
+// The hot path reuses pooled scratch (arrivals index, allocation pool,
+// cascade state), so steady-state runs allocate only the returned
+// Outcome. Safe for concurrent use.
 func (on *OnlineMechanism) Run(in *Instance) (*Outcome, error) {
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("online mechanism: %w", err)
 	}
-	byTask, _, _ := runGreedy(in, NoPhone, in.Slots)
+	sc := mechPool.Get().(*mechScratch)
+	defer mechPool.Put(sc)
+	sc.idx.build(in)
 
+	// The baseline greedy writes winners straight into the outcome's
+	// allocation arrays; only the cascade side state is pooled.
 	alloc := NewAllocation(in.NumTasks(), in.NumPhones())
-	for k, p := range byTask {
-		if p != NoPhone {
-			alloc.Assign(TaskID(k), p, in.Tasks[k].Arrival)
-		}
-	}
+	run := &sc.run
+	run.byTask = alloc.ByTask
+	run.phoneTask = alloc.ByPhone
+	run.wonAt = alloc.WonAt
+	run.runnerUp = resize(run.runnerUp, in.NumTasks())
+	run.resetSlots(in.Slots)
+	sc.heap = runBaseline(in, &sc.idx, run, sc.heap, in.Slots)
 
 	out := &Outcome{
 		Allocation: alloc,
 		Payments:   make([]float64, in.NumPhones()),
 		Welfare:    alloc.Welfare(in),
 	}
-	for _, i := range alloc.Winners() {
-		out.Payments[i] = criticalPayment(in, i, alloc.WonAt[i])
-	}
+	sc.q.in, sc.q.run, sc.q.idx = in, run, &sc.idx
+	on.engine().priceAll(&sc.q, out.Payments)
+
+	// Unhook the escaping outcome and instance before pooling the scratch.
+	sc.q.in, sc.q.run, sc.q.idx = nil, nil, nil
+	run.byTask, run.phoneTask, run.wonAt = nil, nil, nil
 	return out, nil
-}
-
-// slotReport records what the greedy allocator did in one slot.
-type slotReport struct {
-	winners       int     // tasks served this slot
-	unserved      int     // tasks left unserved this slot
-	maxWinnerCost float64 // highest claimed cost among this slot's winners
-}
-
-// runGreedy executes Algorithm 1 on the instance, optionally skipping one
-// phone's bid (skip = NoPhone to include everyone), through slot upTo.
-// It returns the task assignment (by task index), the slot each phone won
-// in (0 if it didn't), and per-slot reports (1-based, reports[0] unused).
-func runGreedy(in *Instance, skip PhoneID, upTo Slot) ([]PhoneID, []Slot, []slotReport) {
-	byTask := make([]PhoneID, in.NumTasks())
-	for k := range byTask {
-		byTask[k] = NoPhone
-	}
-	wonAt := make([]Slot, in.NumPhones())
-	reports := make([]slotReport, upTo+1)
-
-	// Group eligible phones by claimed arrival slot. Bids priced at or
-	// above the per-task value ν can never yield positive welfare and are
-	// excluded unless the instance allocates at a loss (reserve price).
-	arrivals := make([][]PhoneID, in.Slots+1)
-	for i, b := range in.Bids {
-		if PhoneID(i) == skip {
-			continue
-		}
-		if !in.AllocateAtLoss && b.Cost >= in.Value {
-			continue
-		}
-		arrivals[b.Arrival] = append(arrivals[b.Arrival], PhoneID(i))
-	}
-
-	h := costHeap{bids: in.Bids}
-	ti := 0
-	for t := Slot(1); t <= upTo; t++ {
-		for _, p := range arrivals[t] {
-			h.push(p)
-		}
-		for ; ti < len(in.Tasks) && in.Tasks[ti].Arrival == t; ti++ {
-			winner := NoPhone
-			for h.len() > 0 {
-				p := h.pop()
-				if in.Bids[p].Departure < t {
-					continue // departed; drop permanently
-				}
-				winner = p
-				break
-			}
-			if winner == NoPhone {
-				reports[t].unserved++
-				continue
-			}
-			byTask[ti] = winner
-			wonAt[winner] = t
-			reports[t].winners++
-			if c := in.Bids[winner].Cost; c > reports[t].maxWinnerCost {
-				reports[t].maxWinnerCost = c
-			}
-		}
-	}
-	return byTask, wonAt, reports
-}
-
-// criticalPayment implements Algorithm 2: the payment to winner i (who
-// won in slot won) is the maximum claimed cost among phones that the
-// greedy allocation selects in slots [won, d̃_i] when i's bid is removed,
-// floored at b_i. A slot in that window with an unserved task means i's
-// bid was pivotal there, so its critical value is the reserve ν.
-func criticalPayment(in *Instance, i PhoneID, won Slot) float64 {
-	d := in.Bids[i].Departure
-	_, _, reports := runGreedy(in, i, d)
-	p := in.Bids[i].Cost
-	for t := won; t <= d; t++ {
-		cand := reports[t].maxWinnerCost
-		if reports[t].unserved > 0 {
-			cand = in.Value
-		}
-		if cand > p {
-			p = cand
-		}
-	}
-	return p
 }
 
 // costHeap is a binary min-heap of phone IDs ordered by (claimed cost,
@@ -189,4 +139,29 @@ func (h *costHeap) pop() PhoneID {
 		i = small
 	}
 	return top
+}
+
+// popEligible pops the cheapest phone still active in slot t,
+// permanently discarding departed entries on the way (lazy deletion: a
+// departed phone can never become eligible again).
+func (h *costHeap) popEligible(t Slot) PhoneID {
+	for h.len() > 0 {
+		p := h.pop()
+		if h.bids[p].Departure >= t {
+			return p
+		}
+	}
+	return NoPhone
+}
+
+// peekEligible reports the phone popEligible would return next,
+// discarding departed entries but leaving the survivor in place.
+func (h *costHeap) peekEligible(t Slot) PhoneID {
+	for h.len() > 0 {
+		if p := h.items[0]; h.bids[p].Departure >= t {
+			return p
+		}
+		h.pop()
+	}
+	return NoPhone
 }

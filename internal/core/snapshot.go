@@ -9,10 +9,12 @@ import (
 const snapshotVersion = 1
 
 // auctionSnapshot is the serialized state of an OnlineAuction. Only
-// decision-relevant state is stored; the allocation pool is rebuilt on
-// restore (the greedy heap pops by (cost, id) with deterministic
-// tiebreaks, so pop order — and therefore every future decision — is
-// independent of the heap's internal layout).
+// decision-relevant state is stored; the allocation pool and the
+// incremental pricing state (runner-ups, per-slot winner-cost tables)
+// are rebuilt on restore by replaying the greedy allocation, which is
+// deterministic: the heap pops by (cost, id), so the replay reproduces
+// every past decision exactly and the stored assignment doubles as an
+// integrity check.
 type auctionSnapshot struct {
 	Version        int       `json:"version"`
 	Slots          Slot      `json:"slots"`
@@ -36,8 +38,8 @@ func (oa *OnlineAuction) Snapshot() ([]byte, error) {
 		AllocateAtLoss: oa.allocateAtLoss,
 		Now:            oa.now,
 		Bids:           oa.bids,
-		ByTask:         oa.byTask,
-		WonAt:          oa.wonAt,
+		ByTask:         oa.run.byTask,
+		WonAt:          oa.run.wonAt,
 	}
 	for _, t := range oa.tasks {
 		snap.TaskArrivals = append(snap.TaskArrivals, t.Arrival)
@@ -73,8 +75,6 @@ func RestoreOnlineAuction(data []byte) (*OnlineAuction, error) {
 	}
 	oa.now = snap.Now
 	oa.bids = snap.Bids
-	oa.wonAt = snap.WonAt
-	oa.byTask = snap.ByTask
 	for i, b := range snap.Bids {
 		if b.Phone != PhoneID(i) {
 			return nil, fmt.Errorf("restore auction: bid %d has phone id %d", i, b.Phone)
@@ -101,7 +101,7 @@ func RestoreOnlineAuction(data []byte) (*OnlineAuction, error) {
 		if p == NoPhone {
 			continue
 		}
-		if int(p) >= len(snap.Bids) {
+		if p < 0 || int(p) >= len(snap.Bids) {
 			return nil, fmt.Errorf("restore auction: task %d assigned to unknown phone %d", k, p)
 		}
 		if snap.WonAt[p] != snap.TaskArrivals[k] {
@@ -110,19 +110,31 @@ func RestoreOnlineAuction(data []byte) (*OnlineAuction, error) {
 		}
 	}
 
-	// Rebuild the allocation pool: every phone that has not won, has not
-	// passed its departure, and clears the reserve re-enters the heap.
-	// Phones the original auction lazily discarded re-enter too; they
-	// are re-discarded on their first pop, which leaves behaviour
-	// unchanged.
+	// Replay the greedy allocation over the restored bids and tasks. This
+	// rebuilds everything the snapshot does not carry — the live heap, the
+	// per-task runner-ups, and the per-slot winner-cost tables the cascade
+	// engine prices from — and reproduces the original pool exactly
+	// (phones the original auction lazily discarded re-enter and are
+	// re-discarded on their first pop, which leaves behaviour unchanged).
+	in := oa.instance()
+	var idx arrivalsIndex
+	idx.build(in)
+	oa.run.initRound(len(oa.bids), len(oa.tasks), oa.slots)
 	oa.heap.bids = oa.bids
-	for i, b := range oa.bids {
-		switch {
-		case oa.wonAt[i] != 0: // already allocated
-		case b.Departure <= snap.Now: // departed
-		case !oa.allocateAtLoss && b.Cost >= oa.value: // priced out by the reserve
-		default:
-			oa.heap.push(PhoneID(i))
+	oa.heap.items = runBaseline(in, &idx, &oa.run, nil, snap.Now)
+
+	// The replayed assignment must agree with the stored one; a mismatch
+	// means the snapshot was tampered with or produced by different code.
+	for k, p := range snap.ByTask {
+		if oa.run.byTask[k] != p {
+			return nil, fmt.Errorf("restore auction: task %d assignment %d disagrees with replay %d",
+				k, p, oa.run.byTask[k])
+		}
+	}
+	for i, w := range snap.WonAt {
+		if oa.run.wonAt[i] != w {
+			return nil, fmt.Errorf("restore auction: phone %d winning slot %d disagrees with replay %d",
+				i, w, oa.run.wonAt[i])
 		}
 	}
 	return oa, nil

@@ -34,19 +34,27 @@ type SlotResult struct {
 // immediately, and payments are finalized at each winner's reported
 // departure slot. A completed OnlineAuction yields the same allocation
 // and payments as OnlineMechanism.Run on the equivalent batch instance.
+//
+// The auction retains the incremental pricing state of the greedy run
+// (per-task runner-ups, per-slot winner-cost tables), so a departure is
+// priced by a cascade walk over that state instead of re-simulating the
+// round from a snapshot — the platform's per-slot hot path stays
+// O(window + cascade) per departing winner.
 type OnlineAuction struct {
 	slots          Slot
 	value          float64
 	allocateAtLoss bool
+	engine         PaymentEngine
 
 	now   Slot // last processed slot (0 before the first Step)
 	bids  []Bid
 	tasks []Task
 
-	heap    costHeap
-	byTask  []PhoneID
-	wonAt   []Slot
-	taskArr []Slot // arrival slot per task (mirrors tasks)
+	heap costHeap
+	run  greedyRun // winners plus retained cascade pricing state
+
+	inst Instance     // reusable pricing view over bids/tasks
+	q    paymentQuery // reusable pricing scratch
 }
 
 // NewOnlineAuction creates a round of m slots with per-task value ν.
@@ -57,7 +65,21 @@ func NewOnlineAuction(m Slot, value float64, allocateAtLoss bool) (*OnlineAuctio
 	if value < 0 {
 		return nil, fmt.Errorf("online auction: negative task value %g", value)
 	}
-	return &OnlineAuction{slots: m, value: value, allocateAtLoss: allocateAtLoss}, nil
+	oa := &OnlineAuction{slots: m, value: value, allocateAtLoss: allocateAtLoss, engine: CascadePayments}
+	oa.run.resetSlots(m)
+	return oa, nil
+}
+
+// SetPaymentEngine selects how winners are priced. The default
+// CascadePayments prices from the retained incremental state;
+// OraclePayments and ParallelPayments replay Algorithm 2 against the
+// accumulated instance. All engines yield identical payments, so the
+// engine may be switched between steps.
+func (oa *OnlineAuction) SetPaymentEngine(e PaymentEngine) {
+	if e == nil {
+		e = CascadePayments
+	}
+	oa.engine = e
 }
 
 // Now returns the last processed slot (0 before the first Step).
@@ -91,7 +113,8 @@ func (oa *OnlineAuction) Step(arriving []StreamBid, numTasks int) (*SlotResult, 
 		id := PhoneID(len(oa.bids))
 		bid := Bid{Phone: id, Arrival: t, Departure: sb.Departure, Cost: sb.Cost}
 		oa.bids = append(oa.bids, bid)
-		oa.wonAt = append(oa.wonAt, 0)
+		oa.run.wonAt = append(oa.run.wonAt, 0)
+		oa.run.phoneTask = append(oa.run.phoneTask, NoTask)
 		res.Joined = append(res.Joined, id)
 		// Reserve price: bids that can never yield positive welfare are
 		// recorded (they may still depart, and auditors may inspect them)
@@ -106,38 +129,50 @@ func (oa *OnlineAuction) Step(arriving []StreamBid, numTasks int) (*SlotResult, 
 	for k := 0; k < numTasks; k++ {
 		id := TaskID(len(oa.tasks))
 		oa.tasks = append(oa.tasks, Task{ID: id, Arrival: t})
-		oa.byTask = append(oa.byTask, NoPhone)
-		winner := NoPhone
-		for oa.heap.len() > 0 {
-			p := oa.heap.pop()
-			if oa.bids[p].Departure < t {
-				continue // departed; drop permanently
-			}
-			winner = p
-			break
-		}
+		oa.run.byTask = append(oa.run.byTask, NoPhone)
+		oa.run.runnerUp = append(oa.run.runnerUp, NoPhone)
+		winner := oa.heap.popEligible(t)
 		if winner == NoPhone {
+			oa.run.unserved[t]++
 			res.Unserved++
 			continue
 		}
-		oa.byTask[id] = winner
-		oa.wonAt[winner] = t
+		oa.run.byTask[id] = winner
+		oa.run.phoneTask[winner] = id
+		oa.run.wonAt[winner] = t
+		oa.run.noteWinner(t, winner, oa.bids[winner].Cost)
+		oa.run.runnerUp[id] = oa.heap.peekEligible(t)
 		res.Assignments = append(res.Assignments, Assignment{Task: id, Phone: winner, Slot: t})
 	}
 
-	// Finalize payments for winners departing this slot. The critical-
-	// value replay only looks at slots ≤ t, and every bid or task that
-	// will arrive later is invisible to those slots, so paying now equals
-	// paying at end of round.
-	snapshot := oa.instance()
+	// Finalize payments for winners departing this slot, priced from the
+	// retained incremental state. The cascade only looks at slots ≤ t,
+	// and every bid or task that will arrive later is invisible to those
+	// slots, so paying now equals paying at end of round.
+	q := oa.pricer()
 	for i := range oa.bids {
-		if oa.bids[i].Departure != t || oa.wonAt[i] == 0 {
+		if oa.bids[i].Departure != t || oa.run.wonAt[i] == 0 {
 			continue
 		}
-		amount := criticalPayment(snapshot, PhoneID(i), oa.wonAt[i])
+		amount := oa.engine.price(q, PhoneID(i))
 		res.Payments = append(res.Payments, PaymentNotice{Phone: PhoneID(i), Amount: amount})
 	}
 	return res, nil
+}
+
+// pricer refreshes the reusable payment query over the current state.
+// The arrivals index (only the oracle engines need one) is invalidated
+// so it is rebuilt at most once per pricing batch.
+func (oa *OnlineAuction) pricer() *paymentQuery {
+	oa.inst = Instance{
+		Slots:          oa.slots,
+		Value:          oa.value,
+		Bids:           oa.bids,
+		Tasks:          oa.tasks,
+		AllocateAtLoss: oa.allocateAtLoss,
+	}
+	oa.q.in, oa.q.run, oa.q.idx = &oa.inst, &oa.run, nil
+	return &oa.q
 }
 
 // instance materializes the bids and tasks seen so far as an Instance.
@@ -157,7 +192,7 @@ func (oa *OnlineAuction) instance() *Instance {
 func (oa *OnlineAuction) Outcome() *Outcome {
 	in := oa.instance()
 	alloc := NewAllocation(len(oa.tasks), len(oa.bids))
-	for k, p := range oa.byTask {
+	for k, p := range oa.run.byTask {
 		if p != NoPhone {
 			alloc.Assign(TaskID(k), p, oa.tasks[k].Arrival)
 		}
@@ -167,8 +202,11 @@ func (oa *OnlineAuction) Outcome() *Outcome {
 		Payments:   make([]float64, len(oa.bids)),
 		Welfare:    alloc.Welfare(in),
 	}
-	for _, i := range alloc.Winners() {
-		out.Payments[i] = criticalPayment(in, i, alloc.WonAt[i])
+	q := oa.pricer()
+	for i, task := range oa.run.phoneTask {
+		if task != NoTask {
+			out.Payments[i] = oa.engine.price(q, PhoneID(i))
+		}
 	}
 	return out
 }

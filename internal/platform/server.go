@@ -49,6 +49,11 @@ type Config struct {
 	// session whose queue overflows is a slow consumer and is
 	// disconnected. Zero means the default of 64.
 	OutboundQueue int
+	// PaymentEngine selects how departing winners are priced. Nil uses
+	// core.CascadePayments, which prices from the auction's retained
+	// incremental state without re-simulating the round. All engines
+	// produce identical payments, so this is a performance knob only.
+	PaymentEngine core.PaymentEngine
 }
 
 func (c Config) rounds() int {
@@ -150,6 +155,7 @@ func Resume(addr string, cfg Config, checkpoint []byte) (*Server, error) {
 }
 
 func serveWith(ln net.Listener, cfg Config, auction *core.OnlineAuction) *Server {
+	auction.SetPaymentEngine(cfg.PaymentEngine)
 	s := &Server{
 		cfg:      cfg,
 		ln:       ln,
@@ -496,6 +502,7 @@ func (s *Server) beginNextRound() error {
 	if err != nil {
 		return fmt.Errorf("platform: next round: %w", err)
 	}
+	auction.SetPaymentEngine(s.cfg.PaymentEngine)
 	s.auction = auction
 	s.round++
 	s.phones = make(map[core.PhoneID]*session)

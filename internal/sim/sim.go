@@ -137,6 +137,18 @@ func Compare(scn workload.Scenario, seeds []uint64, mechs []core.Mechanism, work
 	return reps, nil
 }
 
+// EngineMechs returns the online mechanism under each payment engine —
+// incremental cascade (the default), the per-winner Algorithm 2 oracle,
+// and the parallel oracle fan-out — for differential comparisons and
+// engine benchmarks. All three produce identical outcomes.
+func EngineMechs() []core.Mechanism {
+	return []core.Mechanism{
+		&core.OnlineMechanism{},
+		&core.OnlineMechanism{Payments: core.OraclePayments},
+		&core.OnlineMechanism{Payments: core.ParallelPayments(0)},
+	}
+}
+
 // Seeds returns n deterministic seeds derived from base, suitable for
 // Compare. Distinct bases give disjoint-looking seed sets.
 func Seeds(base uint64, n int) []uint64 {
