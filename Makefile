@@ -6,7 +6,7 @@ BENCHTIME ?= 1x
 BENCH_SECTION ?= current
 BENCH_OUT ?= BENCH_PR3.json
 
-.PHONY: all check vet build test race race-hot bench profile clean
+.PHONY: all check vet build test race race-hot bench profile obs-demo clean
 
 all: check
 
@@ -28,9 +28,10 @@ race:
 	$(GO) test -race ./...
 
 # race-hot focuses the race detector on the packages that share scratch
-# buffers across goroutines: the payment engines and the platform server.
+# buffers across goroutines: the payment engines, the platform server,
+# and the lock-free observability primitives.
 race-hot:
-	$(GO) test -race -count=1 ./internal/core/... ./internal/platform/...
+	$(GO) test -race -count=1 ./internal/core/... ./internal/platform/... ./internal/obs/...
 
 # bench runs every benchmark and records the results (ns/op plus the
 # figure benchmarks' welfare/sigma metrics) as a section of the JSON
@@ -39,6 +40,27 @@ bench:
 	$(GO) test -bench=. -benchtime=$(BENCHTIME) -run='^$$' ./... \
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/benchjson -out $(BENCH_OUT) -section $(BENCH_SECTION)
+
+# obs-demo runs a short live platform round with observability on and
+# scrapes its Prometheus endpoint, demonstrating the introspection
+# surface end to end (see docs/OBSERVABILITY.md).
+OBS_ADDR ?= 127.0.0.1:7393
+obs-demo:
+	$(GO) build -o /tmp/crowd-platform-demo ./cmd/crowd-platform
+	/tmp/crowd-platform-demo -addr 127.0.0.1:0 -slots 10 -slot-every 100ms \
+		-task-rate 2 -obs-addr $(OBS_ADDR) -trace /tmp/crowd-platform-demo.trace.jsonl & \
+	pid=$$!; \
+	sleep 0.6; \
+	for i in 1 2 3 4 5; do \
+		curl -fsS http://$(OBS_ADDR)/metrics >/tmp/crowd-platform-demo.metrics && break; \
+		sleep 0.3; \
+	done; \
+	grep -E '^dynacrowd_(platform_(slot|welfare_total|paid_total)|core_slot_alloc_seconds_count|trace_events_total)' \
+		/tmp/crowd-platform-demo.metrics; \
+	curl -fsS "http://$(OBS_ADDR)/debug/rounds?n=5" | head -c 600; echo; \
+	wait $$pid
+	@echo "---- trace tail ----"
+	@tail -n 3 /tmp/crowd-platform-demo.trace.jsonl
 
 # profile captures CPU and heap profiles of a representative sweep;
 # inspect with `go tool pprof cpu.pprof`.

@@ -19,6 +19,11 @@
 //	                  if f already exists at startup, resume from it
 //	-payments e       payment engine: cascade | oracle | parallel
 //	                  (default cascade; all produce identical payments)
+//	-obs-addr a       serve Prometheus metrics, health, trace dumps and
+//	                  pprof on this address (e.g. 127.0.0.1:7390); empty
+//	                  disables observability
+//	-trace f          append structured auction events to f as JSON lines
+//	                  (implies the in-process tracer even without -obs-addr)
 package main
 
 import (
@@ -30,6 +35,7 @@ import (
 	"time"
 
 	"dynacrowd/internal/core"
+	"dynacrowd/internal/obs"
 	"dynacrowd/internal/platform"
 	"dynacrowd/internal/workload"
 )
@@ -44,12 +50,31 @@ func main() {
 	rounds := flag.Int("rounds", 1, "consecutive auction rounds")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file (resume if present)")
 	payments := flag.String("payments", "cascade", "payment engine: cascade | oracle | parallel")
+	obsAddr := flag.String("obs-addr", "", "observability HTTP address (metrics, trace, pprof); empty disables")
+	trace := flag.String("trace", "", "append auction trace events to this JSONL file")
 	flag.Parse()
 
-	if err := run(*addr, *slots, *value, *taskRate, *slotEvery, *seed, *rounds, *checkpoint, *payments); err != nil {
+	if err := run(*addr, *slots, *value, *taskRate, *slotEvery, *seed, *rounds, *checkpoint, *payments, *obsAddr, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "crowd-platform:", err)
 		os.Exit(1)
 	}
+}
+
+// buildObs assembles the observability stack for the -obs-addr and
+// -trace flags; both empty yields nil (disabled).
+func buildObs(obsAddr, trace string) (*obs.Observability, error) {
+	if obsAddr == "" && trace == "" {
+		return nil, nil
+	}
+	var sinks []obs.Sink
+	if trace != "" {
+		f, err := os.OpenFile(trace, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("trace file: %w", err)
+		}
+		sinks = append(sinks, obs.NewJSONLSink(f))
+	}
+	return obs.New(obs.Options{Addr: obsAddr, Sinks: sinks})
 }
 
 // paymentEngine resolves the -payments flag.
@@ -66,8 +91,12 @@ func paymentEngine(name string) (core.PaymentEngine, error) {
 	}
 }
 
-func run(addr string, slots int, value, taskRate float64, slotEvery time.Duration, seed uint64, rounds int, checkpoint, payments string) error {
+func run(addr string, slots int, value, taskRate float64, slotEvery time.Duration, seed uint64, rounds int, checkpoint, payments, obsAddr, trace string) error {
 	engine, err := paymentEngine(payments)
+	if err != nil {
+		return err
+	}
+	observ, err := buildObs(obsAddr, trace)
 	if err != nil {
 		return err
 	}
@@ -77,12 +106,17 @@ func run(addr string, slots int, value, taskRate float64, slotEvery time.Duratio
 		Rounds:        rounds,
 		Logger:        slog.Default(),
 		PaymentEngine: engine,
+		Obs:           observ, // server owns it: srv.Close flushes and stops it
+	}
+	if observ != nil && observ.HTTP != nil {
+		log.Printf("observability on http://%s (/metrics /healthz /debug/rounds /debug/pprof)", observ.HTTP.Addr())
 	}
 	var srv *platform.Server
 	if checkpoint != "" {
 		if data, readErr := os.ReadFile(checkpoint); readErr == nil {
 			srv, err = platform.Resume(addr, cfg, data)
 			if err != nil {
+				observ.Close()
 				return fmt.Errorf("resume from %s: %w", checkpoint, err)
 			}
 			log.Printf("resumed round from checkpoint %s", checkpoint)
@@ -91,6 +125,7 @@ func run(addr string, slots int, value, taskRate float64, slotEvery time.Duratio
 	if srv == nil {
 		srv, err = platform.Listen(addr, cfg)
 		if err != nil {
+			observ.Close()
 			return err
 		}
 	}

@@ -21,6 +21,9 @@
 //	-quick         3 seeds and a thinned sweep, for smoke runs
 //	-cpuprofile f  write a CPU profile of the run to f (go tool pprof)
 //	-memprofile f  write an end-of-run heap profile to f
+//	-obs-addr a    serve live Prometheus metrics (mechanism latency
+//	               histograms, round counters) and pprof on this address
+//	               while the sweep runs; empty disables
 package main
 
 import (
@@ -31,7 +34,10 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"dynacrowd/internal/core"
 	"dynacrowd/internal/experiments"
+	"dynacrowd/internal/obs"
+	"dynacrowd/internal/sim"
 	"dynacrowd/internal/stats"
 	"dynacrowd/internal/workload"
 )
@@ -54,8 +60,22 @@ func run(args []string, out io.Writer) error {
 	quick := fs.Bool("quick", false, "3 seeds and thinned sweeps")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write an end-of-run heap profile to this file")
+	obsAddr := fs.String("obs-addr", "", "observability HTTP address (metrics, pprof); empty disables")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *obsAddr != "" {
+		o, err := obs.New(obs.Options{Addr: *obsAddr})
+		if err != nil {
+			return fmt.Errorf("obs: %w", err)
+		}
+		defer o.Close()
+		core.SetDefaultMetrics(core.NewMetrics(o.Registry))
+		defer core.SetDefaultMetrics(nil)
+		sim.SetInstruments(sim.NewInstruments(o.Registry))
+		defer sim.SetInstruments(nil)
+		fmt.Fprintf(os.Stderr, "crowdsim: observability on http://%s/metrics\n", o.HTTP.Addr())
 	}
 
 	if *cpuprofile != "" {

@@ -76,6 +76,11 @@ type Plan struct {
 	// have been written, so a handshake can complete before the
 	// connection becomes vulnerable.
 	ArmAfterBytes int64
+
+	// Counters, when non-nil, tallies every fault the plan injects,
+	// across all connections sharing the plan. See Counters.Register
+	// for the Prometheus bridge.
+	Counters *Counters
 }
 
 // splitmix64 is the standard 64-bit mix used to derive independent
@@ -140,6 +145,7 @@ func (c *Conn) maybeSleep() {
 	if c.rng.Float64() >= c.plan.LatencyProb {
 		return
 	}
+	c.plan.Counters.noteLatency()
 	d := time.Duration(1 + c.rng.Int63n(int64(c.plan.MaxLatency)))
 	c.mu.Unlock()
 	defer c.mu.Lock()
@@ -152,6 +158,7 @@ func (c *Conn) maybeSleep() {
 // Read implements net.Conn.
 func (c *Conn) Read(b []byte) (int, error) {
 	if c.plan.StallReads {
+		c.plan.Counters.noteStalledRead()
 		<-c.done
 		return 0, errClosed("read")
 	}
@@ -166,6 +173,7 @@ func (c *Conn) Read(b []byte) (int, error) {
 // payload in full first. Both count as write errors to the caller.
 func (c *Conn) Write(b []byte) (int, error) {
 	if c.plan.StallWrites {
+		c.plan.Counters.noteStalledWrite()
 		<-c.done
 		return 0, errClosed("write")
 	}
@@ -181,6 +189,7 @@ func (c *Conn) Write(b []byte) (int, error) {
 		n := 1 + c.rng.Intn(len(b)-1)
 		n, _ = c.Conn.Write(b[:n])
 		c.written += int64(n)
+		c.plan.Counters.noteTruncate()
 		c.cutLocked()
 		return n, errInjected("truncated write after %d bytes", n)
 	}
@@ -193,6 +202,7 @@ func (c *Conn) Write(b []byte) (int, error) {
 	c.writes++
 	cut := c.plan.CutAfterWrites > 0 && c.writes >= c.plan.CutAfterWrites
 	if armed && (cut || (c.plan.DisconnectProb > 0 && c.rng.Float64() < c.plan.DisconnectProb)) {
+		c.plan.Counters.noteDisconnect()
 		c.cutLocked()
 		return n, errInjected("disconnect after write %d", c.writes)
 	}

@@ -1,0 +1,73 @@
+package chaos
+
+import (
+	"sync/atomic"
+
+	"dynacrowd/internal/obs"
+)
+
+// Counters tallies the faults a Plan actually injected, summed across
+// every connection sharing the Plan (the fields are atomics, so wrapped
+// connections on different goroutines report without coordination).
+// Attach one via Plan.Counters; a nil pointer disables counting.
+type Counters struct {
+	Latencies     atomic.Uint64 // latency rolls that fired and slept
+	StalledReads  atomic.Uint64 // Reads parked until connection close
+	StalledWrites atomic.Uint64 // Writes parked until connection close
+	Truncates     atomic.Uint64 // torn frames: prefix delivered, then cut
+	Disconnects   atomic.Uint64 // clean cuts (probabilistic or scripted)
+}
+
+// Register bridges the tally into an obs registry as
+// dynacrowd_chaos_*_total counters. Nil receiver or registry is a no-op;
+// registration is idempotent, so re-wrapping listeners under one
+// registry is safe.
+func (k *Counters) Register(reg *obs.Registry) {
+	if k == nil || reg == nil {
+		return
+	}
+	bridge := func(name, help string, a *atomic.Uint64) {
+		reg.CounterFunc(name, help, func() float64 { return float64(a.Load()) })
+	}
+	bridge("dynacrowd_chaos_latency_injections_total",
+		"Injected latency sleeps that fired on a Read or Write.", &k.Latencies)
+	bridge("dynacrowd_chaos_stalled_reads_total",
+		"Reads parked until connection close by StallReads.", &k.StalledReads)
+	bridge("dynacrowd_chaos_stalled_writes_total",
+		"Writes parked until connection close by StallWrites.", &k.StalledWrites)
+	bridge("dynacrowd_chaos_truncates_total",
+		"Torn frames: a strict prefix delivered, then the connection cut.", &k.Truncates)
+	bridge("dynacrowd_chaos_disconnects_total",
+		"Clean mid-stream cuts (probabilistic or scripted via CutAfterWrites).", &k.Disconnects)
+}
+
+// The nil-safe per-fault hooks the connection wrapper calls.
+func (k *Counters) noteLatency() {
+	if k != nil {
+		k.Latencies.Add(1)
+	}
+}
+
+func (k *Counters) noteStalledRead() {
+	if k != nil {
+		k.StalledReads.Add(1)
+	}
+}
+
+func (k *Counters) noteStalledWrite() {
+	if k != nil {
+		k.StalledWrites.Add(1)
+	}
+}
+
+func (k *Counters) noteTruncate() {
+	if k != nil {
+		k.Truncates.Add(1)
+	}
+}
+
+func (k *Counters) noteDisconnect() {
+	if k != nil {
+		k.Disconnects.Add(1)
+	}
+}

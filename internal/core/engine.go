@@ -334,6 +334,7 @@ type paymentQuery struct {
 	in  *Instance
 	run *greedyRun
 	idx *arrivalsIndex // nil until an oracle engine needs one
+	m   *Metrics       // nil disables engine instrumentation
 
 	idxBuf arrivalsIndex
 	fixes  []slotFix
@@ -355,6 +356,7 @@ type cascadeEngine struct{}
 func (cascadeEngine) Name() string { return "cascade" }
 
 func (cascadeEngine) price(q *paymentQuery, i PhoneID) float64 {
+	q.m.noteCascade()
 	var pay float64
 	pay, q.fixes = cascadePayment(q.in, q.run, i, q.fixes)
 	return pay
@@ -373,6 +375,7 @@ type oracleEngine struct{}
 func (oracleEngine) Name() string { return "oracle" }
 
 func (oracleEngine) price(q *paymentQuery, i PhoneID) float64 {
+	q.m.noteOracle()
 	return oracleCritical(q.in, q.index(), i, q.run.wonAt[i], &q.osc)
 }
 
@@ -410,6 +413,7 @@ func (e *parallelEngine) priceAll(q *paymentQuery, pay []float64) {
 		oracleEngine{}.priceAll(q, pay)
 		return
 	}
+	q.m.noteParallel(len(winners))
 	idx := q.index() // shared read-only across workers
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -442,4 +446,7 @@ type mechScratch struct {
 	q    paymentQuery
 }
 
-var mechPool = sync.Pool{New: func() any { return new(mechScratch) }}
+var mechPool = sync.Pool{New: func() any {
+	scratchPoolMisses.Add(1)
+	return new(mechScratch)
+}}

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // OnlineMechanism is the paper's Section V auction for the practical case
 // where bids and tasks are revealed slot by slot. Allocation is greedy
@@ -32,6 +35,11 @@ type OnlineMechanism struct {
 	// Payments selects the critical-value payment engine. Nil uses the
 	// incremental CascadePayments engine.
 	Payments PaymentEngine
+	// Metrics instruments Run (latency histograms, engine counters).
+	// Nil falls back to the process default installed with
+	// SetDefaultMetrics; if that is nil too, instrumentation is off and
+	// the hot path stays allocation-free.
+	Metrics *Metrics
 }
 
 // Name implements Mechanism. Explicitly configured engines are suffixed
@@ -59,6 +67,15 @@ func (on *OnlineMechanism) Run(in *Instance) (*Outcome, error) {
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("online mechanism: %w", err)
 	}
+	met := on.Metrics
+	if met == nil {
+		met = defaultMetrics.Load()
+	}
+	var start time.Time
+	if met != nil {
+		start = time.Now()
+	}
+	scratchPoolGets.Add(1)
 	sc := mechPool.Get().(*mechScratch)
 	defer mechPool.Put(sc)
 	sc.idx.build(in)
@@ -74,16 +91,24 @@ func (on *OnlineMechanism) Run(in *Instance) (*Outcome, error) {
 	run.resetSlots(in.Slots)
 	sc.heap = runBaseline(in, &sc.idx, run, sc.heap, in.Slots)
 
+	if met != nil {
+		met.SlotAllocSeconds.Observe(time.Since(start).Seconds())
+		start = time.Now()
+	}
+
 	out := &Outcome{
 		Allocation: alloc,
 		Payments:   make([]float64, in.NumPhones()),
 		Welfare:    alloc.Welfare(in),
 	}
-	sc.q.in, sc.q.run, sc.q.idx = in, run, &sc.idx
+	sc.q.in, sc.q.run, sc.q.idx, sc.q.m = in, run, &sc.idx, met
 	on.engine().priceAll(&sc.q, out.Payments)
+	if met != nil {
+		met.PaymentSeconds.Observe(time.Since(start).Seconds())
+	}
 
 	// Unhook the escaping outcome and instance before pooling the scratch.
-	sc.q.in, sc.q.run, sc.q.idx = nil, nil, nil
+	sc.q.in, sc.q.run, sc.q.idx, sc.q.m = nil, nil, nil, nil
 	run.byTask, run.phoneTask, run.wonAt = nil, nil, nil
 	return out, nil
 }

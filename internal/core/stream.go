@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // StreamBid is a bid submitted by a phone joining in the current slot.
 // Its claimed arrival is implicitly the current slot, so the no-early-
@@ -26,6 +29,11 @@ type SlotResult struct {
 	Assignments []Assignment
 	Unserved    int // tasks that arrived this slot and found no phone
 	Payments    []PaymentNotice
+	// Departed lists every phone whose reported departure is this slot
+	// (winners and losers alike). Only populated when departure
+	// tracking is enabled (TrackDepartures); the platform's tracer
+	// uses it to emit departure events.
+	Departed []PhoneID
 }
 
 // OnlineAuction drives the online mechanism slot by slot, the way the
@@ -49,6 +57,9 @@ type OnlineAuction struct {
 	now   Slot // last processed slot (0 before the first Step)
 	bids  []Bid
 	tasks []Task
+
+	metrics         *Metrics // nil disables instrumentation
+	trackDepartures bool
 
 	heap costHeap
 	run  greedyRun // winners plus retained cascade pricing state
@@ -82,6 +93,17 @@ func (oa *OnlineAuction) SetPaymentEngine(e PaymentEngine) {
 	oa.engine = e
 }
 
+// SetMetrics instruments the auction's Step hot path (slot-allocation
+// and payment latency histograms, engine invocation counters). Nil
+// (the default) disables instrumentation at zero cost. Set before the
+// first Step; the auction is not safe for concurrent use anyway.
+func (oa *OnlineAuction) SetMetrics(m *Metrics) { oa.metrics = m }
+
+// TrackDepartures makes Step populate SlotResult.Departed with every
+// phone whose reported departure is the processed slot. Off by default:
+// the extra appends are only worth paying when a tracer consumes them.
+func (oa *OnlineAuction) TrackDepartures(on bool) { oa.trackDepartures = on }
+
 // Now returns the last processed slot (0 before the first Step).
 func (oa *OnlineAuction) Now() Slot { return oa.now }
 
@@ -108,6 +130,10 @@ func (oa *OnlineAuction) Step(arriving []StreamBid, numTasks int) (*SlotResult, 
 	}
 	oa.now = t
 	res := &SlotResult{Slot: t}
+	var start time.Time
+	if oa.metrics != nil {
+		start = time.Now()
+	}
 
 	for _, sb := range arriving {
 		id := PhoneID(len(oa.bids))
@@ -145,17 +171,31 @@ func (oa *OnlineAuction) Step(arriving []StreamBid, numTasks int) (*SlotResult, 
 		res.Assignments = append(res.Assignments, Assignment{Task: id, Phone: winner, Slot: t})
 	}
 
+	if oa.metrics != nil {
+		oa.metrics.SlotAllocSeconds.Observe(time.Since(start).Seconds())
+		start = time.Now()
+	}
+
 	// Finalize payments for winners departing this slot, priced from the
 	// retained incremental state. The cascade only looks at slots ≤ t,
 	// and every bid or task that will arrive later is invisible to those
 	// slots, so paying now equals paying at end of round.
 	q := oa.pricer()
 	for i := range oa.bids {
-		if oa.bids[i].Departure != t || oa.run.wonAt[i] == 0 {
+		if oa.bids[i].Departure != t {
+			continue
+		}
+		if oa.trackDepartures {
+			res.Departed = append(res.Departed, PhoneID(i))
+		}
+		if oa.run.wonAt[i] == 0 {
 			continue
 		}
 		amount := oa.engine.price(q, PhoneID(i))
 		res.Payments = append(res.Payments, PaymentNotice{Phone: PhoneID(i), Amount: amount})
+	}
+	if oa.metrics != nil {
+		oa.metrics.PaymentSeconds.Observe(time.Since(start).Seconds())
 	}
 	return res, nil
 }
@@ -171,7 +211,7 @@ func (oa *OnlineAuction) pricer() *paymentQuery {
 		Tasks:          oa.tasks,
 		AllocateAtLoss: oa.allocateAtLoss,
 	}
-	oa.q.in, oa.q.run, oa.q.idx = &oa.inst, &oa.run, nil
+	oa.q.in, oa.q.run, oa.q.idx, oa.q.m = &oa.inst, &oa.run, nil, oa.metrics
 	return &oa.q
 }
 

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// shutdownTimeout bounds how long Close waits for in-flight scrapes
+// before severing connections.
+const shutdownTimeout = 3 * time.Second
+
+// HTTPServer is the live introspection endpoint:
+//
+//	/metrics       Prometheus text exposition of the registry
+//	/healthz       liveness probe ("ok")
+//	/debug/rounds  JSON dump of the tracer's recent ring (?n= limit)
+//	/debug/pprof/  the standard pprof handlers
+//
+// It serves on its own mux (nothing leaks onto http.DefaultServeMux)
+// and shuts down gracefully with a deadline.
+type HTTPServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// ListenHTTP starts an introspection server on addr ("127.0.0.1:0" for
+// an ephemeral test port). reg and tr may be nil; the corresponding
+// endpoints then serve empty output.
+func ListenHTTP(addr string, reg *Registry, tr *Tracer) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/rounds", func(w http.ResponseWriter, r *http.Request) {
+		n := 256
+		if s := r.URL.Query().Get("n"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 1 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(struct {
+			Emitted     uint64  `json:"emitted"`
+			RingDropped uint64  `json:"ringDropped"`
+			SinkDropped uint64  `json:"sinkDropped"`
+			Events      []Event `json:"events"`
+		}{tr.Seq(), tr.RingDropped(), tr.SinkDropped(), tr.Recent(n)})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	h := &HTTPServer{
+		ln:   ln,
+		srv:  &http.Server{Handler: mux},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(h.done)
+		h.srv.Serve(ln) // returns http.ErrServerClosed on Shutdown
+	}()
+	return h, nil
+}
+
+// Addr returns the listening address.
+func (h *HTTPServer) Addr() string { return h.ln.Addr().String() }
+
+// Close shuts the server down gracefully, waiting up to shutdownTimeout
+// for in-flight requests, then severing what remains. It does not
+// return until the serve goroutine has exited — no goroutine leaks
+// under the race detector.
+func (h *HTTPServer) Close() error {
+	if h == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
+	defer cancel()
+	err := h.srv.Shutdown(ctx)
+	if err != nil {
+		h.srv.Close() // deadline blown: sever
+	}
+	<-h.done
+	return err
+}

@@ -1,0 +1,416 @@
+// Package obs is dynacrowd's zero-dependency observability subsystem:
+// a concurrent metrics registry rendered in Prometheus text exposition
+// format, a structured auction-event tracer backed by a bounded
+// lock-free ring buffer with pluggable sinks, and an optional HTTP
+// introspection server (/metrics, /healthz, /debug/rounds, pprof).
+//
+// Every instrument method is safe on a nil receiver and does nothing,
+// so instrumented hot paths stay allocation-free — and within
+// measurement noise — when observability is disabled: callers hold
+// plain instrument pointers and never branch on an "enabled" flag for
+// counter updates. Only latency timing (which needs time.Now) should be
+// gated on a nil check by the caller.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. The zero value
+// is ready to use; all methods are nil-safe no-ops.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// FloatCounter is a monotonically increasing float metric (sums of
+// payments, welfare). The zero value is ready to use.
+type FloatCounter struct{ bits atomic.Uint64 }
+
+// Add adds v (CAS loop; contention on these is scrape-rare).
+func (c *FloatCounter) Add(v float64) {
+	if c == nil || v == 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current sum.
+func (c *FloatCounter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a settable integer metric (queue depths, current slot).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores n.
+func (g *Gauge) Set(n int64) {
+	if g != nil {
+		g.v.Store(n)
+	}
+}
+
+// Add adds delta (negative to decrement).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// FloatGauge is a settable float metric (per-round welfare).
+type FloatGauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds delta.
+func (g *FloatGauge) Add(delta float64) {
+	if g == nil || delta == 0 {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram with atomic hot paths. Bucket i
+// counts observations ≤ bounds[i]; one extra bucket catches the +Inf
+// tail. Rendered as a Prometheus histogram (cumulative buckets, _sum,
+// _count).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1
+	sum    FloatCounter
+	count  atomic.Uint64
+}
+
+// LatencyBuckets spans 1µs to 10s, the range of everything this module
+// times: a cascade payment prices in microseconds, an offline Hungarian
+// solve or a full figure sweep in seconds.
+var LatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 10,
+}
+
+// Observe records v. Nil-safe.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket counts are small (~20) and the comparison loop
+	// is branch-predictable; binary search only wins for >64 buckets.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// kind is the Prometheus metric type of a registry entry.
+type kind string
+
+const (
+	kindCounter   kind = "counter"
+	kindGauge     kind = "gauge"
+	kindHistogram kind = "histogram"
+)
+
+// entry is one registered time series.
+type entry struct {
+	name   string // metric family name
+	labels string // rendered {k="v",...} suffix, "" if unlabeled
+	help   string
+	typ    kind
+	inst   any // *Counter, *FloatCounter, *Gauge, *FloatGauge, *Histogram, or func() float64
+}
+
+// Registry is a concurrent collection of metrics. Registration takes a
+// mutex; instrument updates are lock-free atomics. A nil Registry
+// returns nil instruments, which are themselves no-ops, so an entire
+// instrumentation layer can be disabled by wiring a nil registry.
+//
+// Registration is idempotent: registering an already-registered
+// (name, labels) pair returns the existing instrument, so independent
+// subsystems (or consecutive auction rounds) can share one registry.
+// Re-registering the same name with a different instrument kind panics.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// renderLabels formats k/v pairs as a Prometheus label set, sorted by
+// key for a canonical identity. Panics on an odd pair count (programmer
+// error at registration time, never on a hot path).
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", labels))
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].k < pairs[b].k })
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", p.k, p.v)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// register returns the instrument for (name, labels), creating it with
+// mk on first registration.
+func (r *Registry) register(name, help string, typ kind, labels []string, mk func() any) any {
+	ls := renderLabels(labels)
+	key := name + ls
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[key]; ok {
+		if e.typ != typ {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s (was %s)", key, typ, e.typ))
+		}
+		return e.inst
+	}
+	e := &entry{name: name, labels: ls, help: help, typ: typ, inst: mk()}
+	r.entries[key] = e
+	return e.inst
+}
+
+// Counter registers (or fetches) a counter. labels are constant
+// key/value pairs ("engine", "cascade").
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindCounter, labels, func() any { return new(Counter) }).(*Counter)
+}
+
+// FloatCounter registers (or fetches) a float counter.
+func (r *Registry) FloatCounter(name, help string, labels ...string) *FloatCounter {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindCounter, labels, func() any { return new(FloatCounter) }).(*FloatCounter)
+}
+
+// Gauge registers (or fetches) a gauge.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindGauge, labels, func() any { return new(Gauge) }).(*Gauge)
+}
+
+// FloatGauge registers (or fetches) a float gauge.
+func (r *Registry) FloatGauge(name, help string, labels ...string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindGauge, labels, func() any { return new(FloatGauge) }).(*FloatGauge)
+}
+
+// Histogram registers (or fetches) a histogram with the given ascending
+// upper bounds (LatencyBuckets fits everything this module times).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.register(name, help, kindHistogram, labels, func() any {
+		b := append([]float64(nil), bounds...)
+		return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+	}).(*Histogram)
+}
+
+// CounterFunc registers a counter whose value is produced by fn at
+// scrape time — the bridge for counters that already live elsewhere as
+// atomics (platform stats, pool hit counts) without double accounting.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kindCounter, labels, func() any { return fn })
+}
+
+// GaugeFunc registers a gauge computed by fn at scrape time (queue
+// depth, live connections).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kindGauge, labels, func() any { return fn })
+}
+
+// fmtFloat renders a sample value the way Prometheus expects.
+func fmtFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return formatValue(v)
+}
+
+// formatValue formats with minimal digits while staying exact for integers.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every registered metric in text exposition
+// format, sorted by name for stable scrapes. Safe to call concurrently
+// with instrument updates.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	entries := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(entries, func(a, b int) bool {
+		if entries[a].name != entries[b].name {
+			return entries[a].name < entries[b].name
+		}
+		return entries[a].labels < entries[b].labels
+	})
+
+	var sb strings.Builder
+	lastFamily := ""
+	for _, e := range entries {
+		if e.name != lastFamily {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", e.name, strings.ReplaceAll(e.help, "\n", " "))
+			fmt.Fprintf(&sb, "# TYPE %s %s\n", e.name, e.typ)
+			lastFamily = e.name
+		}
+		switch inst := e.inst.(type) {
+		case *Counter:
+			fmt.Fprintf(&sb, "%s%s %d\n", e.name, e.labels, inst.Value())
+		case *FloatCounter:
+			fmt.Fprintf(&sb, "%s%s %s\n", e.name, e.labels, fmtFloat(inst.Value()))
+		case *Gauge:
+			fmt.Fprintf(&sb, "%s%s %d\n", e.name, e.labels, inst.Value())
+		case *FloatGauge:
+			fmt.Fprintf(&sb, "%s%s %s\n", e.name, e.labels, fmtFloat(inst.Value()))
+		case func() float64:
+			fmt.Fprintf(&sb, "%s%s %s\n", e.name, e.labels, fmtFloat(inst()))
+		case *Histogram:
+			writeHistogram(&sb, e, inst)
+		}
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// writeHistogram renders one histogram family member with cumulative
+// le buckets. Bucket counts are read low-to-high after count, so the
+// cumulative series a concurrent scrape sees is never decreasing.
+func writeHistogram(sb *strings.Builder, e *entry, h *Histogram) {
+	inner := strings.TrimSuffix(strings.TrimPrefix(e.labels, "{"), "}")
+	sep := ""
+	if inner != "" {
+		sep = ","
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(sb, "%s_bucket{%s%sle=%q} %d\n", e.name, inner, sep, fmtFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(sb, "%s_bucket{%s%sle=\"+Inf\"} %d\n", e.name, inner, sep, cum)
+	fmt.Fprintf(sb, "%s_sum%s %s\n", e.name, e.labels, fmtFloat(h.Sum()))
+	fmt.Fprintf(sb, "%s_count%s %d\n", e.name, e.labels, cum)
+}

@@ -1,0 +1,223 @@
+package platform
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"dynacrowd/internal/obs"
+)
+
+// scrape fetches the Prometheus exposition from the obs HTTP server.
+func scrape(t *testing.T, addr string) string {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// metricValue extracts the sample value of an exactly-named series.
+func metricValue(t *testing.T, body, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("metric %s: bad value %q", name, rest)
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in scrape:\n%s", name, body)
+	return 0
+}
+
+// TestObsEndToEnd plays a seeded two-round auction with observability
+// enabled and checks that the scraped cumulative welfare and payment
+// totals match what the auction reported over the wire, that the hot
+// paths registered their instruments, and that Close flushes the trace
+// sink.
+func TestObsEndToEnd(t *testing.T) {
+	sink := &obs.MemorySink{}
+	o, err := obs.New(obs.Options{Addr: "127.0.0.1:0", Sinks: []obs.Sink{sink}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Slots: 3, Value: 10, Rounds: 2, Obs: o})
+	a1 := dialAgent(t, s.Addr())
+	a2 := dialAgent(t, s.Addr())
+
+	rng := rand.New(rand.NewSource(42))
+	var wantWelfare, wantPaid float64
+	for round := 1; round <= 2; round++ {
+		c1 := 1 + 7*rng.Float64()
+		c2 := 1 + 7*rng.Float64()
+		if err := a1.SubmitBid(fmt.Sprintf("a1-r%d", round), 2, c1); err != nil {
+			t.Fatal(err)
+		}
+		if err := a2.SubmitBid(fmt.Sprintf("a2-r%d", round), 2, c2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Tick(2); err != nil { // slot 1: both admitted, both win
+			t.Fatal(err)
+		}
+		waitEvent(t, a1, EventAssign)
+		waitEvent(t, a2, EventAssign)
+		if _, err := s.Tick(0); err != nil { // slot 2: departures, payments
+			t.Fatal(err)
+		}
+		waitEvent(t, a1, EventPayment)
+		waitEvent(t, a2, EventPayment)
+		if _, err := s.Tick(0); err != nil { // slot 3: round closes
+			t.Fatal(err)
+		}
+		end := waitEvent(t, a1, EventEnd)
+		if end.Round != round {
+			t.Fatalf("end round = %d, want %d", end.Round, round)
+		}
+		wantWelfare += end.Welfare
+		wantPaid += end.Payments
+	}
+	if !s.Done() {
+		t.Fatal("server not done after both rounds")
+	}
+
+	body := scrape(t, o.HTTP.Addr())
+	const eps = 1e-9
+	if got := metricValue(t, body, "dynacrowd_platform_welfare_total"); got < wantWelfare-eps || got > wantWelfare+eps {
+		t.Fatalf("scraped welfare_total = %g, wire total = %g", got, wantWelfare)
+	}
+	if got := metricValue(t, body, "dynacrowd_platform_paid_total"); got < wantPaid-eps || got > wantPaid+eps {
+		t.Fatalf("scraped paid_total = %g, wire total = %g", got, wantPaid)
+	}
+	if got := metricValue(t, body, "dynacrowd_platform_rounds_completed_total"); got != 2 {
+		t.Fatalf("rounds_completed_total = %g, want 2", got)
+	}
+	if got := metricValue(t, body, "dynacrowd_platform_bids_accepted_total"); got != 4 {
+		t.Fatalf("bids_accepted_total = %g, want 4", got)
+	}
+	// The instrumented hot paths registered and observed.
+	for _, want := range []string{
+		`dynacrowd_core_slot_alloc_seconds_bucket{le="+Inf"}`,
+		`dynacrowd_core_payment_seconds_bucket{le="+Inf"}`,
+		`dynacrowd_core_engine_invocations_total{engine="cascade"}`,
+		"dynacrowd_platform_tick_seconds_count",
+		"dynacrowd_platform_session_queue_depth",
+		"dynacrowd_trace_events_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("scrape missing %s", want)
+		}
+	}
+	if got := metricValue(t, body, "dynacrowd_platform_tick_seconds_count"); got != 6 {
+		t.Fatalf("tick_seconds_count = %g, want 6 (3 slots x 2 rounds)", got)
+	}
+	if got := metricValue(t, body, `dynacrowd_core_engine_invocations_total{engine="cascade"}`); got < 4 {
+		t.Fatalf("cascade invocations = %g, want >= 4 (one per paid winner)", got)
+	}
+
+	// Stats mirrors the same counters without the scrape.
+	st := s.Stats()
+	if st.RoundsCompleted != 2 || st.BidsAccepted != 4 || st.PaymentsIssued != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.TotalPaid < wantPaid-eps || st.TotalPaid > wantPaid+eps {
+		t.Fatalf("stats TotalPaid = %g, want %g", st.TotalPaid, wantPaid)
+	}
+	if st.TotalWelfare < wantWelfare-eps || st.TotalWelfare > wantWelfare+eps {
+		t.Fatalf("stats TotalWelfare = %g, want %g", st.TotalWelfare, wantWelfare)
+	}
+
+	// Close flushes the tracer into the sink and stops the HTTP server.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !sink.Closed() {
+		t.Fatal("trace sink not closed by server Close")
+	}
+	byType := map[obs.EventType]int{}
+	for _, ev := range sink.Events() {
+		byType[ev.Type]++
+	}
+	for typ, want := range map[obs.EventType]int{
+		obs.EventRoundOpen:   2,
+		obs.EventRoundClose:  2,
+		obs.EventBidAccepted: 4,
+		obs.EventAllocation:  4,
+		obs.EventPayment:     4,
+		obs.EventDeparture:   4,
+	} {
+		if byType[typ] != want {
+			t.Fatalf("trace %s events = %d, want %d (all: %v)", typ, byType[typ], want, byType)
+		}
+	}
+	if _, err := http.Get("http://" + o.HTTP.Addr() + "/metrics"); err == nil {
+		t.Fatal("obs HTTP server still serving after Close")
+	}
+}
+
+// TestStatsRace hammers Stats() and the Prometheus scrape concurrently
+// with live ticks and wire traffic. Run under -race this proves the
+// snapshot path takes no lock and touches no unsynchronized state.
+func TestStatsRace(t *testing.T) {
+	o, err := obs.New(obs.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Slots: 50, Value: 10, Obs: o})
+	a := dialAgent(t, s.Addr())
+	if err := a.SubmitBid("racer", 40, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = s.Stats()
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				o.Registry.WritePrometheus(io.Discard)
+			}
+		}
+	}()
+
+	for i := 0; i < 50; i++ {
+		if _, err := s.Tick(i % 3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	st := s.Stats()
+	if st.TasksAnnounced == 0 || st.Slot != 50 {
+		t.Fatalf("stats after round = %+v", st)
+	}
+}

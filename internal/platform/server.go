@@ -17,10 +17,10 @@ import (
 	"log/slog"
 	"net"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"dynacrowd/internal/core"
+	"dynacrowd/internal/obs"
 	"dynacrowd/internal/protocol"
 )
 
@@ -54,6 +54,14 @@ type Config struct {
 	// incremental state without re-simulating the round. All engines
 	// produce identical payments, so this is a performance knob only.
 	PaymentEngine core.PaymentEngine
+	// Obs enables observability: the platform and its auction register
+	// metrics in Obs.Registry and emit structured auction events to
+	// Obs.Tracer (see docs/OBSERVABILITY.md for the catalog). The
+	// server takes ownership: Close flushes the tracer's sinks and
+	// stops the introspection HTTP server with a deadline. Nil (the
+	// default) disables observability; the no-op paths are
+	// allocation-free.
+	Obs *obs.Observability
 }
 
 func (c Config) rounds() int {
@@ -96,14 +104,16 @@ type Server struct {
 	phones   map[core.PhoneID]*session // admitted bidders (current round)
 	sessions map[*session]struct{}     // every live connection
 	pending  []pendingBid              // bids awaiting the next tick
-	stats    Stats                     // cumulative counters (Slot/Live filled on read)
 	closed   bool
 
-	// Queue counters live outside s.mu because session writer
-	// goroutines bump them without holding the server lock.
-	messagesQueued  atomic.Int64
-	messagesDropped atomic.Int64
-	slowConsumers   atomic.Int64
+	// counters is the lock-free operational tally behind Stats and the
+	// Prometheus bridge; session goroutines and scrapers touch it
+	// without holding s.mu.
+	counters counters
+
+	metrics     *platformMetrics // nil when Config.Obs is nil
+	tracer      *obs.Tracer      // nil when Config.Obs is nil; Emit is nil-safe
+	coreMetrics *core.Metrics    // shared across rounds; nil when Config.Obs is nil
 
 	wg sync.WaitGroup
 }
@@ -151,7 +161,12 @@ func Resume(addr string, cfg Config, checkpoint []byte) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("platform: %w", err)
 	}
-	return serveWith(ln, cfg, auction), nil
+	s := serveWith(ln, cfg, auction)
+	s.tracer.Emit(obs.Event{
+		Type: obs.EventRestore, Round: 1, Slot: int(auction.Now()),
+		Phone: -1, Task: -1, Detail: "resumed from checkpoint",
+	})
+	return s, nil
 }
 
 func serveWith(ln net.Listener, cfg Config, auction *core.OnlineAuction) *Server {
@@ -167,6 +182,18 @@ func serveWith(ln net.Listener, cfg Config, auction *core.OnlineAuction) *Server
 	if s.cfg.Logger == nil {
 		s.cfg.Logger = slog.New(discardHandler{})
 	}
+	s.counters.round.Store(1)
+	s.counters.slot.Store(int64(auction.Now()))
+	if o := cfg.Obs; o != nil {
+		s.metrics = newPlatformMetrics(o.Registry, s)
+		s.tracer = o.Tracer
+		s.coreMetrics = core.NewMetrics(o.Registry)
+		auction.SetMetrics(s.coreMetrics)
+		auction.TrackDepartures(true)
+		if auction.Now() == 0 {
+			s.tracer.Emit(obs.Event{Type: obs.EventRoundOpen, Round: 1, Phone: -1, Task: -1})
+		}
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -180,7 +207,14 @@ func serveWith(ln net.Listener, cfg Config, auction *core.OnlineAuction) *Server
 func (s *Server) Checkpoint() ([]byte, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.auction.Snapshot()
+	b, err := s.auction.Snapshot()
+	if err == nil {
+		s.tracer.Emit(obs.Event{
+			Type: obs.EventSnapshot, Round: s.round, Slot: int(s.auction.Now()),
+			Phone: -1, Task: -1,
+		})
+	}
+	return b, err
 }
 
 // discardHandler is a no-op slog handler (slog.DiscardHandler arrives
@@ -210,7 +244,8 @@ func (s *Server) acceptLoop() {
 			continue
 		}
 		s.sessions[sess] = struct{}{}
-		s.stats.Connections++
+		s.counters.connections.Add(1)
+		s.counters.live.Add(1)
 		s.mu.Unlock()
 		s.wg.Add(2)
 		go s.serve(sess)
@@ -228,15 +263,14 @@ func (s *Server) serve(sess *session) {
 		s.mu.Lock()
 		delete(s.sessions, sess)
 		s.mu.Unlock()
+		s.counters.live.Add(-1)
 	}()
 	r := protocol.NewReader(sess.conn)
 	for {
 		m, err := r.Receive()
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
-				s.mu.Lock()
-				s.stats.ProtocolErrors++
-				s.mu.Unlock()
+				s.counters.protocolErrors.Add(1)
 				s.cfg.Logger.Warn("protocol error", "remote", sess.conn.RemoteAddr().String(), "err", err.Error())
 				sess.send(&protocol.Message{Type: protocol.TypeError, Error: err.Error()})
 			}
@@ -275,22 +309,31 @@ func (s *Server) serve(sess *session) {
 func (s *Server) enqueueBid(m *protocol.Message, sess *session) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	reject := func(reason string) error {
+		s.counters.bidsRejected.Add(1)
+		s.tracer.Emit(obs.Event{
+			Type: obs.EventBidRejected, Round: s.round, Slot: int(s.auction.Now()),
+			Phone: -1, Task: -1, Cost: m.Cost, Detail: reason,
+		})
+		return errors.New("platform: " + reason)
+	}
 	if s.closed {
-		s.stats.BidsRejected++
-		return errors.New("platform: server closed")
+		return reject("server closed")
 	}
 	if s.auction.Done() && s.round >= s.cfg.rounds() {
-		s.stats.BidsRejected++
-		return errors.New("platform: round already complete")
+		return reject("round already complete")
 	}
 	// The paper's model (§III-B): each smartphone submits at most one
 	// bid per round.
 	if sess.bid {
-		s.stats.BidsRejected++
-		return errors.New("platform: this connection already submitted its bid")
+		return reject("this connection already submitted its bid")
 	}
 	sess.bid = true
-	s.stats.BidsAccepted++
+	s.counters.bidsAccepted.Add(1)
+	s.tracer.Emit(obs.Event{
+		Type: obs.EventBidAccepted, Round: s.round, Slot: int(s.auction.Now()),
+		Phone: -1, Task: -1, Cost: m.Cost, Detail: m.Name,
+	})
 	s.pending = append(s.pending, pendingBid{
 		name:     m.Name,
 		duration: m.Duration,
@@ -329,7 +372,7 @@ func (s *Server) handleResume(m *protocol.Message, sess *session) {
 	inst := s.auction.Instance()
 	id := m.Phone
 	if int(id) >= inst.NumPhones() {
-		s.stats.ProtocolErrors++
+		s.counters.protocolErrors.Add(1)
 		sess.send(&protocol.Message{
 			Type:  protocol.TypeError,
 			Error: fmt.Sprintf("platform: resume for unknown phone %d", id),
@@ -341,7 +384,7 @@ func (s *Server) handleResume(m *protocol.Message, sess *session) {
 	}
 	s.phones[id] = sess
 	sess.bid = true
-	s.stats.Resumes++
+	s.counters.resumes.Add(1)
 	s.cfg.Logger.Info("phone resumed",
 		"phone", int(id), "remote", sess.conn.RemoteAddr().String(), "slot", int(s.auction.Now()))
 
@@ -393,6 +436,10 @@ func (s *Server) Tick(numTasks int) (*core.SlotResult, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
+	var tickStart time.Time
+	if s.metrics != nil {
+		tickStart = time.Now()
+	}
 	next := s.auction.Now() + 1
 
 	batch := s.pending
@@ -417,12 +464,19 @@ func (s *Server) Tick(numTasks int) (*core.SlotResult, error) {
 		// error (negative task count) or a finished round.
 		return nil, fmt.Errorf("platform: %w", err)
 	}
-	s.stats.TasksAnnounced += numTasks
-	s.stats.TasksServed += len(res.Assignments)
-	s.stats.TasksUnserved += res.Unserved
-	s.stats.PaymentsIssued += len(res.Payments)
+	c := &s.counters
+	c.slot.Store(int64(res.Slot))
+	c.tasksAnnounced.Add(int64(numTasks))
+	c.tasksServed.Add(int64(len(res.Assignments)))
+	c.tasksUnserved.Add(int64(res.Unserved))
+	c.paymentsIssued.Add(int64(len(res.Payments)))
+	var paid float64
 	for _, p := range res.Payments {
-		s.stats.TotalPaid += p.Amount
+		paid += p.Amount
+	}
+	if paid != 0 {
+		c.totalPaid.Add(paid)
+		s.metrics.addRoundPaid(paid)
 	}
 
 	snapshot := s.auction.Instance()
@@ -442,8 +496,16 @@ func (s *Server) Tick(numTasks int) (*core.SlotResult, error) {
 	for _, sess := range s.phones {
 		sess.send(&protocol.Message{Type: protocol.TypeSlot, Slot: res.Slot})
 	}
+	var welfare float64
 	for _, a := range res.Assignments {
+		cost := snapshot.Bids[a.Phone].Cost
+		welfare += s.cfg.Value - cost
 		s.cfg.Logger.Info("task assigned", "task", int(a.Task), "phone", int(a.Phone), "slot", int(a.Slot))
+		s.tracer.Emit(obs.Event{
+			Type: obs.EventAllocation, Round: s.round, Slot: int(a.Slot),
+			Phone: int(a.Phone), Task: int(a.Task),
+			Cost: cost, Welfare: s.cfg.Value - cost,
+		})
 		if sess := s.phones[a.Phone]; sess != nil {
 			sess.send(&protocol.Message{
 				Type:  protocol.TypeAssign,
@@ -453,11 +515,25 @@ func (s *Server) Tick(numTasks int) (*core.SlotResult, error) {
 			})
 		}
 	}
+	if welfare != 0 {
+		c.totalWelfare.Add(welfare)
+		s.metrics.addRoundWelfare(welfare)
+	}
 	if res.Unserved > 0 {
 		s.cfg.Logger.Warn("tasks unserved", "slot", int(res.Slot), "count", res.Unserved)
 	}
+	for _, p := range res.Departed {
+		s.tracer.Emit(obs.Event{
+			Type: obs.EventDeparture, Round: s.round, Slot: int(res.Slot),
+			Phone: int(p), Task: -1, Cost: snapshot.Bids[p].Cost,
+		})
+	}
 	for _, p := range res.Payments {
 		s.cfg.Logger.Info("payment issued", "phone", int(p.Phone), "amount", p.Amount, "slot", int(res.Slot))
+		s.tracer.Emit(obs.Event{
+			Type: obs.EventPayment, Round: s.round, Slot: int(res.Slot),
+			Phone: int(p.Phone), Task: -1, Amount: p.Amount,
+		})
 		if sess := s.phones[p.Phone]; sess != nil {
 			sess.send(&protocol.Message{
 				Type:   protocol.TypePayment,
@@ -470,10 +546,16 @@ func (s *Server) Tick(numTasks int) (*core.SlotResult, error) {
 
 	if s.auction.Done() {
 		out := s.auction.Outcome()
+		c.roundsCompleted.Add(1)
 		s.cfg.Logger.Info("round complete",
 			"round", s.round,
 			"welfare", out.Welfare, "totalPaid", out.TotalPayment(),
 			"served", out.Allocation.NumServed(), "tasks", len(out.Allocation.ByTask))
+		s.tracer.Emit(obs.Event{
+			Type: obs.EventRoundClose, Round: s.round, Slot: int(res.Slot),
+			Phone: -1, Task: -1,
+			Welfare: out.Welfare, Amount: out.TotalPayment(),
+		})
 		end := &protocol.Message{
 			Type:     protocol.TypeEnd,
 			Welfare:  out.Welfare,
@@ -489,6 +571,9 @@ func (s *Server) Tick(numTasks int) (*core.SlotResult, error) {
 			}
 		}
 	}
+	if s.metrics != nil {
+		s.metrics.observeTick(time.Since(tickStart))
+	}
 	return res, nil
 }
 
@@ -503,8 +588,15 @@ func (s *Server) beginNextRound() error {
 		return fmt.Errorf("platform: next round: %w", err)
 	}
 	auction.SetPaymentEngine(s.cfg.PaymentEngine)
+	if s.cfg.Obs != nil {
+		auction.SetMetrics(s.coreMetrics)
+		auction.TrackDepartures(true)
+	}
 	s.auction = auction
 	s.round++
+	s.counters.round.Store(int64(s.round))
+	s.metrics.resetRound()
+	s.tracer.Emit(obs.Event{Type: obs.EventRoundOpen, Round: s.round, Phone: -1, Task: -1})
 	s.phones = make(map[core.PhoneID]*session)
 	for sess := range s.sessions {
 		sess.bid = false // guarded by s.mu, like every sess.bid access
@@ -600,5 +692,10 @@ func (s *Server) Close() error {
 		sess.shutdown()
 	}
 	s.wg.Wait()
+	// With every producer goroutine drained, flush the trace sinks and
+	// stop the introspection server (bounded by its shutdown deadline).
+	if oerr := s.cfg.Obs.Close(); oerr != nil && err == nil {
+		err = oerr
+	}
 	return err
 }

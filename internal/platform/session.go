@@ -47,15 +47,15 @@ func newSession(srv *Server, conn net.Conn) *session {
 // later through resume{phone}.
 func (sess *session) send(m *protocol.Message) {
 	if sess.gone.Load() {
-		sess.srv.messagesDropped.Add(1)
+		sess.srv.counters.messagesDropped.Add(1)
 		return
 	}
 	select {
 	case sess.out <- m:
-		sess.srv.messagesQueued.Add(1)
+		sess.srv.counters.messagesQueued.Add(1)
 	default:
-		sess.srv.messagesDropped.Add(1)
-		sess.srv.slowConsumers.Add(1)
+		sess.srv.counters.messagesDropped.Add(1)
+		sess.srv.counters.slowConsumers.Add(1)
 		sess.srv.cfg.Logger.Warn("slow consumer disconnected",
 			"remote", sess.conn.RemoteAddr().String(), "dropped", m.Type)
 		sess.abort()

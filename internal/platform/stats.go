@@ -1,12 +1,18 @@
 package platform
 
-import "dynacrowd/internal/core"
+import (
+	"sync/atomic"
+
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/obs"
+)
 
 // Stats is a point-in-time snapshot of the server's operational
 // counters, for dashboards and tests. All numbers are cumulative since
 // Listen (or Resume).
 type Stats struct {
 	Slot            core.Slot // last processed slot
+	Round           int       // current round (1-based)
 	Connections     int       // sessions ever accepted
 	LiveConnections int       // sessions currently open
 	BidsAccepted    int       // bids queued for admission
@@ -16,22 +22,64 @@ type Stats struct {
 	TasksUnserved   int
 	PaymentsIssued  int
 	TotalPaid       float64
+	TotalWelfare    float64 // Σ (ν − b) over assignments, across rounds
 	ProtocolErrors  int
 	Resumes         int   // sessions re-attached to a phone via resume{phone}
+	RoundsCompleted int   // auction rounds played to the final slot
 	MessagesQueued  int64 // outbound messages accepted into session queues
 	MessagesDropped int64 // outbound messages dropped (dead or overflowing session)
 	SlowConsumers   int64 // sessions disconnected for not draining their queue
 }
 
-// Stats returns the current counters.
+// counters is the server's live tally. Every field is an atomic so a
+// Stats snapshot (or a Prometheus scrape) never takes the server lock —
+// a long Tick cannot stall a dashboard, and concurrent read/write is
+// race-clean by construction. Writers are the server and its session
+// goroutines; fields mutated inside Tick are written under s.mu, but
+// readers never rely on that.
+type counters struct {
+	slot            atomic.Int64
+	round           atomic.Int64
+	connections     atomic.Int64
+	live            atomic.Int64
+	bidsAccepted    atomic.Int64
+	bidsRejected    atomic.Int64
+	tasksAnnounced  atomic.Int64
+	tasksServed     atomic.Int64
+	tasksUnserved   atomic.Int64
+	paymentsIssued  atomic.Int64
+	protocolErrors  atomic.Int64
+	resumes         atomic.Int64
+	roundsCompleted atomic.Int64
+	messagesQueued  atomic.Int64
+	messagesDropped atomic.Int64
+	slowConsumers   atomic.Int64
+	totalPaid       obs.FloatCounter
+	totalWelfare    obs.FloatCounter
+}
+
+// Stats returns the current counters. Lock-free: safe to call at any
+// frequency from any goroutine, including while a Tick is in flight.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := s.stats
-	st.Slot = s.auction.Now()
-	st.LiveConnections = len(s.sessions)
-	st.MessagesQueued = s.messagesQueued.Load()
-	st.MessagesDropped = s.messagesDropped.Load()
-	st.SlowConsumers = s.slowConsumers.Load()
-	return st
+	c := &s.counters
+	return Stats{
+		Slot:            core.Slot(c.slot.Load()),
+		Round:           int(c.round.Load()),
+		Connections:     int(c.connections.Load()),
+		LiveConnections: int(c.live.Load()),
+		BidsAccepted:    int(c.bidsAccepted.Load()),
+		BidsRejected:    int(c.bidsRejected.Load()),
+		TasksAnnounced:  int(c.tasksAnnounced.Load()),
+		TasksServed:     int(c.tasksServed.Load()),
+		TasksUnserved:   int(c.tasksUnserved.Load()),
+		PaymentsIssued:  int(c.paymentsIssued.Load()),
+		TotalPaid:       c.totalPaid.Value(),
+		TotalWelfare:    c.totalWelfare.Value(),
+		ProtocolErrors:  int(c.protocolErrors.Load()),
+		Resumes:         int(c.resumes.Load()),
+		RoundsCompleted: int(c.roundsCompleted.Load()),
+		MessagesQueued:  c.messagesQueued.Load(),
+		MessagesDropped: c.messagesDropped.Load(),
+		SlowConsumers:   c.slowConsumers.Load(),
+	}
 }

@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"sync/atomic"
+	"time"
+
+	"dynacrowd/internal/obs"
+)
+
+// Instruments bundles the simulator's observability hooks. (The name
+// Metrics is already taken in this package by the RoundMetrics
+// deriver.) A nil *Instruments is the disabled, allocation-free path.
+type Instruments struct {
+	// Rounds counts mechanism executions (one per mechanism per seed).
+	Rounds *obs.Counter
+	// RoundSeconds is the latency distribution of one mechanism run.
+	RoundSeconds *obs.Histogram
+	// Replications counts fully-compared seeds in Compare.
+	Replications *obs.Counter
+}
+
+// NewInstruments registers the simulator instruments in reg. Nil
+// registry returns nil (disabled). Registration is idempotent.
+func NewInstruments(reg *obs.Registry) *Instruments {
+	if reg == nil {
+		return nil
+	}
+	return &Instruments{
+		Rounds: reg.Counter("dynacrowd_sim_rounds_total",
+			"Mechanism executions completed by the simulator."),
+		RoundSeconds: reg.Histogram("dynacrowd_sim_round_seconds",
+			"Latency of one mechanism execution on one generated instance.",
+			obs.LatencyBuckets),
+		Replications: reg.Counter("dynacrowd_sim_replications_total",
+			"Seeds for which every mechanism was compared."),
+	}
+}
+
+// instruments is the process-wide hook RunInstance/Compare report into;
+// sweeps construct mechanisms deep inside worker pools, so a package
+// default beats threading a handle through every call site.
+var instruments atomic.Pointer[Instruments]
+
+// SetInstruments installs (or, with nil, removes) the process-wide
+// simulator instruments. Typically called once at startup.
+func SetInstruments(ins *Instruments) { instruments.Store(ins) }
+
+// noteRound/noteReplication are the nil-safe reporting hooks.
+func noteRound(elapsed time.Duration) {
+	if ins := instruments.Load(); ins != nil {
+		ins.Rounds.Inc()
+		ins.RoundSeconds.Observe(elapsed.Seconds())
+	}
+}
+
+func noteReplication() {
+	if ins := instruments.Load(); ins != nil {
+		ins.Replications.Inc()
+	}
+}

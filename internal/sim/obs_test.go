@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/obs"
+	"dynacrowd/internal/workload"
+)
+
+// TestInstruments: installed instruments count rounds and replications,
+// and the latency histogram observes once per mechanism execution.
+func TestInstruments(t *testing.T) {
+	reg := obs.NewRegistry()
+	ins := NewInstruments(reg)
+	SetInstruments(ins)
+	defer SetInstruments(nil)
+
+	scn := workload.DefaultScenario()
+	scn.Slots = 10
+	mechs := []core.Mechanism{&core.OnlineMechanism{}, &core.OfflineMechanism{}}
+	if _, err := Compare(scn, Seeds(7, 4), mechs, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := ins.Rounds.Value(); got != 8 {
+		t.Fatalf("rounds = %d, want 8 (2 mechanisms x 4 seeds)", got)
+	}
+	if got := ins.Replications.Value(); got != 4 {
+		t.Fatalf("replications = %d, want 4", got)
+	}
+	if got := ins.RoundSeconds.Count(); got != 8 {
+		t.Fatalf("latency observations = %d, want 8", got)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "dynacrowd_sim_rounds_total 8") {
+		t.Fatalf("scrape missing sim rounds counter:\n%s", b.String())
+	}
+}
