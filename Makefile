@@ -4,9 +4,9 @@ GO ?= go
 # to record a pre-change reference into the trajectory file.
 BENCHTIME ?= 1x
 BENCH_SECTION ?= current
-BENCH_OUT ?= BENCH_PR3.json
+BENCH_OUT ?= BENCH_PR5.json
 
-.PHONY: all check vet build test race race-hot bench profile obs-demo clean
+.PHONY: all check vet build test race race-hot bench bench-merge staticcheck profile obs-demo clean
 
 all: check
 
@@ -28,10 +28,21 @@ race:
 	$(GO) test -race ./...
 
 # race-hot focuses the race detector on the packages that share scratch
-# buffers across goroutines: the payment engines, the platform server,
-# and the lock-free observability primitives.
+# buffers across goroutines: the payment engines, the sharded auction's
+# fan-out/merge, the platform server, and the lock-free observability
+# primitives.
 race-hot:
-	$(GO) test -race -count=1 ./internal/core/... ./internal/platform/... ./internal/obs/...
+	$(GO) test -race -count=1 ./internal/core/... ./internal/shard/... ./internal/platform/... ./internal/obs/...
+
+# staticcheck runs honnef.co/go/tools if it is installed; the tier-1
+# gate stays dependency-free, so a missing binary is a skip, not a
+# failure.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 # bench runs every benchmark and records the results (ns/op plus the
 # figure benchmarks' welfare/sigma metrics) as a section of the JSON
@@ -40,6 +51,11 @@ bench:
 	$(GO) test -bench=. -benchtime=$(BENCHTIME) -run='^$$' ./... \
 		| tee /dev/stderr \
 		| $(GO) run ./cmd/benchjson -out $(BENCH_OUT) -section $(BENCH_SECTION)
+
+# bench-merge combines every per-PR trajectory file into one report so
+# the full performance history is diffable in a single place.
+bench-merge:
+	$(GO) run ./cmd/benchjson -merge $$(ls BENCH_PR*.json | paste -sd, -) -out BENCH_ALL.json
 
 # obs-demo runs a short live platform round with observability on and
 # scrapes its Prometheus endpoint, demonstrating the introspection

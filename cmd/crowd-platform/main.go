@@ -15,6 +15,9 @@
 //	-slot-every d     slot duration, e.g. 500ms (default 1s)
 //	-seed n           task arrival seed (default 1)
 //	-rounds n         consecutive auction rounds to play (default 1)
+//	-shards n         run the sharded auction engine with n bid pools
+//	                  (default 1: sequential engine; outcomes identical,
+//	                  see docs/SHARDING.md)
 //	-checkpoint f     write the auction state to f after every slot and,
 //	                  if f already exists at startup, resume from it
 //	-payments e       payment engine: cascade | oracle | parallel
@@ -48,13 +51,14 @@ func main() {
 	slotEvery := flag.Duration("slot-every", time.Second, "slot duration")
 	seed := flag.Uint64("seed", 1, "task arrival seed")
 	rounds := flag.Int("rounds", 1, "consecutive auction rounds")
+	shards := flag.Int("shards", 1, "shard count for the sharded auction engine (1 = sequential)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file (resume if present)")
 	payments := flag.String("payments", "cascade", "payment engine: cascade | oracle | parallel")
 	obsAddr := flag.String("obs-addr", "", "observability HTTP address (metrics, trace, pprof); empty disables")
 	trace := flag.String("trace", "", "append auction trace events to this JSONL file")
 	flag.Parse()
 
-	if err := run(*addr, *slots, *value, *taskRate, *slotEvery, *seed, *rounds, *checkpoint, *payments, *obsAddr, *trace); err != nil {
+	if err := run(*addr, *slots, *value, *taskRate, *slotEvery, *seed, *rounds, *shards, *checkpoint, *payments, *obsAddr, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "crowd-platform:", err)
 		os.Exit(1)
 	}
@@ -91,7 +95,7 @@ func paymentEngine(name string) (core.PaymentEngine, error) {
 	}
 }
 
-func run(addr string, slots int, value, taskRate float64, slotEvery time.Duration, seed uint64, rounds int, checkpoint, payments, obsAddr, trace string) error {
+func run(addr string, slots int, value, taskRate float64, slotEvery time.Duration, seed uint64, rounds, shards int, checkpoint, payments, obsAddr, trace string) error {
 	engine, err := paymentEngine(payments)
 	if err != nil {
 		return err
@@ -104,6 +108,7 @@ func run(addr string, slots int, value, taskRate float64, slotEvery time.Duratio
 		Slots:         core.Slot(slots),
 		Value:         value,
 		Rounds:        rounds,
+		Shards:        shards,
 		Logger:        slog.Default(),
 		PaymentEngine: engine,
 		Obs:           observ, // server owns it: srv.Close flushes and stops it

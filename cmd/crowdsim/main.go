@@ -18,6 +18,9 @@
 //	-format f      table | chart | csv (default table)
 //	-check         verify the paper's shape claims and report
 //	-value v       per-task value ν override (default scenario's 30)
+//	-shards n      run the online mechanism on the sharded engine with n
+//	               bid pools (default 1 = sequential; outcomes are
+//	               bit-identical either way)
 //	-quick         3 seeds and a thinned sweep, for smoke runs
 //	-cpuprofile f  write a CPU profile of the run to f (go tool pprof)
 //	-memprofile f  write an end-of-run heap profile to f
@@ -37,6 +40,7 @@ import (
 	"dynacrowd/internal/core"
 	"dynacrowd/internal/experiments"
 	"dynacrowd/internal/obs"
+	"dynacrowd/internal/shard"
 	"dynacrowd/internal/sim"
 	"dynacrowd/internal/stats"
 	"dynacrowd/internal/workload"
@@ -57,6 +61,7 @@ func run(args []string, out io.Writer) error {
 	format := fs.String("format", "table", "output format: table | chart | csv")
 	check := fs.Bool("check", false, "verify the paper's shape claims")
 	value := fs.Float64("value", 0, "per-task value ν override (0 = scenario default)")
+	shards := fs.Int("shards", 1, "bid-pool shards for the online mechanism (1 = sequential)")
 	quick := fs.Bool("quick", false, "3 seeds and thinned sweeps")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write an end-of-run heap profile to this file")
@@ -109,6 +114,9 @@ func run(args []string, out io.Writer) error {
 		base.Value = *value
 	}
 	opt := experiments.Options{Seeds: *seeds, BaseSeed: *seed, Scenario: base}
+	if *shards > 1 {
+		opt.Online = &shard.Mechanism{Shards: *shards}
+	}
 	if *quick {
 		opt.Seeds = 3
 	}

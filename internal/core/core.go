@@ -70,15 +70,23 @@ type Bid struct {
 // Covers reports whether the bid's claimed active window contains slot t.
 func (b Bid) Covers(t Slot) bool { return b.Arrival <= t && t <= b.Departure }
 
+// ErrWindowInverted reports a bid whose claimed window is inverted
+// (ã > d̃). Such a bid covers no slot at all, so without an explicit
+// rejection it would be admitted and then silently never allocated;
+// Validate and every admission path (OnlineAuction.Step, Ledger.AddBid,
+// the sharded engine) reject it with this error instead, matchable via
+// errors.Is.
+var ErrWindowInverted = errors.New("claimed window inverted: arrival after departure")
+
 // Validate checks structural sanity of the bid against a round of m slots.
 func (b Bid) Validate(m Slot) error {
 	switch {
 	case b.Phone < 0:
 		return fmt.Errorf("bid: negative phone id %d", b.Phone)
+	case b.Arrival > b.Departure:
+		return fmt.Errorf("bid %d: %w (window [%d,%d])", b.Phone, ErrWindowInverted, b.Arrival, b.Departure)
 	case b.Arrival < 1 || b.Departure > m:
 		return fmt.Errorf("bid %d: window [%d,%d] outside round [1,%d]", b.Phone, b.Arrival, b.Departure, m)
-	case b.Arrival > b.Departure:
-		return fmt.Errorf("bid %d: arrival %d after departure %d", b.Phone, b.Arrival, b.Departure)
 	case b.Cost < 0 || math.IsNaN(b.Cost) || math.IsInf(b.Cost, 0):
 		return fmt.Errorf("bid %d: cost %g is not a non-negative finite number", b.Phone, b.Cost)
 	}

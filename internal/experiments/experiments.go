@@ -27,6 +27,12 @@ type Options struct {
 	// Scenario is the baseline configuration each sweep perturbs
 	// (zero value: workload.DefaultScenario).
 	Scenario workload.Scenario
+	// Online substitutes an alternative implementation for the paper's
+	// online mechanism in every sweep (nil: core.OnlineMechanism). The
+	// sharded engine plugs in here; any substitute must produce the
+	// same outcomes as the sequential mechanism for the figures to stay
+	// comparable.
+	Online core.Mechanism
 }
 
 func (o Options) withDefaults() Options {
@@ -101,9 +107,14 @@ type Result struct {
 	Replications [][]sim.Replication
 }
 
-// mechanisms returns the two paper mechanisms in figure order.
-func mechanisms() []core.Mechanism {
-	return []core.Mechanism{&core.OnlineMechanism{}, &core.OfflineMechanism{}}
+// mechanisms returns the two paper mechanisms in figure order,
+// honouring the Online override.
+func (o Options) mechanisms() []core.Mechanism {
+	online := o.Online
+	if online == nil {
+		online = &core.OnlineMechanism{}
+	}
+	return []core.Mechanism{online, &core.OfflineMechanism{}}
 }
 
 const (
@@ -136,7 +147,7 @@ func RunSweep(sw Sweep, opt Options) (*Result, error) {
 	sOn, sOff := res.ServiceRate.AddSeries("online"), res.ServiceRate.AddSeries("offline")
 
 	for _, pt := range sw.Points {
-		reps, err := sim.Compare(pt.Scenario, seeds, mechanisms(), opt.Workers)
+		reps, err := sim.Compare(pt.Scenario, seeds, opt.mechanisms(), opt.Workers)
 		if err != nil {
 			return nil, fmt.Errorf("sweep %s at %g: %w", sw.Name, pt.X, err)
 		}

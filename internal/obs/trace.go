@@ -24,6 +24,9 @@ const (
 	EventDeparture   EventType = "departure"
 	EventSnapshot    EventType = "snapshot"
 	EventRestore     EventType = "restore"
+	// EventShardMerge is emitted by the sharded engine's coordinator
+	// once per allocated slot, with pull/assignment counts in Detail.
+	EventShardMerge EventType = "shard_merge"
 )
 
 // Event is one structured trace record. Phone and Task are only

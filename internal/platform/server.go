@@ -22,6 +22,7 @@ import (
 	"dynacrowd/internal/core"
 	"dynacrowd/internal/obs"
 	"dynacrowd/internal/protocol"
+	"dynacrowd/internal/shard"
 )
 
 // Config parameterizes a platform round.
@@ -49,6 +50,12 @@ type Config struct {
 	// session whose queue overflows is a slow consumer and is
 	// disconnected. Zero means the default of 64.
 	OutboundQueue int
+	// Shards selects the auction engine: values above 1 run the sharded
+	// online auction (internal/shard) with that many partitioned bid
+	// pools; 0 or 1 runs the sequential core.OnlineAuction. Outcomes are
+	// bit-identical either way (see docs/SHARDING.md), so this is a
+	// throughput knob only.
+	Shards int
 	// PaymentEngine selects how departing winners are priced. Nil uses
 	// core.CascadePayments, which prices from the auction's retained
 	// incremental state without re-simulating the round. All engines
@@ -89,6 +96,14 @@ func (c Config) outboundQueue() int {
 	return c.OutboundQueue
 }
 
+// newAuction creates the configured auction engine for one round.
+func (c Config) newAuction() (core.Auction, error) {
+	if c.Shards > 1 {
+		return shard.New(c.Shards, c.Slots, c.Value, c.AllocateAtLoss)
+	}
+	return core.NewOnlineAuction(c.Slots, c.Value, c.AllocateAtLoss)
+}
+
 // ErrClosed is returned by Tick once the server has been closed.
 // RunClock treats it as a clean shutdown rather than a failure.
 var ErrClosed = errors.New("platform: server closed")
@@ -99,7 +114,7 @@ type Server struct {
 	ln  net.Listener
 
 	mu       sync.Mutex
-	auction  *core.OnlineAuction
+	auction  core.Auction
 	round    int                       // current round, 1-based
 	phones   map[core.PhoneID]*session // admitted bidders (current round)
 	sessions map[*session]struct{}     // every live connection
@@ -140,7 +155,7 @@ func Listen(addr string, cfg Config) (*Server, error) {
 // harnesses (see internal/chaos) put the platform under unreliable
 // transports.
 func Serve(ln net.Listener, cfg Config) (*Server, error) {
-	auction, err := core.NewOnlineAuction(cfg.Slots, cfg.Value, cfg.AllocateAtLoss)
+	auction, err := cfg.newAuction()
 	if err != nil {
 		ln.Close()
 		return nil, fmt.Errorf("platform: %w", err)
@@ -153,7 +168,15 @@ func Serve(ln net.Listener, cfg Config) (*Server, error) {
 // but not yet admitted at a slot tick) at checkpoint time are not part
 // of the auction state; their agents must resubmit.
 func Resume(addr string, cfg Config, checkpoint []byte) (*Server, error) {
-	auction, err := core.RestoreOnlineAuction(checkpoint)
+	var auction core.Auction
+	var err error
+	if cfg.Shards > 1 {
+		// Snapshot formats are engine-portable, so a round checkpointed
+		// by the sequential engine resumes sharded and vice versa.
+		auction, err = shard.Restore(checkpoint, cfg.Shards)
+	} else {
+		auction, err = core.RestoreOnlineAuction(checkpoint)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("platform: %w", err)
 	}
@@ -169,7 +192,7 @@ func Resume(addr string, cfg Config, checkpoint []byte) (*Server, error) {
 	return s, nil
 }
 
-func serveWith(ln net.Listener, cfg Config, auction *core.OnlineAuction) *Server {
+func serveWith(ln net.Listener, cfg Config, auction core.Auction) *Server {
 	auction.SetPaymentEngine(cfg.PaymentEngine)
 	s := &Server{
 		cfg:      cfg,
@@ -190,6 +213,7 @@ func serveWith(ln net.Listener, cfg Config, auction *core.OnlineAuction) *Server
 		s.coreMetrics = core.NewMetrics(o.Registry)
 		auction.SetMetrics(s.coreMetrics)
 		auction.TrackDepartures(true)
+		s.instrumentShards(auction)
 		if auction.Now() == 0 {
 			s.tracer.Emit(obs.Event{Type: obs.EventRoundOpen, Round: 1, Phone: -1, Task: -1})
 		}
@@ -197,6 +221,19 @@ func serveWith(ln net.Listener, cfg Config, auction *core.OnlineAuction) *Server
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
+}
+
+// instrumentShards attaches the per-shard observability bundle (pool
+// depth gauges, admission counters, merge latency, shard_merge trace
+// events) when the configured engine is the sharded one. Caller has
+// cfg.Obs non-nil.
+func (s *Server) instrumentShards(auction core.Auction) {
+	sa, ok := auction.(*shard.Auction)
+	if !ok {
+		return
+	}
+	sa.SetInstruments(shard.NewMetrics(s.cfg.Obs.Registry, sa.Shards()))
+	sa.SetTracer(s.tracer)
 }
 
 // Checkpoint serializes the auction state for Resume. Call between
@@ -583,7 +620,7 @@ func (s *Server) Tick(numTasks int) (*core.SlotResult, error) {
 // previous round carry over and are admitted at the new round's first
 // tick. Caller holds s.mu.
 func (s *Server) beginNextRound() error {
-	auction, err := core.NewOnlineAuction(s.cfg.Slots, s.cfg.Value, s.cfg.AllocateAtLoss)
+	auction, err := s.cfg.newAuction()
 	if err != nil {
 		return fmt.Errorf("platform: next round: %w", err)
 	}
@@ -591,6 +628,7 @@ func (s *Server) beginNextRound() error {
 	if s.cfg.Obs != nil {
 		auction.SetMetrics(s.coreMetrics)
 		auction.TrackDepartures(true)
+		s.instrumentShards(auction)
 	}
 	s.auction = auction
 	s.round++

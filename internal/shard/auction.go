@@ -1,0 +1,436 @@
+package shard
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/obs"
+)
+
+// Auction is the sharded counterpart of core.OnlineAuction: the same
+// slot-by-slot interface (it implements core.Auction) over S
+// partitioned bid pools. Admission, candidate pulls, and departure
+// pricing fan out across the shards; per slot a coordinator k-way-
+// merges the shards' cheapest candidates into the globally cheapest
+// r_t winners with the sequential engine's exact (cost, phone ID)
+// order, so allocations and payments are bit-identical to
+// core.OnlineAuction for identical input.
+//
+// Like the sequential auction, Step is coordinator-single-threaded:
+// one goroutine calls Step. Concurrent producers hand bids to a live
+// coordinator through Submit, which stages them for the next Step.
+type Auction struct {
+	ledger *core.Ledger
+	pools  []*pool
+
+	engine  core.PaymentEngine
+	pricers []*core.Pricer // one per shard: departures price in parallel
+	out     *core.Pricer   // Outcome's whole-round pricer
+
+	now             core.Slot
+	metrics         *core.Metrics
+	inst            *Metrics    // per-shard observability (nil disables)
+	tracer          *obs.Tracer // merge trace events (nil disables)
+	trackDepartures bool
+	replay          bool // restoring: re-derive state, skip settlement
+
+	// merge scratch, reused across slots.
+	pulled  [][]core.PhoneID // per shard: candidates popped this slot, ascending
+	taken   []int            // per shard: candidates consumed as winners
+	heads   []int            // merge heap of shard indices, keyed by head candidate
+	dep     []core.PhoneID   // departures gathered this slot
+	notices [][]core.PaymentNotice
+
+	mu     sync.Mutex // guards staged
+	staged []core.StreamBid
+}
+
+// New creates a sharded auction of m slots with per-task value ν,
+// partitioned across the given number of shards (≥ 1).
+func New(shards int, m core.Slot, value float64, allocateAtLoss bool) (*Auction, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("sharded auction: shard count %d < 1", shards)
+	}
+	l, err := core.NewLedger(m, value, allocateAtLoss)
+	if err != nil {
+		return nil, fmt.Errorf("sharded auction: %w", err)
+	}
+	a := &Auction{
+		ledger:  l,
+		pools:   make([]*pool, shards),
+		engine:  core.CascadePayments,
+		pricers: make([]*core.Pricer, shards),
+		pulled:  make([][]core.PhoneID, shards),
+		taken:   make([]int, shards),
+		notices: make([][]core.PaymentNotice, shards),
+	}
+	for s := range a.pools {
+		a.pools[s] = newPool(l)
+	}
+	a.rebuildPricers()
+	return a, nil
+}
+
+// Shards returns the shard count.
+func (a *Auction) Shards() int { return len(a.pools) }
+
+func (a *Auction) rebuildPricers() {
+	for s := range a.pricers {
+		a.pricers[s] = a.ledger.NewPricer(a.engine, a.metrics)
+	}
+	a.out = a.ledger.NewPricer(a.engine, a.metrics)
+}
+
+// SetPaymentEngine selects how winners are priced (nil: cascade). The
+// engine may be switched between steps.
+func (a *Auction) SetPaymentEngine(e core.PaymentEngine) {
+	if e == nil {
+		e = core.CascadePayments
+	}
+	a.engine = e
+	a.rebuildPricers()
+}
+
+// SetMetrics instruments the hot path with the core latency histograms
+// and engine counters, like core.OnlineAuction. Nil disables.
+func (a *Auction) SetMetrics(m *core.Metrics) {
+	a.metrics = m
+	a.rebuildPricers()
+}
+
+// SetInstruments attaches the per-shard observability bundle (pool
+// depth gauges, admission counters, merge latency). Nil disables.
+func (a *Auction) SetInstruments(m *Metrics) {
+	if m != nil && len(m.PoolDepth) != len(a.pools) {
+		m = nil // shape mismatch: drop rather than mis-attribute
+	}
+	a.inst = m
+}
+
+// SetTracer emits a shard_merge trace event per allocated slot. Nil
+// disables.
+func (a *Auction) SetTracer(tr *obs.Tracer) { a.tracer = tr }
+
+// TrackDepartures toggles SlotResult.Departed population.
+func (a *Auction) TrackDepartures(on bool) { a.trackDepartures = on }
+
+// Now returns the last processed slot (0 before the first Step).
+func (a *Auction) Now() core.Slot { return a.now }
+
+// Done reports whether all slots have been processed.
+func (a *Auction) Done() bool { return a.now >= a.ledger.Slots() }
+
+// Submit stages a bid for the next Step. Safe for concurrent use by
+// any number of producer goroutines while the coordinator runs; staged
+// bids join after that Step's `arriving` argument, in submission order.
+func (a *Auction) Submit(sb core.StreamBid) {
+	a.mu.Lock()
+	a.staged = append(a.staged, sb)
+	a.mu.Unlock()
+}
+
+// parallel reports whether fan-out phases should spawn goroutines.
+// With one shard or one processor the phases run inline: the sharded
+// engine then does the sequential engine's work with no scheduling
+// overhead (the S=1 no-regression half of the benchmark contract).
+func (a *Auction) parallel() bool {
+	return len(a.pools) > 1 && runtime.GOMAXPROCS(0) > 1
+}
+
+// fanOut runs fn(s) for every shard, on goroutines when parallel.
+func (a *Auction) fanOut(par bool, fn func(s int)) {
+	if !par {
+		for s := range a.pools {
+			fn(s)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for s := 1; s < len(a.pools); s++ {
+		wg.Add(1)
+		go func(s int) { defer wg.Done(); fn(s) }(s)
+	}
+	fn(0)
+	wg.Wait()
+}
+
+// Step advances the auction one slot: arriving bids (plus any staged
+// Submissions) join, numTasks tasks are announced and allocated to the
+// globally cheapest active phones, and payments are finalized for
+// winners whose reported departure is the new slot. Semantics match
+// core.OnlineAuction.Step exactly.
+func (a *Auction) Step(arriving []core.StreamBid, numTasks int) (*core.SlotResult, error) {
+	if a.Done() {
+		return nil, fmt.Errorf("sharded auction: round already complete (%d slots)", a.ledger.Slots())
+	}
+	if numTasks < 0 {
+		return nil, fmt.Errorf("sharded auction: negative task count %d", numTasks)
+	}
+	a.mu.Lock()
+	if len(a.staged) > 0 {
+		arriving = append(append([]core.StreamBid(nil), arriving...), a.staged...)
+		a.staged = a.staged[:0]
+	}
+	a.mu.Unlock()
+
+	t := a.now + 1
+	// Validate every probe before admitting any, so a bad batch leaves
+	// the auction untouched (same atomicity as the sequential engine).
+	for k, sb := range arriving {
+		probe := core.Bid{Phone: core.PhoneID(a.ledger.NumPhones() + k), Arrival: t, Departure: sb.Departure, Cost: sb.Cost}
+		if err := probe.Validate(a.ledger.Slots()); err != nil {
+			return nil, fmt.Errorf("sharded auction: %w", err)
+		}
+	}
+	a.now = t
+	res := &core.SlotResult{Slot: t}
+	par := a.parallel()
+	var start time.Time
+	if a.metrics != nil || a.inst != nil {
+		start = time.Now()
+	}
+
+	// Admission: IDs are assigned centrally (arrival order, like the
+	// sequential engine), then each shard ingests its partition.
+	perShard := make([][]core.PhoneID, len(a.pools))
+	for _, sb := range arriving {
+		id, err := a.ledger.AddBid(t, sb)
+		if err != nil { // unreachable: probes validated above
+			return nil, fmt.Errorf("sharded auction: %w", err)
+		}
+		res.Joined = append(res.Joined, id)
+		s := shardOf(id, len(a.pools))
+		perShard[s] = append(perShard[s], id)
+	}
+	a.fanOut(par && len(arriving) > 1, func(s int) {
+		for _, id := range perShard[s] {
+			a.pools[s].admit(id)
+		}
+		if a.inst != nil {
+			a.inst.Admissions[s].Add(uint64(len(perShard[s])))
+		}
+	})
+
+	a.allocate(t, numTasks, res, par)
+
+	if a.inst != nil {
+		for s, p := range a.pools {
+			a.inst.PoolDepth[s].Set(int64(p.depth()))
+		}
+	}
+	if a.metrics != nil {
+		a.metrics.SlotAllocSeconds.Observe(time.Since(start).Seconds())
+		start = time.Now()
+	}
+
+	a.settle(t, res, par)
+
+	if a.metrics != nil {
+		a.metrics.PaymentSeconds.Observe(time.Since(start).Seconds())
+	}
+	return res, nil
+}
+
+// allocate announces numTasks tasks in slot t and assigns each to the
+// globally cheapest eligible phone via the k-way merge.
+func (a *Auction) allocate(t core.Slot, numTasks int, res *core.SlotResult, par bool) {
+	if numTasks == 0 {
+		return
+	}
+	var start time.Time
+	if a.inst != nil {
+		start = time.Now()
+	}
+	// Pre-pull: each shard surfaces its cheapest candidates. The merge
+	// needs at most numTasks winners plus one runner-up in total, so an
+	// even split plus one covers the common case; the merge tops a shard
+	// up on demand when its share of the winners is lopsided, so the
+	// chunk size affects only parallelism, never the outcome.
+	want := numTasks + 1
+	chunk := want/len(a.pools) + 1
+	a.fanOut(par, func(s int) {
+		p := a.pools[s]
+		buf := a.pulled[s][:0]
+		for len(buf) < chunk {
+			ph := p.popEligible(t)
+			if ph == core.NoPhone {
+				break
+			}
+			buf = append(buf, ph)
+		}
+		a.pulled[s] = buf
+		a.taken[s] = 0
+	})
+
+	// Merge heap over the shards' head candidates, ordered by the same
+	// (cost, phone ID) key every pool heap uses.
+	a.heads = a.heads[:0]
+	for s := range a.pools {
+		if len(a.pulled[s]) > 0 {
+			a.headsPush(s)
+		}
+	}
+	for k := 0; k < numTasks; k++ {
+		id := a.ledger.AddTask(t)
+		if len(a.heads) == 0 {
+			a.ledger.RecordUnserved(t)
+			res.Unserved++
+			continue
+		}
+		s := a.heads[0]
+		winner := a.pulled[s][a.taken[s]]
+		a.taken[s]++
+		a.advanceHead(t)
+		runner := core.NoPhone
+		if len(a.heads) > 0 {
+			top := a.heads[0]
+			runner = a.pulled[top][a.taken[top]]
+		}
+		a.ledger.RecordWin(id, winner, runner, t)
+		res.Assignments = append(res.Assignments, core.Assignment{Task: id, Phone: winner, Slot: t})
+	}
+
+	// Unconsumed candidates (including the surviving runner-up) return
+	// to their pools; each shard's winners are a prefix of its pull, so
+	// the suffix is exactly the survivors.
+	pulledTotal := 0
+	for s, p := range a.pools {
+		pulledTotal += len(a.pulled[s])
+		for _, ph := range a.pulled[s][a.taken[s]:] {
+			p.push(ph)
+		}
+	}
+	if a.inst != nil {
+		a.inst.MergeSeconds.Observe(time.Since(start).Seconds())
+		a.inst.MergePulled.Add(uint64(pulledTotal))
+	}
+	if a.tracer != nil && !a.replay {
+		a.tracer.Emit(obs.Event{
+			Time: time.Now(), Type: obs.EventShardMerge, Slot: int(t),
+			Phone: -1, Task: -1,
+			Detail: fmt.Sprintf("shards=%d tasks=%d pulled=%d assigned=%d",
+				len(a.pools), numTasks, pulledTotal, len(res.Assignments)),
+		})
+	}
+}
+
+// headLess orders shards by their current head candidate.
+func (a *Auction) headLess(sa, sb int) bool {
+	pa := a.pulled[sa][a.taken[sa]]
+	pb := a.pulled[sb][a.taken[sb]]
+	ca, cb := a.ledger.Bid(pa).Cost, a.ledger.Bid(pb).Cost
+	if ca != cb {
+		return ca < cb
+	}
+	return pa < pb
+}
+
+func (a *Auction) headsPush(s int) {
+	a.heads = append(a.heads, s)
+	i := len(a.heads) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !a.headLess(a.heads[i], a.heads[parent]) {
+			break
+		}
+		a.heads[i], a.heads[parent] = a.heads[parent], a.heads[i]
+		i = parent
+	}
+}
+
+// advanceHead moves the top shard past its consumed head: it tops the
+// shard up from its pool when the pull buffer is exhausted (so the
+// merge never sees a truncated shard), drops the shard when it is
+// empty, and restores the heap order.
+func (a *Auction) advanceHead(t core.Slot) {
+	s := a.heads[0]
+	if a.taken[s] >= len(a.pulled[s]) {
+		if ph := a.pools[s].popEligible(t); ph != core.NoPhone {
+			a.pulled[s] = append(a.pulled[s], ph)
+		} else {
+			last := len(a.heads) - 1
+			a.heads[0] = a.heads[last]
+			a.heads = a.heads[:last]
+		}
+	}
+	a.headsFix()
+}
+
+// headsFix sifts heads[0] down after its key changed or was replaced.
+func (a *Auction) headsFix() {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(a.heads) && a.headLess(a.heads[l], a.heads[small]) {
+			small = l
+		}
+		if r < len(a.heads) && a.headLess(a.heads[r], a.heads[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		a.heads[i], a.heads[small] = a.heads[small], a.heads[i]
+		i = small
+	}
+}
+
+// settle finalizes payments for winners departing in slot t. Each
+// shard prices its own departures with its own pricer (cascade pricing
+// is read-only on the quiescent ledger), then the notices merge in
+// ascending phone ID — the sequential engine's payout order.
+func (a *Auction) settle(t core.Slot, res *core.SlotResult, par bool) {
+	if a.replay {
+		return // restore replays allocation only; payments were final
+	}
+	a.dep = a.dep[:0]
+	for _, p := range a.pools {
+		a.dep = append(a.dep, p.departing(t)...)
+	}
+	if len(a.dep) == 0 {
+		return
+	}
+	sort.Slice(a.dep, func(i, j int) bool { return a.dep[i] < a.dep[j] })
+	if a.trackDepartures {
+		res.Departed = append(res.Departed, a.dep...)
+	}
+
+	priceShard := func(s int) {
+		buf := a.notices[s][:0]
+		for _, ph := range a.pools[s].departing(t) {
+			if a.ledger.WonAt(ph) == 0 {
+				continue
+			}
+			buf = append(buf, core.PaymentNotice{Phone: ph, Amount: a.pricers[s].Price(ph)})
+		}
+		a.notices[s] = buf
+	}
+	if par {
+		a.fanOut(true, priceShard)
+		for _, ns := range a.notices {
+			res.Payments = append(res.Payments, ns...)
+		}
+		sort.Slice(res.Payments, func(i, j int) bool { return res.Payments[i].Phone < res.Payments[j].Phone })
+		return
+	}
+	for _, ph := range a.dep {
+		if a.ledger.WonAt(ph) == 0 {
+			continue
+		}
+		res.Payments = append(res.Payments, core.PaymentNotice{Phone: ph, Amount: a.pricers[0].Price(ph)})
+	}
+}
+
+// Outcome assembles the round outcome so far (allocation, payments for
+// every current winner, welfare), identical to the sequential engine's.
+func (a *Auction) Outcome() *core.Outcome { return a.ledger.Outcome(a.out) }
+
+// Instance returns a copy of the bids and tasks accumulated so far.
+func (a *Auction) Instance() *core.Instance { return a.ledger.Instance() }
+
+var _ core.Auction = (*Auction)(nil)

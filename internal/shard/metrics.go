@@ -1,0 +1,50 @@
+package shard
+
+import (
+	"strconv"
+
+	"dynacrowd/internal/obs"
+)
+
+// Metrics is the sharded engine's observability bundle: per-shard pool
+// depth and admission series plus coordinator merge instruments. All
+// instruments are nil-safe, so a nil *Metrics (or a nil registry)
+// disables instrumentation at zero cost.
+type Metrics struct {
+	// PoolDepth[s] is shard s's live pool size after each step
+	// (dynacrowd_shard_pool_depth{shard="s"}).
+	PoolDepth []*obs.Gauge
+	// Admissions[s] counts bids routed to shard s
+	// (dynacrowd_shard_admissions_total{shard="s"}).
+	Admissions []*obs.Counter
+	// MergeSeconds is the per-slot k-way merge latency, pre-pull
+	// included (dynacrowd_shard_merge_seconds).
+	MergeSeconds *obs.Histogram
+	// MergePulled counts candidates surfaced to the coordinator
+	// (dynacrowd_shard_merge_pulled_total); compare against the
+	// allocation count to see the merge's over-pull overhead.
+	MergePulled *obs.Counter
+}
+
+// NewMetrics registers the sharded engine's instruments for the given
+// shard count. Registration is idempotent per (name, shard) pair, so
+// consecutive rounds on one registry share series. A nil registry
+// returns a usable all-no-op bundle.
+func NewMetrics(r *obs.Registry, shards int) *Metrics {
+	m := &Metrics{
+		PoolDepth:  make([]*obs.Gauge, shards),
+		Admissions: make([]*obs.Counter, shards),
+		MergeSeconds: r.Histogram("dynacrowd_shard_merge_seconds",
+			"Per-slot sharded top-k merge latency in seconds.", obs.LatencyBuckets),
+		MergePulled: r.Counter("dynacrowd_shard_merge_pulled_total",
+			"Candidates pulled from shard pools by the coordinator."),
+	}
+	for s := 0; s < shards; s++ {
+		label := strconv.Itoa(s)
+		m.PoolDepth[s] = r.Gauge("dynacrowd_shard_pool_depth",
+			"Active-bid pool size per shard (including lazily deleted entries).", "shard", label)
+		m.Admissions[s] = r.Counter("dynacrowd_shard_admissions_total",
+			"Bids routed to each shard.", "shard", label)
+	}
+	return m
+}

@@ -1,0 +1,136 @@
+// Package shard is the sharded online-auction engine: the paper's
+// slot-by-slot greedy mechanism (Section V) scaled out across S
+// partitioned bid pools with bit-identical outcomes.
+//
+// Phones are partitioned across shards by a stable hash of their dense
+// phone ID. Each shard owns the active-bid pool of its phones — a
+// binary min-heap on (claimed cost, phone ID) with lazy deletion of
+// departed entries — plus per-slot departure bookkeeping, and handles
+// admission and candidate pulls for its partition concurrently. Per
+// slot, the coordinator k-way-merges the shards' cheapest candidates to
+// select the globally cheapest r_t winners.
+//
+// Exactness: the shards partition the sequential engine's single heap,
+// and the merge consumes the per-shard heaps in the same total order
+// (cost, then phone ID) the sequential heap pops in, so every winner,
+// runner-up, unserved task, and therefore every cascade payment is
+// bit-identical to core.OnlineAuction. docs/SHARDING.md spells the
+// argument out; TestShardedDifferentialSweep enforces it.
+package shard
+
+import (
+	"dynacrowd/internal/core"
+)
+
+// shardOf maps a phone to its shard with a stable integer hash
+// (SplitMix64's finalizer). Stability matters: snapshots restore on a
+// coordinator with any shard count, and the same phone must land in a
+// pool whose heap order is a strict subsequence of the global order.
+func shardOf(p core.PhoneID, shards int) int {
+	x := uint64(p)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(shards))
+}
+
+// pool is one shard's state: the active-bid min-heap of its partition
+// plus per-slot departure lists. Pools are mutated only by their owning
+// goroutine during a fan-out phase (or by the coordinator inline), and
+// read cost data through the shared ledger, which is quiescent while
+// any fan-out runs.
+type pool struct {
+	ledger *core.Ledger
+	items  []core.PhoneID // min-heap on (cost, id)
+	// byDeparture[t] lists this shard's phones reporting departure in
+	// slot t (winners and losers alike), in admission = ascending ID
+	// order. Settlement drains slot t's list once.
+	byDeparture [][]core.PhoneID
+
+	admitted uint64 // bids routed to this shard
+	pooled   uint64 // admitted bids that entered the allocation pool
+}
+
+func newPool(l *core.Ledger) *pool {
+	return &pool{ledger: l, byDeparture: make([][]core.PhoneID, l.Slots()+1)}
+}
+
+// admit registers phone p with the shard: departure bookkeeping always,
+// a heap insert only if the bid clears the reserve (cost < ν unless the
+// round allocates at a loss) — the same admission rule as the
+// sequential engine.
+func (s *pool) admit(p core.PhoneID) {
+	b := s.ledger.Bid(p)
+	s.byDeparture[b.Departure] = append(s.byDeparture[b.Departure], p)
+	s.admitted++
+	if s.ledger.AllocateAtLoss() || b.Cost < s.ledger.Value() {
+		s.push(p)
+		s.pooled++
+	}
+}
+
+// departing returns this shard's phones reporting departure in slot t.
+func (s *pool) departing(t core.Slot) []core.PhoneID { return s.byDeparture[t] }
+
+func (s *pool) less(a, b core.PhoneID) bool {
+	ca, cb := s.ledger.Bid(a).Cost, s.ledger.Bid(b).Cost
+	if ca != cb {
+		return ca < cb
+	}
+	return a < b
+}
+
+func (s *pool) push(p core.PhoneID) {
+	s.items = append(s.items, p)
+	i := len(s.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(s.items[i], s.items[parent]) {
+			break
+		}
+		s.items[i], s.items[parent] = s.items[parent], s.items[i]
+		i = parent
+	}
+}
+
+func (s *pool) pop() core.PhoneID {
+	top := s.items[0]
+	last := len(s.items) - 1
+	s.items[0] = s.items[last]
+	s.items = s.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(s.items) && s.less(s.items[l], s.items[small]) {
+			small = l
+		}
+		if r < len(s.items) && s.less(s.items[r], s.items[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		s.items[i], s.items[small] = s.items[small], s.items[i]
+		i = small
+	}
+	return top
+}
+
+// popEligible pops the shard's cheapest phone still active in slot t,
+// permanently discarding departed entries on the way (lazy deletion: a
+// departed phone can never become eligible again).
+func (s *pool) popEligible(t core.Slot) core.PhoneID {
+	for len(s.items) > 0 {
+		p := s.pop()
+		if s.ledger.Bid(p).Departure >= t {
+			return p
+		}
+	}
+	return core.NoPhone
+}
+
+// depth returns the current pool size (including lazily dead entries).
+func (s *pool) depth() int { return len(s.items) }

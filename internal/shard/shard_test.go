@@ -1,0 +1,473 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/workload"
+)
+
+// streamPlan splits a batch instance into per-slot deliveries. Workload
+// instances are arrival-ordered, so stream IDs equal instance IDs.
+func streamPlan(in *core.Instance) ([][]core.StreamBid, []int) {
+	byArrival := make([][]core.StreamBid, in.Slots+1)
+	for _, b := range in.Bids {
+		byArrival[b.Arrival] = append(byArrival[b.Arrival], core.StreamBid{Departure: b.Departure, Cost: b.Cost})
+	}
+	return byArrival, in.TasksPerSlot()
+}
+
+func genInstance(t testing.TB, seed uint64) *core.Instance {
+	t.Helper()
+	scn := workload.DefaultScenario()
+	scn.Slots = 30
+	in, err := scn.Generate(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func sameNotices(a, b []core.PaymentNotice) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Phone != b[i].Phone || math.Float64bits(a[i].Amount) != math.Float64bits(b[i].Amount) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameOutcome(t *testing.T, label string, want, got *core.Outcome) {
+	t.Helper()
+	if len(want.Allocation.ByTask) != len(got.Allocation.ByTask) {
+		t.Fatalf("%s: task count %d != %d", label, len(got.Allocation.ByTask), len(want.Allocation.ByTask))
+	}
+	for k := range want.Allocation.ByTask {
+		if want.Allocation.ByTask[k] != got.Allocation.ByTask[k] {
+			t.Fatalf("%s: task %d winner %d != %d", label, k, got.Allocation.ByTask[k], want.Allocation.ByTask[k])
+		}
+	}
+	for i := range want.Allocation.WonAt {
+		if want.Allocation.WonAt[i] != got.Allocation.WonAt[i] {
+			t.Fatalf("%s: phone %d winning slot %d != %d", label, i, got.Allocation.WonAt[i], want.Allocation.WonAt[i])
+		}
+	}
+	if len(want.Payments) != len(got.Payments) {
+		t.Fatalf("%s: payment vector %d != %d", label, len(got.Payments), len(want.Payments))
+	}
+	for i := range want.Payments {
+		if math.Float64bits(want.Payments[i]) != math.Float64bits(got.Payments[i]) {
+			t.Fatalf("%s: phone %d payment %v != %v (bitwise)", label, i, got.Payments[i], want.Payments[i])
+		}
+	}
+	if math.Float64bits(want.Welfare) != math.Float64bits(got.Welfare) {
+		t.Fatalf("%s: welfare %v != %v (bitwise)", label, got.Welfare, want.Welfare)
+	}
+}
+
+// TestShardedStepParity drives the sharded and sequential engines
+// through identical streams and requires every per-slot result —
+// assignments, unserved counts, departure payments (bitwise floats) —
+// to match, for several shard counts.
+func TestShardedStepParity(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 4, 8} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			in := genInstance(t, seed)
+			byArrival, perSlot := streamPlan(in)
+
+			seq, err := core.NewOnlineAuction(in.Slots, in.Value, in.AllocateAtLoss)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sh, err := New(shards, in.Slots, in.Value, in.AllocateAtLoss)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq.TrackDepartures(true)
+			sh.TrackDepartures(true)
+
+			label := fmt.Sprintf("s=%d seed=%d", shards, seed)
+			for s := core.Slot(1); s <= in.Slots; s++ {
+				want, err := seq.Step(byArrival[s], perSlot[s-1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := sh.Step(byArrival[s], perSlot[s-1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(want.Joined) != len(got.Joined) || want.Unserved != got.Unserved {
+					t.Fatalf("%s slot %d: joined/unserved mismatch: %+v vs %+v", label, s, got, want)
+				}
+				if len(want.Assignments) != len(got.Assignments) {
+					t.Fatalf("%s slot %d: %d assignments != %d", label, s, len(got.Assignments), len(want.Assignments))
+				}
+				for k := range want.Assignments {
+					if want.Assignments[k] != got.Assignments[k] {
+						t.Fatalf("%s slot %d: assignment %d: %+v != %+v", label, s, k, got.Assignments[k], want.Assignments[k])
+					}
+				}
+				if !sameNotices(want.Payments, got.Payments) {
+					t.Fatalf("%s slot %d: payments %+v != %+v", label, s, got.Payments, want.Payments)
+				}
+				if len(want.Departed) != len(got.Departed) {
+					t.Fatalf("%s slot %d: departed %v != %v", label, s, got.Departed, want.Departed)
+				}
+				for k := range want.Departed {
+					if want.Departed[k] != got.Departed[k] {
+						t.Fatalf("%s slot %d: departed %v != %v", label, s, got.Departed, want.Departed)
+					}
+				}
+			}
+			sameOutcome(t, label, seq.Outcome(), sh.Outcome())
+		}
+	}
+}
+
+// TestShardedDifferentialSweep is the exactness contract: across ≥200
+// seeded rounds (52 seeds × shard counts 1, 2, 4, 8) the sharded
+// mechanism's allocation, payment vector, and welfare are bit-identical
+// to OnlineMechanism's on the same workload instances.
+func TestShardedDifferentialSweep(t *testing.T) {
+	const seeds = 52
+	baseline := &core.OnlineMechanism{}
+	rounds := 0
+	for _, shards := range []int{1, 2, 4, 8} {
+		mech := &Mechanism{Shards: shards}
+		for seed := uint64(1); seed <= seeds; seed++ {
+			in := genInstance(t, seed)
+			want, err := baseline.Run(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := mech.Run(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameOutcome(t, fmt.Sprintf("s=%d seed=%d", shards, seed), want, got)
+			rounds++
+		}
+	}
+	if rounds < 200 {
+		t.Fatalf("differential sweep covered %d rounds, want >= 200", rounds)
+	}
+}
+
+// TestShardedHeavyTrafficParity repeats the differential check on the
+// heavy-traffic scenario (Zipf windows, bursty tasks) whose skewed
+// shard occupancy stresses the merge's on-demand top-up path.
+func TestShardedHeavyTrafficParity(t *testing.T) {
+	scn := workload.HeavyTrafficQuick()
+	baseline := &core.OnlineMechanism{}
+	for _, shards := range []int{2, 4, 8} {
+		mech := &Mechanism{Shards: shards}
+		for seed := uint64(1); seed <= 8; seed++ {
+			in, err := scn.Generate(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := baseline.Run(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := mech.Run(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameOutcome(t, fmt.Sprintf("heavy s=%d seed=%d", shards, seed), want, got)
+		}
+	}
+}
+
+// TestShardedSnapshotRestore checkpoints mid-round, restores with the
+// same and with different shard counts (and across engines), finishes
+// each restored auction on the identical remaining stream, and requires
+// the final outcome to match the uninterrupted run bitwise.
+func TestShardedSnapshotRestore(t *testing.T) {
+	in := genInstance(t, 7)
+	byArrival, perSlot := streamPlan(in)
+	cut := in.Slots / 2
+
+	run := func(t *testing.T, a core.Auction, from core.Slot) *core.Outcome {
+		t.Helper()
+		for s := from; s <= in.Slots; s++ {
+			if _, err := a.Step(byArrival[s], perSlot[s-1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return a.Outcome()
+	}
+
+	full, err := New(4, in.Slots, in.Value, in.AllocateAtLoss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := run(t, full, 1)
+
+	half, err := New(4, in.Slots, in.Value, in.AllocateAtLoss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := core.Slot(1); s <= cut; s++ {
+		if _, err := half.Step(byArrival[s], perSlot[s-1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := half.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{0, 1, 2, 8} {
+		restored, err := Restore(snap, shards)
+		if err != nil {
+			t.Fatalf("restore with %d shards: %v", shards, err)
+		}
+		if restored.Now() != cut {
+			t.Fatalf("restored clock %d, want %d", restored.Now(), cut)
+		}
+		sameOutcome(t, fmt.Sprintf("restore s=%d", shards), want, run(t, restored, cut+1))
+	}
+
+	// Cross-engine: the sequential engine restores a sharded snapshot...
+	seq, err := core.RestoreOnlineAuction(snap)
+	if err != nil {
+		t.Fatalf("sequential restore of sharded snapshot: %v", err)
+	}
+	sameOutcome(t, "cross-restore sequential", want, run(t, seq, cut+1))
+
+	// ...and the sharded engine restores a sequential snapshot.
+	seqHalf, err := core.NewOnlineAuction(in.Slots, in.Value, in.AllocateAtLoss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := core.Slot(1); s <= cut; s++ {
+		if _, err := seqHalf.Step(byArrival[s], perSlot[s-1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqSnap, err := seqHalf.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossed, err := Restore(seqSnap, 4)
+	if err != nil {
+		t.Fatalf("sharded restore of sequential snapshot: %v", err)
+	}
+	sameOutcome(t, "cross-restore sharded", want, run(t, crossed, cut+1))
+}
+
+// TestShardedRejectsInvertedWindow is the regression test for the typed
+// inverted-window rejection at every admission surface.
+func TestShardedRejectsInvertedWindow(t *testing.T) {
+	bad := core.Bid{Phone: 0, Arrival: 5, Departure: 2, Cost: 1}
+	if err := bad.Validate(10); !errors.Is(err, core.ErrWindowInverted) {
+		t.Fatalf("Validate: got %v, want ErrWindowInverted", err)
+	}
+
+	a, err := New(4, 10, 30, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 5; s++ { // advance to slot 5 so departure 2 inverts
+		if _, err := a.Step(nil, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err = a.Step([]core.StreamBid{{Departure: 2, Cost: 1}}, 0)
+	if !errors.Is(err, core.ErrWindowInverted) {
+		t.Fatalf("sharded Step: got %v, want ErrWindowInverted", err)
+	}
+	// The rejected batch must leave the auction untouched.
+	if n := a.Instance().NumPhones(); n != 0 {
+		t.Fatalf("rejected bid was admitted: %d phones", n)
+	}
+
+	oa, err := core.NewOnlineAuction(10, 30, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 5; s++ {
+		if _, err := oa.Step(nil, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := oa.Step([]core.StreamBid{{Departure: 2, Cost: 1}}, 0); !errors.Is(err, core.ErrWindowInverted) {
+		t.Fatalf("sequential Step: got %v, want ErrWindowInverted", err)
+	}
+}
+
+// TestShardedConcurrentTraffic hammers a live coordinator with
+// concurrent Submit traffic while it steps (run under -race via make
+// race-hot). Outcomes are order-dependent on staged ties, so the test
+// asserts engine invariants rather than a fixed allocation: every
+// submitted bid is admitted exactly once, winners' payments are at
+// least their claimed costs (individual rationality), and the final
+// state is a valid instance.
+func TestShardedConcurrentTraffic(t *testing.T) {
+	const producers = 8
+	const bidsEach = 40
+	a, err := New(4, 20, 30, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			rng := workload.NewRNG(uint64(p) + 1)
+			for i := 0; i < bidsEach; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a.Submit(core.StreamBid{
+					Departure: 20,
+					Cost:      rng.Uniform(1, 40),
+				})
+			}
+		}(p)
+	}
+	steps := 0
+	for !a.Done() {
+		if _, err := a.Step(nil, 2); err != nil {
+			t.Fatal(err)
+		}
+		steps++
+	}
+	close(stop)
+	wg.Wait()
+	if steps != 20 {
+		t.Fatalf("stepped %d slots, want 20", steps)
+	}
+
+	in := a.Instance()
+	if err := in.Validate(); err != nil {
+		t.Fatalf("final instance invalid: %v", err)
+	}
+	out := a.Outcome()
+	for i, pay := range out.Payments {
+		if out.Allocation.WonAt[i] == 0 {
+			if pay != 0 {
+				t.Fatalf("loser %d paid %g", i, pay)
+			}
+			continue
+		}
+		if pay < in.Bids[i].Cost {
+			t.Fatalf("winner %d paid %g below claimed cost %g", i, pay, in.Bids[i].Cost)
+		}
+	}
+}
+
+// TestShardedAuctionErrors covers the construction and step guards.
+func TestShardedAuctionErrors(t *testing.T) {
+	if _, err := New(0, 10, 30, false); err == nil {
+		t.Fatal("want error for zero shards")
+	}
+	if _, err := New(2, 0, 30, false); err == nil {
+		t.Fatal("want error for zero slots")
+	}
+	if _, err := New(2, 10, -1, false); err == nil {
+		t.Fatal("want error for negative value")
+	}
+	a, err := New(2, 1, 30, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Step(nil, -1); err == nil {
+		t.Fatal("want error for negative task count")
+	}
+	if _, err := a.Step(nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Step(nil, 0); err == nil {
+		t.Fatal("want error after round completes")
+	}
+}
+
+// FuzzShardMerge feeds arbitrary bid/task streams to the sharded and
+// sequential engines in lockstep and requires identical results — the
+// fuzzing counterpart of the seeded differential sweep.
+func FuzzShardMerge(f *testing.F) {
+	f.Add(uint64(1), uint8(2), []byte{3, 1, 4, 1, 5, 9, 2, 6})
+	f.Add(uint64(42), uint8(7), []byte{0, 0, 0, 255, 16, 32})
+	f.Add(uint64(7), uint8(1), []byte{250, 250, 250, 250})
+	f.Fuzz(func(t *testing.T, seed uint64, shardsByte uint8, script []byte) {
+		shards := int(shardsByte)%8 + 1
+		const m = core.Slot(12)
+		seq, err := core.NewOnlineAuction(m, 30, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh, err := New(shards, m, 30, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := workload.NewRNG(seed)
+		pos := 0
+		next := func() int {
+			if pos >= len(script) {
+				return 0
+			}
+			b := int(script[pos])
+			pos++
+			return b
+		}
+		for s := core.Slot(1); s <= m; s++ {
+			nBids := next() % 5
+			arriving := make([]core.StreamBid, 0, nBids)
+			for i := 0; i < nBids; i++ {
+				dep := s + core.Slot(next()%4)
+				if dep > m {
+					dep = m
+				}
+				// A third of the costs collide exactly to exercise the
+				// (cost, phone ID) tie-break across shard boundaries.
+				var cost float64
+				switch next() % 3 {
+				case 0:
+					cost = float64(next() % 8)
+				default:
+					cost = rng.Uniform(0, 40)
+				}
+				arriving = append(arriving, core.StreamBid{Departure: dep, Cost: cost})
+			}
+			nTasks := next() % 4
+			want, err := seq.Step(arriving, nTasks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sh.Step(arriving, nTasks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want.Unserved != got.Unserved || len(want.Assignments) != len(got.Assignments) {
+				t.Fatalf("slot %d: %+v != %+v", s, got, want)
+			}
+			for k := range want.Assignments {
+				if want.Assignments[k] != got.Assignments[k] {
+					t.Fatalf("slot %d assignment %d: %+v != %+v", s, k, got.Assignments[k], want.Assignments[k])
+				}
+			}
+			if !sameNotices(want.Payments, got.Payments) {
+				t.Fatalf("slot %d payments: %+v != %+v", s, got.Payments, want.Payments)
+			}
+		}
+		wantOut, gotOut := seq.Outcome(), sh.Outcome()
+		for i := range wantOut.Payments {
+			if math.Float64bits(wantOut.Payments[i]) != math.Float64bits(gotOut.Payments[i]) {
+				t.Fatalf("phone %d payment %v != %v", i, gotOut.Payments[i], wantOut.Payments[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,139 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"dynacrowd/internal/core"
+)
+
+// snapshot mirrors core's auction snapshot (format version 1) with an
+// extra shard-count hint. Keeping the shape identical makes snapshots
+// engine-portable: core.RestoreOnlineAuction restores a sharded
+// snapshot (ignoring the hint) and Restore accepts a sequential one —
+// the allocation is shard-count-independent, so either engine can
+// continue the other's round.
+type snapshot struct {
+	Version        int            `json:"version"`
+	Slots          core.Slot      `json:"slots"`
+	Value          float64        `json:"value"`
+	AllocateAtLoss bool           `json:"allocateAtLoss,omitempty"`
+	Now            core.Slot      `json:"now"`
+	Bids           []core.Bid     `json:"bids"`
+	TaskArrivals   []core.Slot    `json:"taskArrivals"`
+	ByTask         []core.PhoneID `json:"byTask"`
+	WonAt          []core.Slot    `json:"wonAt"`
+	Shards         int            `json:"shards,omitempty"`
+}
+
+const snapshotVersion = 1
+
+// Snapshot serializes the auction's decision-relevant state. The pools
+// and pricing side state are not stored; Restore rebuilds them by
+// deterministic replay.
+func (a *Auction) Snapshot() ([]byte, error) {
+	snap := snapshot{
+		Version:        snapshotVersion,
+		Slots:          a.ledger.Slots(),
+		Value:          a.ledger.Value(),
+		AllocateAtLoss: a.ledger.AllocateAtLoss(),
+		Now:            a.now,
+		Bids:           a.ledger.Bids(),
+		TaskArrivals:   a.ledger.TaskArrivals(),
+		ByTask:         a.ledger.ByTask(),
+		WonAt:          a.ledger.WonAtSlots(),
+		Shards:         len(a.pools),
+	}
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return nil, fmt.Errorf("sharded snapshot: %w", err)
+	}
+	return data, nil
+}
+
+// Restore reconstructs a sharded auction from a Snapshot (or from a
+// sequential core snapshot — the formats are interchangeable). shards
+// overrides the partitioning; 0 keeps the snapshot's own count
+// (defaulting to 1 for sequential snapshots). The pools, the merge
+// state, and the cascade pricing state are rebuilt by replaying each
+// recorded slot through the real coordinator, and the replayed
+// assignment is cross-checked against the stored one.
+func Restore(data []byte, shards int) (*Auction, error) {
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("restore sharded auction: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("restore sharded auction: unsupported version %d (want %d)", snap.Version, snapshotVersion)
+	}
+	if shards <= 0 {
+		shards = snap.Shards
+		if shards <= 0 {
+			shards = 1
+		}
+	}
+	a, err := New(shards, snap.Slots, snap.Value, snap.AllocateAtLoss)
+	if err != nil {
+		return nil, fmt.Errorf("restore sharded auction: %w", err)
+	}
+	if snap.Now < 0 || snap.Now > snap.Slots {
+		return nil, fmt.Errorf("restore sharded auction: clock %d outside round [0,%d]", snap.Now, snap.Slots)
+	}
+	if len(snap.WonAt) != len(snap.Bids) || len(snap.ByTask) != len(snap.TaskArrivals) {
+		return nil, fmt.Errorf("restore sharded auction: inconsistent state sizes")
+	}
+
+	// Group the recorded stream back into per-slot deliveries. Bids were
+	// appended in arrival order, so ID order within a slot is preserved
+	// and the replay reassigns every phone its original ID.
+	byArrival := make([][]core.StreamBid, snap.Slots+1)
+	var prevArrival core.Slot
+	for i, b := range snap.Bids {
+		if b.Phone != core.PhoneID(i) {
+			return nil, fmt.Errorf("restore sharded auction: bid %d has phone id %d", i, b.Phone)
+		}
+		if b.Arrival < prevArrival {
+			return nil, fmt.Errorf("restore sharded auction: bid %d out of arrival order", i)
+		}
+		if b.Arrival > snap.Now {
+			return nil, fmt.Errorf("restore sharded auction: bid %d arrives at %d, after clock %d", i, b.Arrival, snap.Now)
+		}
+		prevArrival = b.Arrival
+		byArrival[b.Arrival] = append(byArrival[b.Arrival], core.StreamBid{Departure: b.Departure, Cost: b.Cost})
+	}
+	tasksAt := make([]int, snap.Slots+1)
+	var prevTask core.Slot
+	for k, arr := range snap.TaskArrivals {
+		if arr < 1 || arr > snap.Now {
+			return nil, fmt.Errorf("restore sharded auction: task %d arrival %d outside [1,%d]", k, arr, snap.Now)
+		}
+		if arr < prevTask {
+			return nil, fmt.Errorf("restore sharded auction: task %d out of arrival order", k)
+		}
+		prevTask = arr
+		tasksAt[arr]++
+	}
+
+	a.replay = true
+	for t := core.Slot(1); t <= snap.Now; t++ {
+		if _, err := a.Step(byArrival[t], tasksAt[t]); err != nil {
+			a.replay = false
+			return nil, fmt.Errorf("restore sharded auction: replay slot %d: %w", t, err)
+		}
+	}
+	a.replay = false
+
+	// The replayed assignment must agree with the stored one; a mismatch
+	// means the snapshot was tampered with or produced by different code.
+	for k, p := range snap.ByTask {
+		if got := a.ledger.TaskWinner(core.TaskID(k)); got != p {
+			return nil, fmt.Errorf("restore sharded auction: task %d assignment %d disagrees with replay %d", k, p, got)
+		}
+	}
+	for i, w := range snap.WonAt {
+		if got := a.ledger.WonAt(core.PhoneID(i)); got != w {
+			return nil, fmt.Errorf("restore sharded auction: phone %d winning slot %d disagrees with replay %d", i, w, got)
+		}
+	}
+	return a, nil
+}

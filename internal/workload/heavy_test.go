@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHeavyScenarioDeterministic(t *testing.T) {
+	scn := HeavyTrafficQuick()
+	a, err := scn.Generate(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := scn.Generate(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Bids) != len(b.Bids) || len(a.Tasks) != len(b.Tasks) {
+		t.Fatalf("same seed differs: %d/%d bids, %d/%d tasks", len(a.Bids), len(b.Bids), len(a.Tasks), len(b.Tasks))
+	}
+	for i := range a.Bids {
+		if a.Bids[i] != b.Bids[i] {
+			t.Fatalf("bid %d differs: %+v vs %+v", i, a.Bids[i], b.Bids[i])
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("generated instance invalid: %v", err)
+	}
+}
+
+func TestHeavyScenarioShape(t *testing.T) {
+	scn := HeavyTrafficScenario()
+	in, err := scn.Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Volume: the point of the scenario is a dense pool.
+	if len(in.Bids) < 1000 {
+		t.Fatalf("heavy round has only %d bids", len(in.Bids))
+	}
+
+	// Bursts: burst slots must carry visibly more tasks than quiet ones.
+	perSlot := in.TasksPerSlot()
+	var burstSum, quietSum, burstN, quietN float64
+	for t0 := 1; t0 <= int(scn.Slots); t0++ {
+		if t0%scn.BurstEvery == 0 {
+			burstSum += float64(perSlot[t0-1])
+			burstN++
+		} else {
+			quietSum += float64(perSlot[t0-1])
+			quietN++
+		}
+	}
+	if burstSum/burstN < 2*quietSum/quietN {
+		t.Fatalf("burst slots average %.1f tasks vs %.1f quiet — bursts not visible", burstSum/burstN, quietSum/quietN)
+	}
+
+	// Zipf windows: length-1 windows dominate, but a genuine long tail
+	// survives (some phone stays nearly the whole round).
+	short, long := 0, 0
+	for _, b := range in.Bids {
+		length := int(b.Departure-b.Arrival) + 1
+		if length == 1 {
+			short++
+		}
+		if length >= int(scn.Slots)/2 {
+			long++
+		}
+	}
+	if short < len(in.Bids)/5 {
+		t.Fatalf("only %d/%d length-1 windows; Zipf mass missing", short, len(in.Bids))
+	}
+	if long == 0 {
+		t.Fatal("no long-lived phones; Zipf tail missing")
+	}
+}
+
+func TestHeavyScenarioValidate(t *testing.T) {
+	bad := []func(*HeavyScenario){
+		func(s *HeavyScenario) { s.Slots = 0 },
+		func(s *HeavyScenario) { s.PhoneRate = -1 },
+		func(s *HeavyScenario) { s.ZipfExponent = 0 },
+		func(s *HeavyScenario) { s.MaxActiveLength = 0 },
+		func(s *HeavyScenario) { s.MeanCost = 0 },
+		func(s *HeavyScenario) { s.Value = -1 },
+		func(s *HeavyScenario) { s.TaskRate = -1 },
+		func(s *HeavyScenario) { s.BurstEvery = -1 },
+		func(s *HeavyScenario) { s.BurstFactor = 0.5 },
+	}
+	for i, mutate := range bad {
+		s := HeavyTrafficScenario()
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Fatalf("mutation %d passed validation", i)
+		}
+	}
+}
+
+func TestZipfSampler(t *testing.T) {
+	z := NewZipf(10, 1.0)
+	rng := NewRNG(5)
+	counts := make([]int, 11)
+	const n = 20000
+	for i := 0; i < n; i++ {
+		k := z.Sample(rng)
+		if k < 1 || k > 10 {
+			t.Fatalf("sample %d outside [1,10]", k)
+		}
+		counts[k]++
+	}
+	// P(1) ≈ 1/H_10 ≈ 0.341; verify monotone-ish decay head over tail.
+	if counts[1] <= counts[2] || counts[2] <= counts[5] {
+		t.Fatalf("zipf head not dominant: %v", counts[1:])
+	}
+	p1 := float64(counts[1]) / n
+	if math.Abs(p1-0.3414) > 0.02 {
+		t.Fatalf("P(1) = %.3f, want ≈ 0.341", p1)
+	}
+	// Degenerate support clamps to [1,1].
+	one := NewZipf(0, 1.5)
+	if k := one.Sample(rng); k != 1 {
+		t.Fatalf("degenerate zipf sampled %d", k)
+	}
+}

@@ -89,6 +89,48 @@ func (r *RNG) Poisson(mean float64) int {
 	return n
 }
 
+// Zipf samples a value in [1, n] with P(k) ∝ 1/k^s via inversion on a
+// precomputed CDF (see NewZipf). The heavy-traffic workload uses it for
+// activity-window lengths: a mass of hit-and-run phones plus a long
+// tail of long-lived ones.
+type Zipf struct {
+	cdf []float64 // cdf[k-1] = P(X <= k), cdf[n-1] == 1
+}
+
+// NewZipf tabulates a Zipf distribution over [1, n] with exponent s > 0.
+// Sampling is a binary search over the table, O(log n), allocation-free.
+func NewZipf(n int, s float64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	z := &Zipf{cdf: make([]float64, n)}
+	total := 0.0
+	for k := 1; k <= n; k++ {
+		total += 1 / math.Pow(float64(k), s)
+		z.cdf[k-1] = total
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= total
+	}
+	z.cdf[n-1] = 1 // guard against rounding shortfall
+	return z
+}
+
+// Sample draws one Zipf variate in [1, n] using the given generator.
+func (z *Zipf) Sample(r *RNG) int {
+	u := r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
 // Exponential samples an exponential variate with the given mean.
 func (r *RNG) Exponential(mean float64) float64 {
 	u := r.Float64()
