@@ -4,9 +4,9 @@ GO ?= go
 # to record a pre-change reference into the trajectory file.
 BENCHTIME ?= 1x
 BENCH_SECTION ?= current
-BENCH_OUT ?= BENCH_PR5.json
+BENCH_OUT ?= BENCH_PR6.json
 
-.PHONY: all check vet build test race race-hot bench bench-merge staticcheck profile obs-demo clean
+.PHONY: all check vet build test race race-hot soak bench bench-merge staticcheck profile obs-demo clean
 
 all: check
 
@@ -33,6 +33,16 @@ race:
 # primitives.
 race-hot:
 	$(GO) test -race -count=1 ./internal/core/... ./internal/shard/... ./internal/platform/... ./internal/obs/...
+
+# soak exercises the unreliable-winner pipeline under the race detector:
+# the chaos soak (realization faults composed with transport faults,
+# conservation invariants), the sequential-vs-sharded completion
+# differential, and a short fuzz of completion-event orderings. See
+# docs/PLATFORM.md "Failure model".
+soak:
+	$(GO) test -race -count=1 -run TestSoakUnreliableWinnersUnderChaos -v ./internal/platform/
+	$(GO) test -race -count=1 -run TestShardCompletionParity ./internal/shard/
+	$(GO) test -race -count=1 -run '^$$' -fuzz FuzzShardCompletionOrder -fuzztime 10s ./internal/shard/
 
 # staticcheck runs honnef.co/go/tools if it is installed; the tier-1
 # gate stays dependency-free, so a missing binary is a skip, not a

@@ -282,6 +282,77 @@ func BenchmarkWorkloadGeneration(b *testing.B) {
 	}
 }
 
+// BenchmarkCompletionLifecycle prices the unreliable-winner pipeline
+// (docs/PLATFORM.md "Failure model") on the default workload. The
+// "disabled" variant is the pre-lifecycle baseline — tracking off, the
+// slot path must not regress. "all-complete" adds the bookkeeping of a
+// fully reliable population (every winner reports). "chaos-defaults"
+// realizes the chaos reliability mixture against the stream, so each
+// slot pays the full default path: winner teardown, replacement scan,
+// repricing, and clawback accounting.
+func BenchmarkCompletionLifecycle(b *testing.B) {
+	scn := workload.DefaultScenario()
+	in, err := scn.Generate(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	perSlot := in.TasksPerSlot()
+	byArrival := make([][]core.StreamBid, in.Slots+1)
+	for _, bid := range in.Bids {
+		byArrival[bid.Arrival] = append(byArrival[bid.Arrival], core.StreamBid{
+			Departure: bid.Departure, Cost: bid.Cost,
+		})
+	}
+	rel, err := workload.ChaosModel().Realize(in, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, track bool, resolve func(*core.OnlineAuction, *core.SlotResult) int) {
+		defaults := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			oa, err := core.NewOnlineAuction(in.Slots, in.Value, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			oa.TrackCompletions(track)
+			for t := core.Slot(1); t <= in.Slots; t++ {
+				res, err := oa.Step(byArrival[t], perSlot[t-1])
+				if err != nil {
+					b.Fatal(err)
+				}
+				if resolve != nil {
+					defaults += resolve(oa, res)
+				}
+			}
+		}
+		b.ReportMetric(float64(in.Slots), "slots/op")
+		b.ReportMetric(float64(defaults)/float64(b.N), "defaults/op")
+	}
+	b.Run("disabled", func(b *testing.B) {
+		run(b, false, nil)
+	})
+	b.Run("all-complete", func(b *testing.B) {
+		run(b, true, func(oa *core.OnlineAuction, res *core.SlotResult) int {
+			for _, as := range res.Assignments {
+				if err := oa.Complete(as.Phone); err != nil {
+					b.Fatal(err)
+				}
+			}
+			return 0
+		})
+	})
+	b.Run("chaos-defaults", func(b *testing.B) {
+		run(b, true, func(oa *core.OnlineAuction, res *core.SlotResult) int {
+			_, defaulted, err := rel.Resolve(oa, res)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return defaulted
+		})
+	})
+}
+
 // --- extension benchmarks ---
 
 // BenchmarkTypedMechanisms measures the heterogeneous-sensing extension

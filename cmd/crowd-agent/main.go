@@ -15,6 +15,10 @@
 //	-seed n           randomness seed (default 1)
 //	-reconnect        automatically reconnect and resume an admitted
 //	                  phone after a dropped connection (default true)
+//	-complete p       probability of reporting an assigned task done
+//	                  (default 1; meaningful against a platform running
+//	                  -completion-deadline — an agent that stays silent
+//	                  is defaulted and its payment clawed back)
 package main
 
 import (
@@ -38,17 +42,21 @@ func main() {
 	joinSpread := flag.Duration("join-spread", 10*time.Second, "join-time window")
 	seed := flag.Uint64("seed", 1, "randomness seed")
 	reconnect := flag.Bool("reconnect", true, "reconnect and resume after connection loss")
+	complete := flag.Float64("complete", 1, "probability of reporting an assigned task done")
 	flag.Parse()
 
-	if err := run(*addr, *n, *cost, *duration, *joinSpread, *seed, *reconnect); err != nil {
+	if err := run(*addr, *n, *cost, *duration, *joinSpread, *seed, *reconnect, *complete); err != nil {
 		fmt.Fprintln(os.Stderr, "crowd-agent:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, n int, cost float64, duration int, joinSpread time.Duration, seed uint64, reconnect bool) error {
+func run(addr string, n int, cost float64, duration int, joinSpread time.Duration, seed uint64, reconnect bool, complete float64) error {
 	if n < 1 {
 		return fmt.Errorf("need at least one agent, got %d", n)
+	}
+	if complete < 0 || complete > 1 {
+		return fmt.Errorf("completion probability %g outside [0,1]", complete)
 	}
 	rng := workload.NewRNG(seed)
 	var wg sync.WaitGroup
@@ -66,7 +74,7 @@ func run(addr string, n int, cost float64, duration int, joinSpread time.Duratio
 		go func() {
 			defer wg.Done()
 			time.Sleep(delay)
-			if err := runAgent(addr, name, core.Slot(d), c, reconnect, agentSeed); err != nil {
+			if err := runAgent(addr, name, core.Slot(d), c, reconnect, complete, agentSeed); err != nil {
 				errs <- fmt.Errorf("%s: %w", name, err)
 			}
 		}()
@@ -80,7 +88,7 @@ func run(addr string, n int, cost float64, duration int, joinSpread time.Duratio
 }
 
 // runAgent plays one phone's life: hello, bid, consume events to the end.
-func runAgent(addr, name string, duration core.Slot, cost float64, reconnect bool, seed int64) error {
+func runAgent(addr, name string, duration core.Slot, cost float64, reconnect bool, complete float64, seed int64) error {
 	var a *platform.Agent
 	var err error
 	if reconnect {
@@ -103,6 +111,7 @@ func runAgent(addr, name string, duration core.Slot, cost float64, reconnect boo
 		return err
 	}
 
+	rng := workload.NewRNG(uint64(seed) + 1)
 	phone := core.NoPhone
 	for ev := range a.Events() {
 		switch ev.Kind {
@@ -111,9 +120,23 @@ func runAgent(addr, name string, duration core.Slot, cost float64, reconnect boo
 			log.Printf("%s: admitted as phone %d, active slots %d..%d", name, phone, ev.Slot, ev.Departure)
 		case platform.EventAssign:
 			log.Printf("%s: assigned task %d in slot %d", name, ev.Task, ev.Slot)
+			// Against a -completion-deadline platform, report the task
+			// done (or — with probability 1-complete — stay silent and
+			// let the deadline default this phone).
+			if rng.Float64() < complete {
+				if err := a.ReportCompletion(); err != nil {
+					log.Printf("%s: completion report rejected: %v", name, err)
+				} else {
+					log.Printf("%s: reported task %d done", name, ev.Task)
+				}
+			} else {
+				log.Printf("%s: skipping completion report for task %d (simulating an unreliable phone)", name, ev.Task)
+			}
 		case platform.EventPayment:
 			log.Printf("%s: paid %.2f in slot %d (utility %.2f at real cost %.2f)",
 				name, ev.Amount, ev.Slot, ev.Amount-cost, cost)
+		case platform.EventClawback:
+			log.Printf("%s: defaulted — payment of %.2f revoked (slot %d)", name, ev.Amount, ev.Slot)
 		case platform.EventEnd:
 			log.Printf("%s: round %d over (welfare %.2f, total paid %.2f)", name, ev.Round, ev.Welfare, ev.Payments)
 		case platform.EventRound:

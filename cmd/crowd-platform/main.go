@@ -22,6 +22,12 @@
 //	                  if f already exists at startup, resume from it
 //	-payments e       payment engine: cascade | oracle | parallel
 //	                  (default cascade; all produce identical payments)
+//	-completion-deadline n
+//	                  require each winner to report its task done within
+//	                  n slots of assignment or be defaulted: its task is
+//	                  re-allocated and any issued payment clawed back
+//	                  (default 0: tracking disabled; forces the cascade
+//	                  payment engine when set)
 //	-obs-addr a       serve Prometheus metrics, health, trace dumps and
 //	                  pprof on this address (e.g. 127.0.0.1:7390); empty
 //	                  disables observability
@@ -54,11 +60,12 @@ func main() {
 	shards := flag.Int("shards", 1, "shard count for the sharded auction engine (1 = sequential)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file (resume if present)")
 	payments := flag.String("payments", "cascade", "payment engine: cascade | oracle | parallel")
+	completionDeadline := flag.Int("completion-deadline", 0, "slots a winner has to report completion before defaulting (0 disables)")
 	obsAddr := flag.String("obs-addr", "", "observability HTTP address (metrics, trace, pprof); empty disables")
 	trace := flag.String("trace", "", "append auction trace events to this JSONL file")
 	flag.Parse()
 
-	if err := run(*addr, *slots, *value, *taskRate, *slotEvery, *seed, *rounds, *shards, *checkpoint, *payments, *obsAddr, *trace); err != nil {
+	if err := run(*addr, *slots, *value, *taskRate, *slotEvery, *seed, *rounds, *shards, *completionDeadline, *checkpoint, *payments, *obsAddr, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "crowd-platform:", err)
 		os.Exit(1)
 	}
@@ -95,7 +102,7 @@ func paymentEngine(name string) (core.PaymentEngine, error) {
 	}
 }
 
-func run(addr string, slots int, value, taskRate float64, slotEvery time.Duration, seed uint64, rounds, shards int, checkpoint, payments, obsAddr, trace string) error {
+func run(addr string, slots int, value, taskRate float64, slotEvery time.Duration, seed uint64, rounds, shards, completionDeadline int, checkpoint, payments, obsAddr, trace string) error {
 	engine, err := paymentEngine(payments)
 	if err != nil {
 		return err
@@ -105,13 +112,14 @@ func run(addr string, slots int, value, taskRate float64, slotEvery time.Duratio
 		return err
 	}
 	cfg := platform.Config{
-		Slots:         core.Slot(slots),
-		Value:         value,
-		Rounds:        rounds,
-		Shards:        shards,
-		Logger:        slog.Default(),
-		PaymentEngine: engine,
-		Obs:           observ, // server owns it: srv.Close flushes and stops it
+		Slots:              core.Slot(slots),
+		Value:              value,
+		Rounds:             rounds,
+		Shards:             shards,
+		Logger:             slog.Default(),
+		PaymentEngine:      engine,
+		CompletionDeadline: core.Slot(completionDeadline),
+		Obs:                observ, // server owns it: srv.Close flushes and stops it
 	}
 	if observ != nil && observ.HTTP != nil {
 		log.Printf("observability on http://%s (/metrics /healthz /debug/rounds /debug/pprof)", observ.HTTP.Addr())
@@ -158,5 +166,9 @@ func run(addr string, slots int, value, taskRate float64, slotEvery time.Duratio
 	st := srv.Stats()
 	log.Printf("all %d round(s) complete: %d tasks announced, %d served, total paid %.2f",
 		rounds, st.TasksAnnounced, st.TasksServed, st.TotalPaid)
+	if completionDeadline > 0 {
+		log.Printf("completions: %d reported, %d winners defaulted, %d tasks re-allocated, %d unreplaced, %.2f clawed back",
+			st.CompletionsReported, st.WinnersDefaulted, st.TasksReallocated, st.TasksUnreplaced, st.ClawbackTotal)
+	}
 	return nil
 }

@@ -1,0 +1,376 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// stepOne is a test helper: advance the auction one slot with the given
+// arrivals and task count, failing the test on error.
+func stepOne(t *testing.T, oa *OnlineAuction, arriving []StreamBid, tasks int) *SlotResult {
+	t.Helper()
+	res, err := oa.Step(arriving, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestCompletionTypedErrors exercises every validation surface of the
+// lifecycle API: each misuse is rejected with the matching typed error
+// and the auction state is left undisturbed.
+func TestCompletionTypedErrors(t *testing.T) {
+	oa, err := NewOnlineAuction(3, 30, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tracking off: lifecycle calls are typed rejections, not panics.
+	if err := oa.Complete(0); !errors.Is(err, ErrNotTracking) {
+		t.Fatalf("Complete with tracking off: %v, want ErrNotTracking", err)
+	}
+	if _, err := oa.Default(0); !errors.Is(err, ErrNotTracking) {
+		t.Fatalf("Default with tracking off: %v, want ErrNotTracking", err)
+	}
+
+	oa.TrackCompletions(true)
+	// Unknown phone IDs (no bids yet).
+	if err := oa.Complete(5); !errors.Is(err, ErrNotAssigned) {
+		t.Fatalf("Complete unknown phone: %v, want ErrNotAssigned", err)
+	}
+	if _, err := oa.Default(-1); !errors.Is(err, ErrNotAssigned) {
+		t.Fatalf("Default negative phone: %v, want ErrNotAssigned", err)
+	}
+
+	// Slot 1: phone 0 (cost 5) wins the task; phone 1 (cost 7) stands by.
+	res := stepOne(t, oa, []StreamBid{{Departure: 3, Cost: 5}, {Departure: 3, Cost: 7}}, 1)
+	if len(res.Assignments) != 1 || res.Assignments[0].Phone != 0 {
+		t.Fatalf("unexpected slot-1 assignments: %+v", res.Assignments)
+	}
+
+	// A loser has no live assignment.
+	if err := oa.Complete(1); !errors.Is(err, ErrNotAssigned) {
+		t.Fatalf("Complete non-winner: %v, want ErrNotAssigned", err)
+	}
+	if _, err := oa.Default(1); !errors.Is(err, ErrNotAssigned) {
+		t.Fatalf("Default non-winner: %v, want ErrNotAssigned", err)
+	}
+
+	// Complete once: fine. Twice: ErrAlreadyCompleted. Defaulting a
+	// delivered task: ErrAlreadyCompleted too.
+	if err := oa.Complete(0); err != nil {
+		t.Fatalf("first Complete: %v", err)
+	}
+	if err := oa.Complete(0); !errors.Is(err, ErrAlreadyCompleted) {
+		t.Fatalf("second Complete: %v, want ErrAlreadyCompleted", err)
+	}
+	if _, err := oa.Default(0); !errors.Is(err, ErrAlreadyCompleted) {
+		t.Fatalf("Default after Complete: %v, want ErrAlreadyCompleted", err)
+	}
+
+	// Default the replacement-eligible phone 1 after it wins, then hit
+	// the defaulted-phone surfaces.
+	res = stepOne(t, oa, nil, 1) // slot 2: phone 1 wins the new task
+	if len(res.Assignments) != 1 || res.Assignments[0].Phone != 1 {
+		t.Fatalf("unexpected slot-2 assignments: %+v", res.Assignments)
+	}
+	if _, err := oa.Default(1); err != nil {
+		t.Fatalf("Default live winner: %v", err)
+	}
+	if err := oa.Complete(1); !errors.Is(err, ErrNotAssigned) {
+		t.Fatalf("Complete after Default: %v, want ErrNotAssigned", err)
+	}
+	if _, err := oa.Default(1); !errors.Is(err, ErrNotAssigned) {
+		t.Fatalf("double Default: %v, want ErrNotAssigned", err)
+	}
+
+	// The misuses above must not have perturbed the tallies.
+	counts := oa.CompletionCounts()
+	if counts.Completed != 1 || counts.Defaulted != 1 {
+		t.Fatalf("counts after error gauntlet: %+v", counts)
+	}
+}
+
+// TestDefaultReallocatesAndPricesReplacement: a defaulted winner's task
+// moves to the next-cheapest eligible bidder, which is then paid its own
+// critical value; the defaulted phone nets zero.
+func TestDefaultReallocatesAndPricesReplacement(t *testing.T) {
+	oa, err := NewOnlineAuction(3, 30, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oa.TrackCompletions(true)
+
+	// Slot 1: costs 5 < 7 < 9, one task. Phone 0 wins.
+	bids := []StreamBid{{Departure: 3, Cost: 5}, {Departure: 3, Cost: 7}, {Departure: 3, Cost: 9}}
+	res := stepOne(t, oa, bids, 1)
+	if len(res.Assignments) != 1 || res.Assignments[0].Phone != 0 {
+		t.Fatalf("slot 1 assignments: %+v", res.Assignments)
+	}
+
+	dr, err := oa.Default(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Replacement != 1 {
+		t.Fatalf("replacement %d, want next-cheapest phone 1", dr.Replacement)
+	}
+	if dr.Clawback != 0 {
+		t.Fatalf("clawback %g for a never-paid winner", dr.Clawback)
+	}
+	if len(dr.Payments) != 0 {
+		t.Fatalf("immediate payments %+v for an undeparted replacement", dr.Payments)
+	}
+	if st := oa.Completion(1); st.Status != StatusAssigned || st.Task != dr.Task {
+		t.Fatalf("replacement state %+v", st)
+	}
+
+	// Play the round out; the replacement settles at its departure.
+	stepOne(t, oa, nil, 0)
+	res = stepOne(t, oa, nil, 0)
+	var paid float64
+	for _, p := range res.Payments {
+		if p.Phone == 1 {
+			paid = p.Amount
+		}
+	}
+	// Phone 1's critical value with phone 0 defaulted: the next eligible
+	// competitor is phone 2 at cost 9.
+	if paid != 9 {
+		t.Fatalf("replacement paid %g, want its critical value 9", paid)
+	}
+	out := oa.Outcome()
+	if out.Payments[0] != 0 {
+		t.Fatalf("defaulted phone paid %g in the outcome", out.Payments[0])
+	}
+	if out.Payments[1] != 9 {
+		t.Fatalf("outcome pays replacement %g, want 9", out.Payments[1])
+	}
+	counts := oa.CompletionCounts()
+	if counts.Defaulted != 1 || counts.Reallocated != 1 || counts.Unreplaced != 0 || counts.Clawbacks != 0 {
+		t.Fatalf("counts: %+v", counts)
+	}
+}
+
+// TestDefaultAfterPaymentClawsBack: a winner paid at its departure and
+// defaulted afterwards owes the payment back; a replacement drafted
+// after its own departure is paid immediately.
+func TestDefaultAfterPaymentClawsBack(t *testing.T) {
+	oa, err := NewOnlineAuction(3, 30, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oa.TrackCompletions(true)
+
+	// Slot 1: phone 0 (cost 5, departs slot 1) wins and settles at once;
+	// phone 1 (cost 7, departs slot 2) is the future replacement.
+	res := stepOne(t, oa, []StreamBid{{Departure: 1, Cost: 5}, {Departure: 2, Cost: 7}}, 1)
+	if len(res.Payments) != 1 || res.Payments[0].Phone != 0 {
+		t.Fatalf("slot 1 payments: %+v", res.Payments)
+	}
+	issued := res.Payments[0].Amount
+	if issued <= 0 {
+		t.Fatalf("issued payment %g", issued)
+	}
+
+	// Slot 2 passes; phone 1 departs unassigned (not yet a winner).
+	stepOne(t, oa, nil, 0)
+
+	// The paid winner now defaults: clawback equals the issued amount,
+	// and the replacement — already departed — is paid immediately.
+	dr, err := oa.Default(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Clawback != issued {
+		t.Fatalf("clawback %g, want issued amount %g", dr.Clawback, issued)
+	}
+	if dr.Replacement != 1 {
+		t.Fatalf("replacement %d, want phone 1", dr.Replacement)
+	}
+	if len(dr.Payments) != 1 || dr.Payments[0].Phone != 1 {
+		t.Fatalf("immediate replacement payment missing: %+v", dr.Payments)
+	}
+
+	out := oa.Outcome()
+	if out.Payments[0] != 0 {
+		t.Fatalf("defaulted phone nets %g in the outcome", out.Payments[0])
+	}
+	if math.Abs(out.Payments[1]-dr.Payments[0].Amount) > 1e-12 {
+		t.Fatalf("outcome pays replacement %g, issued %g", out.Payments[1], dr.Payments[0].Amount)
+	}
+	counts := oa.CompletionCounts()
+	if counts.Clawbacks != 1 {
+		t.Fatalf("counts: %+v", counts)
+	}
+	if st := oa.Completion(0); st.Status != StatusDefaulted || st.Paid != issued {
+		t.Fatalf("defaulted state %+v", st)
+	}
+}
+
+// TestDefaultWithoutReplacementUnserves: when no eligible bidder
+// remains, the task goes unserved and is counted as unreplaced.
+func TestDefaultWithoutReplacementUnserves(t *testing.T) {
+	oa, err := NewOnlineAuction(2, 30, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oa.TrackCompletions(true)
+	stepOne(t, oa, []StreamBid{{Departure: 2, Cost: 5}}, 1)
+	dr, err := oa.Default(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Replacement != NoPhone {
+		t.Fatalf("replacement %d from an empty pool", dr.Replacement)
+	}
+	counts := oa.CompletionCounts()
+	if counts.Unreplaced != 1 || counts.Reallocated != 0 {
+		t.Fatalf("counts: %+v", counts)
+	}
+	out := oa.Outcome()
+	if out.Allocation.NumServed() != 0 {
+		t.Fatalf("served %d after the only winner defaulted", out.Allocation.NumServed())
+	}
+}
+
+// TestReserveRespectedOnReallocation: a standby bidder at or above the
+// platform's per-task value is not drafted as a replacement unless the
+// instance allocates at a loss.
+func TestReserveRespectedOnReallocation(t *testing.T) {
+	oa, err := NewOnlineAuction(2, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oa.TrackCompletions(true)
+	// Phone 1's cost equals ν: reserve-priced out of the re-allocation.
+	stepOne(t, oa, []StreamBid{{Departure: 2, Cost: 5}, {Departure: 2, Cost: 10}}, 1)
+	dr, err := oa.Default(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Replacement != NoPhone {
+		t.Fatalf("reserve-priced phone drafted as replacement (cost 10, ν=10)")
+	}
+
+	// With AllocateAtLoss the same standby is eligible.
+	loss, err := NewOnlineAuction(2, 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss.TrackCompletions(true)
+	if _, err := loss.Step([]StreamBid{{Departure: 2, Cost: 5}, {Departure: 2, Cost: 10}}, 1); err != nil {
+		t.Fatal(err)
+	}
+	dr, err = loss.Default(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Replacement != 1 {
+		t.Fatalf("replacement %d, want reserve-exempt phone 1", dr.Replacement)
+	}
+}
+
+// TestCompletionSnapshotRoundTrip: a round with completions, defaults,
+// and clawbacks snapshots and restores losslessly — statuses, issued
+// payments, counters, and the outcome all survive, and the restored
+// auction keeps playing identically.
+func TestCompletionSnapshotRoundTrip(t *testing.T) {
+	build := func() *OnlineAuction {
+		oa, err := NewOnlineAuction(6, 30, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oa.TrackCompletions(true)
+		return oa
+	}
+	oa := build()
+
+	// Slot 1: three bidders, two tasks. Slot 2: two more bidders, one task.
+	stepOne(t, oa, []StreamBid{
+		{Departure: 2, Cost: 4}, {Departure: 4, Cost: 6}, {Departure: 5, Cost: 11},
+	}, 2)
+	if err := oa.Complete(0); err != nil {
+		t.Fatal(err)
+	}
+	stepOne(t, oa, []StreamBid{{Departure: 3, Cost: 8}, {Departure: 6, Cost: 9}}, 1)
+	// Phone 1 defaults at clock 2: its task re-allocates.
+	if _, err := oa.Default(1); err != nil {
+		t.Fatal(err)
+	}
+	stepOne(t, oa, nil, 1) // slot 3
+	// Phone 3 was paid at its slot-3 departure if it won; default 3 if
+	// live, otherwise default the slot-3 winner to stir the pot.
+	if st := oa.Completion(3); st.Status == StatusAssigned {
+		if _, err := oa.Default(3); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	data, err := oa.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := RestoreOnlineAuction(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got, want := re.CompletionCounts(), oa.CompletionCounts(); got != want {
+		t.Fatalf("restored counts %+v, want %+v", got, want)
+	}
+	for i := 0; i < oa.Instance().NumPhones(); i++ {
+		if got, want := re.Completion(PhoneID(i)), oa.Completion(PhoneID(i)); got != want {
+			t.Fatalf("phone %d state %+v, want %+v", i, got, want)
+		}
+	}
+	a, b := oa.Outcome(), re.Outcome()
+	if a.Welfare != b.Welfare {
+		t.Fatalf("welfare %g != restored %g", a.Welfare, b.Welfare)
+	}
+	for i := range a.Payments {
+		if a.Payments[i] != b.Payments[i] {
+			t.Fatalf("payment[%d] %g != restored %g", i, a.Payments[i], b.Payments[i])
+		}
+	}
+
+	// Both continue identically: same steps, same default, same outcome.
+	for _, x := range []*OnlineAuction{oa, re} {
+		stepOne(t, x, []StreamBid{{Departure: 6, Cost: 3}}, 1)
+		stepOne(t, x, nil, 0)
+		stepOne(t, x, nil, 0)
+	}
+	a, b = oa.Outcome(), re.Outcome()
+	for i := range a.Payments {
+		if a.Payments[i] != b.Payments[i] {
+			t.Fatalf("post-restore payment[%d] %g != %g", i, a.Payments[i], b.Payments[i])
+		}
+	}
+	if a.Welfare != b.Welfare {
+		t.Fatalf("post-restore welfare %g != %g", a.Welfare, b.Welfare)
+	}
+}
+
+// TestCompletionDisabledStepAllocFree guards the satellite requirement:
+// with tracking off, the lifecycle additions cost the slot path nothing.
+func TestCompletionDisabledStepAllocFree(t *testing.T) {
+	oa, err := NewOnlineAuction(1<<20, 30, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime: one standing bid pool, no arrivals or payments in the
+	// measured steps, reusing the caller-owned arrival slice.
+	if _, err := oa.Step([]StreamBid{{Departure: 1 << 20, Cost: 5}, {Departure: 1 << 20, Cost: 7}}, 0); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := oa.Step(nil, 0); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// The engine's own slot path allocates only the SlotResult.
+	if avg > 1 {
+		t.Fatalf("tracking-off Step allocates %.1f objects per slot", avg)
+	}
+}

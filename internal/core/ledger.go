@@ -27,6 +27,16 @@ type Auction interface {
 	SetMetrics(*Metrics)
 	// TrackDepartures toggles SlotResult.Departed population.
 	TrackDepartures(bool)
+	// TrackCompletions toggles the assignment lifecycle (completion.go).
+	TrackCompletions(bool)
+	// Complete marks a winner's assignment delivered.
+	Complete(PhoneID) error
+	// Default marks a winner's assignment failed, re-allocating its task.
+	Default(PhoneID) (*DefaultResult, error)
+	// Completion returns one phone's lifecycle view.
+	Completion(PhoneID) CompletionState
+	// CompletionCounts returns aggregate lifecycle outcomes.
+	CompletionCounts() CompletionCounts
 }
 
 var _ Auction = (*OnlineAuction)(nil)
@@ -46,6 +56,7 @@ var _ Auction = (*OnlineAuction)(nil)
 type Ledger struct {
 	inst Instance
 	run  greedyRun
+	comp completions // assignment lifecycle (off by default)
 	// epoch counts structural growth (AddBid/AddTask). Pricers use it to
 	// refresh their instance view and invalidate cached arrival indexes.
 	epoch uint64
@@ -120,6 +131,7 @@ func (l *Ledger) AddBid(arrival Slot, sb StreamBid) (PhoneID, error) {
 	l.inst.Bids = append(l.inst.Bids, b)
 	l.run.phoneTask = append(l.run.phoneTask, NoTask)
 	l.run.wonAt = append(l.run.wonAt, 0)
+	l.comp.grow(len(l.inst.Bids))
 	l.epoch++
 	return id, nil
 }
@@ -144,7 +156,75 @@ func (l *Ledger) RecordWin(k TaskID, winner, runnerUp PhoneID, t Slot) {
 	l.run.phoneTask[winner] = k
 	l.run.wonAt[winner] = t
 	l.run.noteWinner(t, winner, l.inst.Bids[winner].Cost)
+	l.comp.markAssigned(winner)
 	l.run.runnerUp[k] = runnerUp
+}
+
+// Assignable reports whether phone i may still be drafted for a task:
+// it holds no assignment and (with the lifecycle on) has never won or
+// defaulted. Allocators use it to skip phones a default re-allocated
+// while they were still pooled.
+func (l *Ledger) Assignable(i PhoneID) bool {
+	return l.run.phoneTask[i] == NoTask && !l.comp.blocked(i)
+}
+
+// TrackCompletions toggles the assignment lifecycle (see
+// OnlineAuction.TrackCompletions for semantics).
+func (l *Ledger) TrackCompletions(on bool) {
+	l.comp.enabled = on
+	if !on {
+		return
+	}
+	l.comp.grow(len(l.inst.Bids))
+	for i, task := range l.run.phoneTask {
+		if task != NoTask && l.comp.status[i] == StatusNone {
+			l.comp.status[i] = StatusAssigned
+		}
+	}
+}
+
+// Complete marks phone p's assignment as delivered (see
+// OnlineAuction.Complete for the error contract).
+func (l *Ledger) Complete(p PhoneID) error { return l.comp.complete(p) }
+
+// DefaultWinner marks phone p's assignment as failed at auction clock
+// `now` and re-allocates its task (see OnlineAuction.Default). The
+// replacement, if drafted after its own departure, is priced with pr.
+func (l *Ledger) DefaultWinner(p PhoneID, now Slot, pr *Pricer) (*DefaultResult, error) {
+	if !l.comp.enabled {
+		return nil, ErrNotTracking
+	}
+	res, err := defaultWinner(&l.inst, &l.run, &l.comp, p, now, pr.Price)
+	if err == nil {
+		l.epoch++
+	}
+	return res, err
+}
+
+// Payable reports whether departing winner i should be paid (false for
+// defaulted phones; always true with the lifecycle off).
+func (l *Ledger) Payable(i PhoneID) bool { return l.comp.payable(i) }
+
+// NotePaid records a payment issued to winner i at auction clock `now`
+// so the outcome reports executed amounts. Concurrent calls for
+// distinct phones are safe between mutations.
+func (l *Ledger) NotePaid(i PhoneID, amount float64, now Slot) { l.comp.markPaid(i, amount, now) }
+
+// Completion returns phone p's lifecycle view.
+func (l *Ledger) Completion(p PhoneID) CompletionState { return l.comp.state(&l.run, p) }
+
+// CompletionCounts returns aggregate lifecycle outcomes.
+func (l *Ledger) CompletionCounts() CompletionCounts { return l.comp.counts }
+
+// MarshalCompletions copies the lifecycle state for a snapshot (nil
+// while tracking is off).
+func (l *Ledger) MarshalCompletions() *CompletionSnapshot { return l.comp.marshal() }
+
+// RestoreCompletions overwrites the lifecycle state from a snapshot.
+// The caller must already have replayed the snapshot's default log
+// through DefaultWinner so the allocation-side mutations are in place.
+func (l *Ledger) RestoreCompletions(snap *CompletionSnapshot) error {
+	return l.comp.restoreFrom(snap, len(l.inst.Bids))
 }
 
 // RecordUnserved records that a task arriving in slot t found no
@@ -177,9 +257,15 @@ func (l *Ledger) Outcome(p *Pricer) *Outcome {
 		Welfare:    alloc.Welfare(&l.inst),
 	}
 	for i, task := range l.run.phoneTask {
-		if task != NoTask {
-			out.Payments[i] = p.Price(PhoneID(i))
+		if task == NoTask {
+			continue
 		}
+		// Executed payments are final (see OnlineAuction.Outcome).
+		if amount, ok := l.comp.settled(PhoneID(i)); ok {
+			out.Payments[i] = amount
+			continue
+		}
+		out.Payments[i] = p.Price(PhoneID(i))
 	}
 	return out
 }

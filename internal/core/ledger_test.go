@@ -61,7 +61,7 @@ func TestLedgerMirrorsOnlineAuction(t *testing.T) {
 		Bids: []Bid{
 			{Phone: 0, Arrival: 1, Departure: 3, Cost: 5},
 			{Phone: 1, Arrival: 1, Departure: 6, Cost: 12},
-			{Phone: 2, Arrival: 2, Departure: 4, Cost: 5}, // ties phone 0's cost
+			{Phone: 2, Arrival: 2, Departure: 4, Cost: 5},  // ties phone 0's cost
 			{Phone: 3, Arrival: 2, Departure: 2, Cost: 40}, // reserve-priced
 			{Phone: 4, Arrival: 3, Departure: 6, Cost: 8},
 			{Phone: 5, Arrival: 4, Departure: 6, Cost: 29},

@@ -25,6 +25,13 @@ type auctionSnapshot struct {
 	TaskArrivals   []Slot    `json:"taskArrivals"`
 	ByTask         []PhoneID `json:"byTask"`
 	WonAt          []Slot    `json:"wonAt"`
+	// Completions carries the assignment lifecycle when tracking is on.
+	// Its default log is replayed on restore interleaved with the greedy
+	// slots (a default mutates the winner set and pricing tables at a
+	// specific clock value), after which statuses and issued payments are
+	// restored verbatim. Absent for pre-lifecycle snapshots, which keep
+	// the fast replay path.
+	Completions *CompletionSnapshot `json:"completions,omitempty"`
 }
 
 // Snapshot serializes the auction's full state so a platform can
@@ -40,6 +47,7 @@ func (oa *OnlineAuction) Snapshot() ([]byte, error) {
 		Bids:           oa.bids,
 		ByTask:         oa.run.byTask,
 		WonAt:          oa.run.wonAt,
+		Completions:    oa.comp.marshal(),
 	}
 	for _, t := range oa.tasks {
 		snap.TaskArrivals = append(snap.TaskArrivals, t.Arrival)
@@ -110,18 +118,28 @@ func RestoreOnlineAuction(data []byte) (*OnlineAuction, error) {
 		}
 	}
 
-	// Replay the greedy allocation over the restored bids and tasks. This
-	// rebuilds everything the snapshot does not carry — the live heap, the
-	// per-task runner-ups, and the per-slot winner-cost tables the cascade
-	// engine prices from — and reproduces the original pool exactly
-	// (phones the original auction lazily discarded re-enter and are
-	// re-discarded on their first pop, which leaves behaviour unchanged).
-	in := oa.instance()
-	var idx arrivalsIndex
-	idx.build(in)
-	oa.run.initRound(len(oa.bids), len(oa.tasks), oa.slots)
-	oa.heap.bids = oa.bids
-	oa.heap.items = runBaseline(in, &idx, &oa.run, nil, snap.Now)
+	if snap.Completions != nil && len(snap.Completions.Log) > 0 {
+		// Defaults mutated the winner set and pricing tables at specific
+		// clock values, so the flat greedy replay below cannot reproduce
+		// the stored state. Re-run the round slot by slot through Step,
+		// applying each logged default at the clock it happened.
+		if err := oa.restageWithDefaults(snap.Completions.Log); err != nil {
+			return nil, fmt.Errorf("restore auction: %w", err)
+		}
+	} else {
+		// Replay the greedy allocation over the restored bids and tasks. This
+		// rebuilds everything the snapshot does not carry — the live heap, the
+		// per-task runner-ups, and the per-slot winner-cost tables the cascade
+		// engine prices from — and reproduces the original pool exactly
+		// (phones the original auction lazily discarded re-enter and are
+		// re-discarded on their first pop, which leaves behaviour unchanged).
+		in := oa.instance()
+		var idx arrivalsIndex
+		idx.build(in)
+		oa.run.initRound(len(oa.bids), len(oa.tasks), oa.slots)
+		oa.heap.bids = oa.bids
+		oa.heap.items = runBaseline(in, &idx, &oa.run, nil, snap.Now)
+	}
 
 	// The replayed assignment must agree with the stored one; a mismatch
 	// means the snapshot was tampered with or produced by different code.
@@ -137,5 +155,54 @@ func RestoreOnlineAuction(data []byte) (*OnlineAuction, error) {
 				i, w, oa.run.wonAt[i])
 		}
 	}
+	if snap.Completions != nil {
+		// Statuses, issued payments, and counters restore verbatim; the
+		// replay above only rebuilt the allocation-side mutations.
+		if err := oa.comp.restoreFrom(snap.Completions, len(oa.bids)); err != nil {
+			return nil, fmt.Errorf("restore auction: %w", err)
+		}
+	}
 	return oa, nil
+}
+
+// restageWithDefaults rebuilds the allocation state by re-running the
+// restored round through Step with completion tracking on, replaying
+// each logged default at the auction clock it originally happened so
+// the re-allocation scans see the same state they saw live.
+func (oa *OnlineAuction) restageWithDefaults(log []CompletionEvent) error {
+	re, err := NewOnlineAuction(oa.slots, oa.value, oa.allocateAtLoss)
+	if err != nil {
+		return err
+	}
+	re.TrackCompletions(true)
+	bi, ti, li := 0, 0, 0
+	var arriving []StreamBid
+	for t := Slot(1); t <= oa.now; t++ {
+		arriving = arriving[:0]
+		for ; bi < len(oa.bids) && oa.bids[bi].Arrival == t; bi++ {
+			arriving = append(arriving, StreamBid{Departure: oa.bids[bi].Departure, Cost: oa.bids[bi].Cost})
+		}
+		tasks := 0
+		for ; ti < len(oa.tasks) && oa.tasks[ti].Arrival == t; ti++ {
+			tasks++
+		}
+		if _, err := re.Step(arriving, tasks); err != nil {
+			return err
+		}
+		for ; li < len(log) && log[li].Slot == t; li++ {
+			if _, err := re.Default(log[li].Phone); err != nil {
+				return fmt.Errorf("default log entry %d (phone %d at clock %d): %w", li, log[li].Phone, t, err)
+			}
+		}
+	}
+	if bi != len(oa.bids) {
+		return fmt.Errorf("bids not in arrival order (replayed %d of %d)", bi, len(oa.bids))
+	}
+	if li != len(log) {
+		return fmt.Errorf("default log not in clock order (replayed %d of %d)", li, len(log))
+	}
+	oa.heap = re.heap
+	oa.run = re.run
+	oa.comp = re.comp
+	return nil
 }

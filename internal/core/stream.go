@@ -62,7 +62,8 @@ type OnlineAuction struct {
 	trackDepartures bool
 
 	heap costHeap
-	run  greedyRun // winners plus retained cascade pricing state
+	run  greedyRun   // winners plus retained cascade pricing state
+	comp completions // assignment lifecycle (off by default)
 
 	inst Instance     // reusable pricing view over bids/tasks
 	q    paymentQuery // reusable pricing scratch
@@ -103,6 +104,54 @@ func (oa *OnlineAuction) SetMetrics(m *Metrics) { oa.metrics = m }
 // phone whose reported departure is the processed slot. Off by default:
 // the extra appends are only worth paying when a tracer consumes them.
 func (oa *OnlineAuction) TrackDepartures(on bool) { oa.trackDepartures = on }
+
+// TrackCompletions toggles the assignment lifecycle (see completion.go):
+// when on, every assignment must be resolved via Complete or Default,
+// defaulted winners are paid nothing, and their tasks are re-allocated
+// in place. Enable before the first Step; enabling mid-round adopts
+// current winners as assigned, but winners already paid before enabling
+// carry no recorded payment to claw back. Off by default, at zero cost
+// to the hot path.
+func (oa *OnlineAuction) TrackCompletions(on bool) {
+	oa.comp.enabled = on
+	if !on {
+		return
+	}
+	oa.comp.grow(len(oa.bids))
+	for i, task := range oa.run.phoneTask {
+		if task != NoTask && oa.comp.status[i] == StatusNone {
+			oa.comp.status[i] = StatusAssigned
+		}
+	}
+}
+
+// Complete marks phone p's assignment as delivered. It returns
+// ErrAlreadyCompleted for a duplicate report, ErrNotAssigned when p has
+// no live assignment, and ErrNotTracking when the lifecycle is off.
+func (oa *OnlineAuction) Complete(p PhoneID) error { return oa.comp.complete(p) }
+
+// Default marks phone p's assignment as failed: p is paid nothing (any
+// issued payment is reported as a clawback), and its task is re-allocated
+// to the next-cheapest eligible phone, which is priced at its own
+// critical value under the post-default state. Errors mirror Complete.
+func (oa *OnlineAuction) Default(p PhoneID) (*DefaultResult, error) {
+	if !oa.comp.enabled {
+		return nil, ErrNotTracking
+	}
+	q := oa.pricer()
+	return defaultWinner(q.in, &oa.run, &oa.comp, p, oa.now, func(r PhoneID) float64 {
+		return oa.engine.price(q, r)
+	})
+}
+
+// Completion returns phone p's lifecycle view (zero value while
+// tracking is off or for unknown phones).
+func (oa *OnlineAuction) Completion(p PhoneID) CompletionState {
+	return oa.comp.state(&oa.run, p)
+}
+
+// CompletionCounts returns aggregate lifecycle outcomes.
+func (oa *OnlineAuction) CompletionCounts() CompletionCounts { return oa.comp.counts }
 
 // Now returns the last processed slot (0 before the first Step).
 func (oa *OnlineAuction) Now() Slot { return oa.now }
@@ -151,13 +200,14 @@ func (oa *OnlineAuction) Step(arriving []StreamBid, numTasks int) (*SlotResult, 
 		}
 	}
 	oa.heap.bids = oa.bids
+	oa.comp.grow(len(oa.bids))
 
 	for k := 0; k < numTasks; k++ {
 		id := TaskID(len(oa.tasks))
 		oa.tasks = append(oa.tasks, Task{ID: id, Arrival: t})
 		oa.run.byTask = append(oa.run.byTask, NoPhone)
 		oa.run.runnerUp = append(oa.run.runnerUp, NoPhone)
-		winner := oa.heap.popEligible(t)
+		winner := oa.popUsable(t)
 		if winner == NoPhone {
 			oa.run.unserved[t]++
 			res.Unserved++
@@ -167,7 +217,8 @@ func (oa *OnlineAuction) Step(arriving []StreamBid, numTasks int) (*SlotResult, 
 		oa.run.phoneTask[winner] = id
 		oa.run.wonAt[winner] = t
 		oa.run.noteWinner(t, winner, oa.bids[winner].Cost)
-		oa.run.runnerUp[id] = oa.heap.peekEligible(t)
+		oa.comp.markAssigned(winner)
+		oa.run.runnerUp[id] = oa.peekUsable(t)
 		res.Assignments = append(res.Assignments, Assignment{Task: id, Phone: winner, Slot: t})
 	}
 
@@ -188,16 +239,44 @@ func (oa *OnlineAuction) Step(arriving []StreamBid, numTasks int) (*SlotResult, 
 		if oa.trackDepartures {
 			res.Departed = append(res.Departed, PhoneID(i))
 		}
-		if oa.run.wonAt[i] == 0 {
+		if oa.run.wonAt[i] == 0 || !oa.comp.payable(PhoneID(i)) {
 			continue
 		}
 		amount := oa.engine.price(q, PhoneID(i))
+		oa.comp.markPaid(PhoneID(i), amount, t)
 		res.Payments = append(res.Payments, PaymentNotice{Phone: PhoneID(i), Amount: amount})
 	}
 	if oa.metrics != nil {
 		oa.metrics.PaymentSeconds.Observe(time.Since(start).Seconds())
 	}
 	return res, nil
+}
+
+// popUsable pops the cheapest phone eligible in slot t that can still
+// take a task. The lifecycle adds two terminal skip conditions on top
+// of the heap's departed-phone lazy deletion: re-allocated winners
+// (drafted by a default while still pooled) and defaulted phones.
+// Both are permanent, so discarding is safe; with tracking off neither
+// triggers and the path is unchanged.
+func (oa *OnlineAuction) popUsable(t Slot) PhoneID {
+	for {
+		p := oa.heap.popEligible(t)
+		if p == NoPhone || (oa.run.phoneTask[p] == NoTask && !oa.comp.blocked(p)) {
+			return p
+		}
+	}
+}
+
+// peekUsable reports the phone popUsable would return next, discarding
+// unusable entries but leaving the survivor in place.
+func (oa *OnlineAuction) peekUsable(t Slot) PhoneID {
+	for {
+		p := oa.heap.peekEligible(t)
+		if p == NoPhone || (oa.run.phoneTask[p] == NoTask && !oa.comp.blocked(p)) {
+			return p
+		}
+		oa.heap.pop()
+	}
 }
 
 // pricer refreshes the reusable payment query over the current state.
@@ -244,9 +323,17 @@ func (oa *OnlineAuction) Outcome() *Outcome {
 	}
 	q := oa.pricer()
 	for i, task := range oa.run.phoneTask {
-		if task != NoTask {
-			out.Payments[i] = oa.engine.price(q, PhoneID(i))
+		if task == NoTask {
+			continue
 		}
+		// An executed payment is final: later defaults in overlapping
+		// slots may shift the recomputed cascade value, but the amount
+		// actually issued at departure is what the outcome owes.
+		if amount, ok := oa.comp.settled(PhoneID(i)); ok {
+			out.Payments[i] = amount
+			continue
+		}
+		out.Payments[i] = oa.engine.price(q, PhoneID(i))
 	}
 	return out
 }

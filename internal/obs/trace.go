@@ -24,6 +24,13 @@ const (
 	EventDeparture   EventType = "departure"
 	EventSnapshot    EventType = "snapshot"
 	EventRestore     EventType = "restore"
+	// Completion-lifecycle events: a winner reported its task done, a
+	// winner's completion deadline lapsed, its task was re-allocated to
+	// a replacement, and an already-issued payment was revoked.
+	EventTaskCompleted   EventType = "task_completed"
+	EventWinnerDefaulted EventType = "winner_defaulted"
+	EventReallocation    EventType = "task_reallocated"
+	EventClawback        EventType = "clawback"
 	// EventShardMerge is emitted by the sharded engine's coordinator
 	// once per allocated slot, with pull/assignment counts in Detail.
 	EventShardMerge EventType = "shard_merge"

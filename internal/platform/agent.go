@@ -18,13 +18,14 @@ type EventKind int
 
 // Agent event kinds.
 const (
-	EventWelcome EventKind = iota + 1 // bid admitted; Phone and Departure set
-	EventSlot                         // slot tick; Slot set
-	EventAssign                       // won a task; Task and Slot set
-	EventPayment                      // paid; Amount and Slot set
-	EventEnd                          // round finished; Welfare, Payments, Round set
-	EventRound                        // a new round opened; Round set (bid again!)
-	EventError                        // platform reported an error; Err set
+	EventWelcome  EventKind = iota + 1 // bid admitted; Phone and Departure set
+	EventSlot                          // slot tick; Slot set
+	EventAssign                        // won a task; Task and Slot set
+	EventPayment                       // paid; Amount and Slot set
+	EventEnd                           // round finished; Welfare, Payments, Round set
+	EventRound                         // a new round opened; Round set (bid again!)
+	EventClawback                      // defaulted; payment revoked; Amount and Slot set
+	EventError                         // platform reported an error; Err set
 )
 
 // String implements fmt.Stringer.
@@ -42,6 +43,8 @@ func (k EventKind) String() string {
 		return "end"
 	case EventRound:
 		return "round"
+	case EventClawback:
+		return "clawback"
 	case EventError:
 		return "error"
 	default:
@@ -150,7 +153,14 @@ type Agent struct {
 	assigned bool
 	paid     bool
 	ended    bool
+	clawed   bool
 	rng      *rand.Rand
+
+	// mu-guarded mirrors of the run goroutine's standing, read by
+	// ReportCompletion from the consumer goroutine.
+	livePhone core.PhoneID
+	liveRound int
+	liveTask  core.TaskID // NoTask when holding no unresolved assignment
 }
 
 // Dial connects an agent to the platform. The connection is not
@@ -186,6 +196,10 @@ func dial(addr string, policy *ReconnectPolicy) (*Agent, error) {
 		acks:     make(chan error, 1),
 		phone:    core.NoPhone,
 		round:    1,
+
+		livePhone: core.NoPhone,
+		liveRound: 1,
+		liveTask:  core.NoTask,
 	}
 	if policy != nil {
 		a.rng = rand.New(rand.NewSource(policy.Seed))
@@ -233,6 +247,45 @@ func (a *Agent) SubmitBid(name string, duration core.Slot, cost float64) error {
 		return ackErr
 	case <-time.After(5 * time.Second):
 		return errors.New("agent: timed out waiting for bid ack")
+	}
+}
+
+// ReportCompletion tells the platform this phone performed its assigned
+// task. Call after an EventAssign, before the platform's completion
+// deadline lapses; a winner that never reports is defaulted — its task
+// re-allocated and any issued payment revoked (EventClawback). It
+// blocks until the platform acknowledges or rejects the report; a
+// rejection carries the platform's typed reason (already completed, not
+// assigned, tracking disabled).
+func (a *Agent) ReportCompletion() error {
+	a.mu.Lock()
+	phone, task, round := a.livePhone, a.liveTask, a.liveRound
+	a.mu.Unlock()
+	if phone == core.NoPhone || task == core.NoTask {
+		return errors.New("agent: no unresolved assignment to complete")
+	}
+	err := a.send(&protocol.Message{
+		Type:  protocol.TypeComplete,
+		Phone: phone,
+		Task:  task,
+		Round: round,
+	})
+	if err != nil {
+		return err
+	}
+	select {
+	case ackErr, ok := <-a.acks:
+		if !ok {
+			return errors.New("agent: connection closed before completion ack")
+		}
+		if ackErr == nil {
+			a.mu.Lock()
+			a.liveTask = core.NoTask
+			a.mu.Unlock()
+		}
+		return ackErr
+	case <-time.After(5 * time.Second):
+		return errors.New("agent: timed out waiting for completion ack")
 	}
 }
 
@@ -344,8 +397,8 @@ func (a *Agent) redial() net.Conn {
 
 // readConn consumes one connection's messages until it fails, updating
 // the resume/dedup state and emitting events. Resume replays are
-// deduplicated: each of welcome, assign, payment, and end reaches the
-// consumer at most once per round.
+// deduplicated: each of welcome, assign, payment, clawback, and end
+// reaches the consumer at most once per round.
 func (a *Agent) readConn(conn net.Conn) error {
 	r := protocol.NewReader(conn)
 	for {
@@ -369,6 +422,12 @@ func (a *Agent) readConn(conn net.Conn) error {
 			if m.Round > 0 {
 				a.round = m.Round
 			}
+			a.mu.Lock()
+			a.livePhone = m.Phone
+			if m.Round > 0 {
+				a.liveRound = m.Round
+			}
+			a.mu.Unlock()
 			if first {
 				a.events <- Event{Kind: EventWelcome, Phone: m.Phone, Slot: m.Slot, Departure: m.Departure, Round: m.Round}
 			}
@@ -377,6 +436,9 @@ func (a *Agent) readConn(conn net.Conn) error {
 		case protocol.TypeAssign:
 			first := !a.assigned
 			a.assigned = true
+			a.mu.Lock()
+			a.liveTask = m.Task
+			a.mu.Unlock()
 			if first {
 				a.events <- Event{Kind: EventAssign, Phone: m.Phone, Task: m.Task, Slot: m.Slot}
 			}
@@ -392,12 +454,26 @@ func (a *Agent) readConn(conn net.Conn) error {
 			if first {
 				a.events <- Event{Kind: EventEnd, Welfare: m.Welfare, Payments: m.Payments, Round: m.Round}
 			}
+		case protocol.TypeClawback:
+			// This phone was defaulted: its payment (possibly zero) is
+			// revoked and its assignment is gone.
+			first := !a.clawed
+			a.clawed = true
+			a.mu.Lock()
+			a.liveTask = core.NoTask
+			a.mu.Unlock()
+			if first {
+				a.events <- Event{Kind: EventClawback, Phone: m.Phone, Amount: m.Amount, Slot: m.Slot}
+			}
 		case protocol.TypeRound:
 			// A fresh round: phone IDs restarted, the dedup ledger resets,
 			// and the agent may bid again.
 			a.phone = core.NoPhone
-			a.welcomed, a.assigned, a.paid, a.ended = false, false, false, false
+			a.welcomed, a.assigned, a.paid, a.ended, a.clawed = false, false, false, false, false
 			a.round = m.Round
+			a.mu.Lock()
+			a.livePhone, a.liveTask, a.liveRound = core.NoPhone, core.NoTask, m.Round
+			a.mu.Unlock()
 			a.events <- Event{Kind: EventRound, Round: m.Round}
 		case protocol.TypeAck:
 			select {

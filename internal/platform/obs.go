@@ -53,6 +53,15 @@ func newPlatformMetrics(reg *obs.Registry, s *Server) *platformMetrics {
 	bridge("dynacrowd_platform_messages_queued_total", "Outbound messages accepted into session queues.", i64(&c.messagesQueued), false)
 	bridge("dynacrowd_platform_messages_dropped_total", "Outbound messages dropped (dead or overflowing session).", i64(&c.messagesDropped), false)
 	bridge("dynacrowd_platform_slow_consumers_total", "Sessions disconnected for not draining their queue.", i64(&c.slowConsumers), false)
+	bridge("dynacrowd_platform_completions_total", "Task-done reports accepted from winners.", i64(&c.completionsReported), false)
+	bridge("dynacrowd_platform_completions_rejected_total", "Task-done reports refused (wrong phone, task, or round).", i64(&c.completionsRejected), false)
+	bridge("dynacrowd_platform_winners_defaulted_total", "Winners whose completion deadline lapsed.", i64(&c.winnersDefaulted), false)
+	bridge("dynacrowd_platform_tasks_reallocated_total", "Defaulted tasks re-assigned to a replacement phone.", i64(&c.tasksReallocated), false)
+	bridge("dynacrowd_platform_tasks_unreplaced_total", "Defaulted tasks with no eligible replacement.", i64(&c.tasksUnreplaced), false)
+	bridge("dynacrowd_platform_clawbacks_total", "Payment revocation notices issued to defaulted winners.", i64(&c.clawbacksIssued), false)
+	reg.CounterFunc("dynacrowd_platform_clawback_amount_total",
+		"Cumulative payment amounts revoked from defaulted winners.",
+		c.clawbackTotal.Value)
 	reg.CounterFunc("dynacrowd_platform_paid_total",
 		"Cumulative payments issued, across rounds (matches Outcome.TotalPayment per completed round).",
 		c.totalPaid.Value)

@@ -16,6 +16,7 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -60,7 +61,21 @@ type Config struct {
 	// core.CascadePayments, which prices from the auction's retained
 	// incremental state without re-simulating the round. All engines
 	// produce identical payments, so this is a performance knob only.
+	// Ignored when CompletionDeadline is set: defaults rewrite the winner
+	// set mid-round, and only the cascade engine prices from the
+	// auction's live state, so completion rounds force cascade.
 	PaymentEngine core.PaymentEngine
+	// CompletionDeadline enables the unreliable-winner lifecycle (see
+	// docs/PLATFORM.md): every winner must report its task done, via a
+	// complete message, within this many slots of being assigned. A
+	// winner that does not is defaulted — its task is re-allocated in
+	// place to the next-cheapest eligible phone, and any payment already
+	// issued to it is revoked with a clawback message. A round whose
+	// final slot leaves unresolved assignments drains: Tick keeps running
+	// (announcing no tasks) until every assignment is completed or
+	// defaulted, and only then does the round close. Zero (the default)
+	// disables tracking; the disabled path is allocation-free.
+	CompletionDeadline core.Slot
 	// Obs enables observability: the platform and its auction register
 	// metrics in Obs.Registry and emit structured auction events to
 	// Obs.Tracer (see docs/OBSERVABILITY.md for the catalog). The
@@ -96,6 +111,8 @@ func (c Config) outboundQueue() int {
 	return c.OutboundQueue
 }
 
+func (c Config) completionsEnabled() bool { return c.CompletionDeadline > 0 }
+
 // newAuction creates the configured auction engine for one round.
 func (c Config) newAuction() (core.Auction, error) {
 	if c.Shards > 1 {
@@ -121,6 +138,13 @@ type Server struct {
 	pending  []pendingBid              // bids awaiting the next tick
 	closed   bool
 
+	// outstanding tracks each unresolved assignment's completion
+	// deadline (empty unless Config.CompletionDeadline is set). drain
+	// counts the virtual slots ticked past the round's end while
+	// assignments from the final slots await resolution.
+	outstanding map[core.PhoneID]outstandingTask
+	drain       core.Slot
+
 	// counters is the lock-free operational tally behind Stats and the
 	// Prometheus bridge; session goroutines and scrapers touch it
 	// without holding s.mu.
@@ -138,6 +162,15 @@ type pendingBid struct {
 	duration core.Slot
 	cost     float64
 	sess     *session
+}
+
+// outstandingTask is one winner's unresolved assignment: the task it
+// holds and the (possibly virtual, during drain) slot at which the
+// winner defaults unless it reports completion first.
+type outstandingTask struct {
+	task     core.TaskID
+	slot     core.Slot // slot the task was assigned in
+	deadline core.Slot
 }
 
 // Listen starts a platform server on addr ("127.0.0.1:0" for an
@@ -193,7 +226,6 @@ func Resume(addr string, cfg Config, checkpoint []byte) (*Server, error) {
 }
 
 func serveWith(ln net.Listener, cfg Config, auction core.Auction) *Server {
-	auction.SetPaymentEngine(cfg.PaymentEngine)
 	s := &Server{
 		cfg:      cfg,
 		ln:       ln,
@@ -204,6 +236,23 @@ func serveWith(ln net.Listener, cfg Config, auction core.Auction) *Server {
 	}
 	if s.cfg.Logger == nil {
 		s.cfg.Logger = slog.New(discardHandler{})
+	}
+	s.configureAuction(auction)
+	if s.cfg.completionsEnabled() {
+		// A resumed round may carry live assignments; give each a fresh
+		// deadline from the resumed clock (a fresh round has no phones,
+		// so this loop is a no-op there).
+		s.outstanding = make(map[core.PhoneID]outstandingTask)
+		for i := 0; i < auction.Instance().NumPhones(); i++ {
+			id := core.PhoneID(i)
+			if st := auction.Completion(id); st.Status == core.StatusAssigned {
+				s.outstanding[id] = outstandingTask{
+					task:     st.Task,
+					slot:     st.Slot,
+					deadline: auction.Now() + 1 + s.cfg.CompletionDeadline,
+				}
+			}
+		}
 	}
 	s.counters.round.Store(1)
 	s.counters.slot.Store(int64(auction.Now()))
@@ -221,6 +270,24 @@ func serveWith(ln net.Listener, cfg Config, auction core.Auction) *Server {
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
+}
+
+// configureAuction applies the configured engine knobs to a fresh (or
+// resumed) auction. Completion tracking forces the cascade payment
+// engine: a default rewrites the winner set mid-round, and only cascade
+// prices replacements from the auction's live state — the oracle and
+// parallel engines re-derive payments from the bids alone and would
+// price the pre-default winners.
+func (s *Server) configureAuction(auction core.Auction) {
+	engine := s.cfg.PaymentEngine
+	if s.cfg.completionsEnabled() {
+		auction.TrackCompletions(true)
+		if engine != nil {
+			s.cfg.Logger.Warn("completion tracking forces the cascade payment engine; configured engine ignored")
+			engine = nil
+		}
+	}
+	auction.SetPaymentEngine(engine)
 }
 
 // instrumentShards attaches the per-shard observability bundle (pool
@@ -334,6 +401,8 @@ func (s *Server) serve(sess *session) {
 			}
 		case protocol.TypeResume:
 			s.handleResume(m, sess)
+		case protocol.TypeComplete:
+			s.handleComplete(m, sess)
 		default:
 			sess.send(&protocol.Message{
 				Type:  protocol.TypeError,
@@ -434,7 +503,39 @@ func (s *Server) handleResume(m *protocol.Message, sess *session) {
 		Round:     s.round,
 	})
 	out := s.auction.Outcome()
-	if task := out.Allocation.ByPhone[id]; task != core.NoTask {
+	if s.cfg.completionsEnabled() {
+		// Lifecycle-aware replay: the tracker knows what was actually
+		// executed for this phone, which the allocation alone cannot say
+		// once defaults rewrite it.
+		st := s.auction.Completion(id)
+		switch {
+		case st.Status == core.StatusDefaulted:
+			// Defaulted while away: the phone learns its payment (amount 0
+			// if none had been issued) is revoked.
+			sess.send(&protocol.Message{
+				Type: protocol.TypeClawback, Phone: id, Amount: st.Paid, Slot: s.auction.Now(),
+			})
+		case st.Task != core.NoTask:
+			sess.send(&protocol.Message{
+				Type:  protocol.TypeAssign,
+				Phone: id,
+				Task:  st.Task,
+				Slot:  st.Slot,
+			})
+			// An executed payment is final — a winner that disconnected
+			// after completing but before the payment notice still learns
+			// what it is owed. An unissued payment may still move, so it
+			// is not replayed.
+			if st.PaidAt != 0 {
+				sess.send(&protocol.Message{
+					Type:   protocol.TypePayment,
+					Phone:  id,
+					Amount: st.Paid,
+					Slot:   st.PaidAt,
+				})
+			}
+		}
+	} else if task := out.Allocation.ByPhone[id]; task != core.NoTask {
 		sess.send(&protocol.Message{
 			Type:  protocol.TypeAssign,
 			Phone: id,
@@ -453,7 +554,7 @@ func (s *Server) handleResume(m *protocol.Message, sess *session) {
 			})
 		}
 	}
-	if s.auction.Done() {
+	if s.auction.Done() && len(s.outstanding) == 0 {
 		sess.send(&protocol.Message{
 			Type:     protocol.TypeEnd,
 			Welfare:  out.Welfare,
@@ -473,11 +574,20 @@ func (s *Server) Tick(numTasks int) (*core.SlotResult, error) {
 	if s.closed {
 		return nil, ErrClosed
 	}
+	if s.cfg.completionsEnabled() && s.auction.Done() && len(s.outstanding) > 0 {
+		// The round's slots are all played but assignments from its last
+		// slots are still unresolved: drain on a virtual clock until every
+		// winner has completed or defaulted, then close the round.
+		return s.drainTick()
+	}
 	var tickStart time.Time
 	if s.metrics != nil {
 		tickStart = time.Now()
 	}
 	next := s.auction.Now() + 1
+	if s.cfg.completionsEnabled() {
+		s.resolveOverdue(next)
+	}
 
 	batch := s.pending
 	s.pending = nil
@@ -556,6 +666,14 @@ func (s *Server) Tick(numTasks int) (*core.SlotResult, error) {
 		c.totalWelfare.Add(welfare)
 		s.metrics.addRoundWelfare(welfare)
 	}
+	if s.cfg.completionsEnabled() {
+		for _, a := range res.Assignments {
+			s.outstanding[a.Phone] = outstandingTask{
+				task: a.Task, slot: a.Slot,
+				deadline: res.Slot + s.cfg.CompletionDeadline,
+			}
+		}
+	}
 	if res.Unserved > 0 {
 		s.cfg.Logger.Warn("tasks unserved", "slot", int(res.Slot), "count", res.Unserved)
 	}
@@ -581,37 +699,222 @@ func (s *Server) Tick(numTasks int) (*core.SlotResult, error) {
 		}
 	}
 
-	if s.auction.Done() {
-		out := s.auction.Outcome()
-		c.roundsCompleted.Add(1)
-		s.cfg.Logger.Info("round complete",
-			"round", s.round,
-			"welfare", out.Welfare, "totalPaid", out.TotalPayment(),
-			"served", out.Allocation.NumServed(), "tasks", len(out.Allocation.ByTask))
-		s.tracer.Emit(obs.Event{
-			Type: obs.EventRoundClose, Round: s.round, Slot: int(res.Slot),
-			Phone: -1, Task: -1,
-			Welfare: out.Welfare, Amount: out.TotalPayment(),
-		})
-		end := &protocol.Message{
-			Type:     protocol.TypeEnd,
-			Welfare:  out.Welfare,
-			Payments: out.TotalPayment(),
-			Round:    s.round,
-		}
-		for _, sess := range s.phones {
-			sess.send(end)
-		}
-		if s.round < s.cfg.rounds() {
-			if err := s.beginNextRound(); err != nil {
-				return nil, err
-			}
+	if s.auction.Done() && (!s.cfg.completionsEnabled() || len(s.outstanding) == 0) {
+		if err := s.finishRound(res.Slot); err != nil {
+			return nil, err
 		}
 	}
 	if s.metrics != nil {
 		s.metrics.observeTick(time.Since(tickStart))
 	}
 	return res, nil
+}
+
+// finishRound closes the current round: the summary is logged and
+// broadcast, and the next round opens if one is configured. Caller
+// holds s.mu and has verified the auction is done with (when tracking)
+// no outstanding assignments.
+func (s *Server) finishRound(slot core.Slot) error {
+	out := s.auction.Outcome()
+	s.counters.roundsCompleted.Add(1)
+	s.cfg.Logger.Info("round complete",
+		"round", s.round,
+		"welfare", out.Welfare, "totalPaid", out.TotalPayment(),
+		"served", out.Allocation.NumServed(), "tasks", len(out.Allocation.ByTask))
+	s.tracer.Emit(obs.Event{
+		Type: obs.EventRoundClose, Round: s.round, Slot: int(slot),
+		Phone: -1, Task: -1,
+		Welfare: out.Welfare, Amount: out.TotalPayment(),
+	})
+	end := &protocol.Message{
+		Type:     protocol.TypeEnd,
+		Welfare:  out.Welfare,
+		Payments: out.TotalPayment(),
+		Round:    s.round,
+	}
+	for _, sess := range s.phones {
+		sess.send(end)
+	}
+	if s.round < s.cfg.rounds() {
+		return s.beginNextRound()
+	}
+	return nil
+}
+
+// drainTick plays one virtual slot past the round's end: no bids are
+// admitted and no tasks are announced; only completion deadlines
+// advance. Caller holds s.mu. See Config.CompletionDeadline.
+func (s *Server) drainTick() (*core.SlotResult, error) {
+	s.drain++
+	s.resolveOverdue(s.auction.Now() + s.drain)
+	res := &core.SlotResult{Slot: s.auction.Now()}
+	if len(s.outstanding) == 0 {
+		if err := s.finishRound(s.auction.Now()); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// resolveOverdue defaults every winner whose completion deadline is at
+// or past `next`, the slot about to be played (virtual during drain).
+// Each default re-allocates in place: the replacement is notified of
+// its assignment and put under its own deadline, the defaulted winner
+// receives a clawback notice for whatever it had been paid (amount 0 if
+// nothing yet), and a replacement drafted after its own departure is
+// paid immediately. Deterministic: overdue winners resolve in phone-ID
+// order, so identical histories default identically regardless of map
+// iteration. Caller holds s.mu.
+func (s *Server) resolveOverdue(next core.Slot) {
+	var overdue []core.PhoneID
+	for id, o := range s.outstanding {
+		if o.deadline <= next {
+			overdue = append(overdue, id)
+		}
+	}
+	if len(overdue) == 0 {
+		return
+	}
+	sort.Slice(overdue, func(i, j int) bool { return overdue[i] < overdue[j] })
+	c := &s.counters
+	for _, id := range overdue {
+		dr, err := s.auction.Default(id)
+		if err != nil {
+			// Unreachable by construction (outstanding only holds live
+			// assignments); surface it rather than wedge the round.
+			s.cfg.Logger.Error("default failed", "phone", int(id), "err", err.Error())
+			delete(s.outstanding, id)
+			continue
+		}
+		delete(s.outstanding, id)
+		inst := s.auction.Instance()
+		now := int(s.auction.Now())
+		c.winnersDefaulted.Add(1)
+		s.cfg.Logger.Warn("winner defaulted",
+			"phone", int(id), "task", int(dr.Task), "slot", int(dr.Slot), "deadline", int(next))
+		s.tracer.Emit(obs.Event{
+			Type: obs.EventWinnerDefaulted, Round: s.round, Slot: now,
+			Phone: int(id), Task: int(dr.Task), Cost: inst.Bids[id].Cost,
+			Detail: "completion deadline lapsed",
+		})
+		// The defaulted winner nets zero: revoke whatever it was paid.
+		if dr.Clawback > 0 {
+			c.clawbacksIssued.Add(1)
+			c.clawbackTotal.Add(dr.Clawback)
+			s.cfg.Logger.Info("payment clawed back", "phone", int(id), "amount", dr.Clawback)
+			s.tracer.Emit(obs.Event{
+				Type: obs.EventClawback, Round: s.round, Slot: now,
+				Phone: int(id), Task: int(dr.Task), Amount: dr.Clawback,
+			})
+		}
+		if sess := s.phones[id]; sess != nil {
+			sess.send(&protocol.Message{
+				Type: protocol.TypeClawback, Phone: id, Amount: dr.Clawback, Slot: dr.Slot,
+			})
+		}
+		// Keep the cumulative welfare tally aligned with Outcome.Welfare:
+		// the defaulted assignment's surplus comes back out, the
+		// replacement's goes in.
+		dw := -(s.cfg.Value - inst.Bids[id].Cost)
+		if dr.Replacement == core.NoPhone {
+			c.tasksUnreplaced.Add(1)
+			s.cfg.Logger.Warn("task unreplaced", "task", int(dr.Task), "slot", int(dr.Slot))
+		} else {
+			r := dr.Replacement
+			dw += s.cfg.Value - inst.Bids[r].Cost
+			c.tasksReallocated.Add(1)
+			s.outstanding[r] = outstandingTask{
+				task: dr.Task, slot: dr.Slot, deadline: next + s.cfg.CompletionDeadline,
+			}
+			s.cfg.Logger.Info("task re-allocated",
+				"task", int(dr.Task), "slot", int(dr.Slot), "from", int(id), "to", int(r))
+			s.tracer.Emit(obs.Event{
+				Type: obs.EventReallocation, Round: s.round, Slot: now,
+				Phone: int(r), Task: int(dr.Task), Cost: inst.Bids[r].Cost,
+			})
+			if sess := s.phones[r]; sess != nil {
+				sess.send(&protocol.Message{
+					Type: protocol.TypeAssign, Phone: r, Task: dr.Task, Slot: dr.Slot,
+				})
+			}
+		}
+		if dw != 0 {
+			c.totalWelfare.Add(dw)
+			s.metrics.addRoundWelfare(dw)
+		}
+		for _, p := range dr.Payments {
+			c.paymentsIssued.Add(1)
+			c.totalPaid.Add(p.Amount)
+			s.metrics.addRoundPaid(p.Amount)
+			s.cfg.Logger.Info("payment issued", "phone", int(p.Phone), "amount", p.Amount, "slot", now)
+			s.tracer.Emit(obs.Event{
+				Type: obs.EventPayment, Round: s.round, Slot: now,
+				Phone: int(p.Phone), Task: -1, Amount: p.Amount,
+			})
+			if sess := s.phones[p.Phone]; sess != nil {
+				sess.send(&protocol.Message{
+					Type: protocol.TypePayment, Phone: p.Phone, Amount: p.Amount, Slot: s.auction.Now(),
+				})
+			}
+		}
+	}
+}
+
+// handleComplete processes a winner's task-done report. A valid report
+// settles the assignment (its payment, issued at departure, stands); an
+// invalid one is answered with the typed core error without disturbing
+// the round.
+func (s *Server) handleComplete(m *protocol.Message, sess *session) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	reject := func(reason string) {
+		s.counters.completionsRejected.Add(1)
+		sess.send(&protocol.Message{Type: protocol.TypeError, Error: "platform: " + reason})
+	}
+	if s.closed {
+		reject("server closed")
+		return
+	}
+	if !s.cfg.completionsEnabled() {
+		reject(core.ErrNotTracking.Error())
+		return
+	}
+	if m.Round != s.round {
+		reject(fmt.Sprintf("complete for round %d, but round %d is live", m.Round, s.round))
+		return
+	}
+	id := m.Phone
+	if int(id) >= s.auction.Instance().NumPhones() {
+		reject(fmt.Sprintf("complete for unknown phone %d", id))
+		return
+	}
+	if s.phones[id] != sess {
+		reject(fmt.Sprintf("phone %d is not attached to this connection (resume first)", id))
+		return
+	}
+	if st := s.auction.Completion(id); st.Status == core.StatusAssigned && st.Task != m.Task {
+		reject(fmt.Sprintf("phone %d holds task %d, not task %d", id, st.Task, m.Task))
+		return
+	}
+	if err := s.auction.Complete(id); err != nil {
+		// Typed rejection (ErrAlreadyCompleted / ErrNotAssigned): the
+		// agent learns exactly why; the round state is untouched.
+		reject(err.Error())
+		return
+	}
+	delete(s.outstanding, id)
+	s.counters.completionsReported.Add(1)
+	s.cfg.Logger.Info("task completed", "phone", int(id), "task", int(m.Task), "slot", int(s.auction.Now()))
+	s.tracer.Emit(obs.Event{
+		Type: obs.EventTaskCompleted, Round: s.round, Slot: int(s.auction.Now()),
+		Phone: int(id), Task: int(m.Task),
+	})
+	sess.send(&protocol.Message{Type: protocol.TypeAck})
+	if s.auction.Done() && len(s.outstanding) == 0 {
+		if err := s.finishRound(s.auction.Now()); err != nil {
+			s.cfg.Logger.Error("round close failed", "err", err.Error())
+		}
+	}
 }
 
 // beginNextRound rolls the server onto a fresh auction: phone IDs
@@ -624,7 +927,11 @@ func (s *Server) beginNextRound() error {
 	if err != nil {
 		return fmt.Errorf("platform: next round: %w", err)
 	}
-	auction.SetPaymentEngine(s.cfg.PaymentEngine)
+	s.configureAuction(auction)
+	if s.cfg.completionsEnabled() {
+		s.outstanding = make(map[core.PhoneID]outstandingTask)
+		s.drain = 0
+	}
 	if s.cfg.Obs != nil {
 		auction.SetMetrics(s.coreMetrics)
 		auction.TrackDepartures(true)
@@ -648,11 +955,12 @@ func (s *Server) beginNextRound() error {
 }
 
 // Done reports whether every slot of every configured round has been
-// played.
+// played — and, when a completion deadline is set, every assignment of
+// the final round has been completed or defaulted.
 func (s *Server) Done() bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.auction.Done() && s.round >= s.cfg.rounds()
+	return s.auction.Done() && s.round >= s.cfg.rounds() && len(s.outstanding) == 0
 }
 
 // Round returns the current round number (1-based).
@@ -692,9 +1000,16 @@ func (s *Server) RunClock(slotEvery time.Duration, tasksFor func(core.Slot) int)
 			s.mu.Unlock()
 			return nil
 		}
+		draining := s.cfg.completionsEnabled() && s.auction.Done()
 		next := s.auction.Now() + 1
 		s.mu.Unlock()
-		if _, err := s.Tick(tasksFor(next)); err != nil {
+		n := 0
+		if !draining {
+			// During drain no tasks are announced, and tasksFor is not
+			// consulted (its domain is the round's real slots).
+			n = tasksFor(next)
+		}
+		if _, err := s.Tick(n); err != nil {
 			if errors.Is(err, ErrClosed) {
 				return nil
 			}

@@ -1,0 +1,290 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dynacrowd/internal/chaos"
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/workload"
+)
+
+// TestSoakUnreliableWinnersUnderChaos is the robustness soak demanded
+// by the failure model in docs/PLATFORM.md: workload realization faults
+// (phones drawn from the chaos reliability mixture silently skip their
+// completion reports) composed with transport faults (latency, torn
+// frames, mid-stream disconnects) on every connection. Whatever the
+// two-axis fault schedule does, the money must conserve:
+//
+//   - a defaulted winner nets zero: any issued payment is revoked by a
+//     clawback of exactly the issued amount,
+//   - a surviving winner is paid exactly once, at least its bid,
+//   - the platform's books balance: Σ issued − Σ revoked equals the
+//     final outcome's total payment,
+//   - the round still terminates (drain defaults every silent winner),
+//   - and the chaos actually bit: resumes and defaults both happened,
+//     with at least 20% of resolved assignments defaulting.
+//
+// Run it under -race via `make soak`.
+func TestSoakUnreliableWinnersUnderChaos(t *testing.T) {
+	const (
+		slots     = 12
+		numAgents = 30
+		seed      = 4242
+		deadline  = 2
+	)
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln := chaos.Wrap(raw, chaos.Plan{
+		Seed:           seed,
+		LatencyProb:    0.25,
+		MaxLatency:     2 * time.Millisecond,
+		ChunkBytes:     9,
+		TruncateProb:   0.05,
+		DisconnectProb: 0.10,
+		ArmAfterBytes:  256,
+	})
+	s, err := Serve(ln, Config{
+		Slots:              slots,
+		Value:              30,
+		CompletionDeadline: deadline,
+		OutboundQueue:      32,
+		WriteTimeout:       time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// Each agent is drawn into a reliability class of the same chaos
+	// mixture the realization model uses; its class decides, per
+	// assignment, whether it reports the task done or stays silent and
+	// rides into a default.
+	model := workload.ChaosModel()
+	var totalWeight float64
+	for _, c := range model.Classes {
+		totalWeight += c.Weight
+	}
+	classOf := func(rng *workload.RNG) workload.ReliabilityClass {
+		u := rng.Float64() * totalWeight
+		for _, c := range model.Classes {
+			if u < c.Weight {
+				return c
+			}
+			u -= c.Weight
+		}
+		return model.Classes[len(model.Classes)-1]
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	type plan struct {
+		joinAfterTick int
+		duration      core.Slot
+		cost          float64
+		class         workload.ReliabilityClass
+	}
+	plans := make([]plan, numAgents)
+	for i := range plans {
+		wrng := workload.NewRNG(uint64(seed)*1000 + uint64(i))
+		plans[i] = plan{
+			joinAfterTick: rng.Intn(slots - 1),
+			duration:      core.Slot(1 + rng.Intn(4)),
+			cost:          rng.Float64() * 35,
+			class:         classOf(wrng),
+		}
+	}
+
+	type report struct {
+		phone     core.PhoneID
+		assigned  int
+		payments  int
+		paid      float64
+		clawbacks int
+		clawed    float64
+		ended     bool
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		reports = make([]report, numAgents)
+		errsCh  = make(chan error, numAgents)
+	)
+	for i := range reports {
+		reports[i].phone = core.NoPhone
+	}
+	barriers := make([]chan struct{}, slots+1)
+	for i := range barriers {
+		barriers[i] = make(chan struct{})
+	}
+
+	for i, p := range plans {
+		name := fmt.Sprintf("soak-%02d", i)
+		wg.Add(1)
+		go func(i int, p plan, name string) {
+			defer wg.Done()
+			<-barriers[p.joinAfterTick]
+			a, err := DialResilient(s.Addr(), ReconnectPolicy{
+				MaxAttempts: 50,
+				BaseDelay:   2 * time.Millisecond,
+				MaxDelay:    20 * time.Millisecond,
+				Seed:        int64(i),
+			})
+			if err != nil {
+				errsCh <- fmt.Errorf("%s: dial: %w", name, err)
+				return
+			}
+			defer a.Close()
+			if err := a.SubmitBid(name, p.duration, p.cost); err != nil {
+				errsCh <- fmt.Errorf("%s: bid: %w", name, err)
+				return
+			}
+			frng := workload.NewRNG(uint64(seed)*7777 + uint64(i))
+			for ev := range a.Events() {
+				switch ev.Kind {
+				case EventWelcome:
+					mu.Lock()
+					reports[i].phone = ev.Phone
+					mu.Unlock()
+				case EventAssign:
+					mu.Lock()
+					reports[i].assigned++
+					mu.Unlock()
+					// The realization draw: a no-show or vanished phone
+					// stays silent and lets the deadline default it. A
+					// report swallowed by the chaotic transport is the
+					// same outcome via a different fault, so a failed
+					// ReportCompletion is part of the experiment, not an
+					// error.
+					silent := frng.Float64() < p.class.NoShow || frng.Float64() < p.class.Vanish
+					if !silent {
+						_ = a.ReportCompletion()
+					}
+				case EventPayment:
+					mu.Lock()
+					reports[i].payments++
+					reports[i].paid += ev.Amount
+					mu.Unlock()
+				case EventClawback:
+					mu.Lock()
+					reports[i].clawbacks++
+					reports[i].clawed += ev.Amount
+					mu.Unlock()
+				case EventEnd:
+					mu.Lock()
+					reports[i].ended = true
+					mu.Unlock()
+					return
+				case EventError:
+					errsCh <- fmt.Errorf("%s: %w", name, ev.Err)
+					return
+				}
+			}
+			errsCh <- fmt.Errorf("%s: events closed before round end", name)
+		}(i, p, name)
+	}
+
+	close(barriers[0])
+	for tk := 1; tk <= slots; tk++ {
+		time.Sleep(50 * time.Millisecond)
+		if _, err := s.Tick(1 + rng.Intn(3)); err != nil {
+			t.Fatalf("tick %d: %v", tk, err)
+		}
+		if tk < len(barriers) {
+			close(barriers[tk])
+		}
+	}
+	// Drain: virtual ticks lapse the outstanding completion windows;
+	// silent winners default and their replacements get their own
+	// windows, so termination is guaranteed but not instant.
+	for i := 0; !s.Done(); i++ {
+		if i > 20*numAgents {
+			t.Fatalf("round failed to terminate after %d drain ticks: %+v", i, s.Stats())
+		}
+		time.Sleep(25 * time.Millisecond)
+		if _, err := s.Tick(0); err != nil {
+			t.Fatalf("drain tick %d: %v", i, err)
+		}
+	}
+
+	settled := make(chan struct{})
+	go func() { wg.Wait(); close(settled) }()
+	select {
+	case <-settled:
+	case <-time.After(30 * time.Second):
+		t.Fatal("agents did not settle after the round")
+	}
+	close(errsCh)
+	for err := range errsCh {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	out := s.Outcome()
+
+	// Per-agent money invariants, through any number of reconnects.
+	mu.Lock()
+	for i, r := range reports {
+		if !r.ended {
+			t.Fatalf("agent %d never saw the round end", i)
+		}
+		if r.payments > 1 {
+			t.Fatalf("agent %d received %d payments, want at most 1", i, r.payments)
+		}
+		if r.clawbacks > 1 {
+			t.Fatalf("agent %d received %d clawbacks, want at most 1", i, r.clawbacks)
+		}
+		if r.payments > 0 && r.assigned == 0 {
+			t.Fatalf("agent %d paid without an assignment", i)
+		}
+		switch {
+		case r.clawbacks == 1:
+			// Defaulted: whatever was issued was revoked — net zero —
+			// and the final books owe this phone nothing.
+			if math.Abs(r.clawed-r.paid) > 1e-9 {
+				t.Fatalf("agent %d clawed %g != paid %g (default must net zero)", i, r.clawed, r.paid)
+			}
+			if r.phone != core.NoPhone && out.Payments[r.phone] != 0 {
+				t.Fatalf("defaulted agent %d still owed %g in the outcome", i, out.Payments[r.phone])
+			}
+		case r.payments == 1:
+			// Survived: individual rationality held through the chaos.
+			if r.paid+1e-9 < plans[i].cost {
+				t.Fatalf("agent %d paid %g < winning bid %g (IR violated)", i, r.paid, plans[i].cost)
+			}
+		}
+	}
+	mu.Unlock()
+
+	// Books balance: issued minus revoked is exactly the final total.
+	if got := st.TotalPaid - st.ClawbackTotal; math.Abs(got-out.TotalPayment()) > 1e-9 {
+		t.Fatalf("issued %g − revoked %g = %g, but the outcome totals %g",
+			st.TotalPaid, st.ClawbackTotal, st.TotalPaid-st.ClawbackTotal, out.TotalPayment())
+	}
+	if st.TasksReallocated+st.TasksUnreplaced != st.WinnersDefaulted {
+		t.Fatalf("every default must re-allocate or unserve: %+v", st)
+	}
+
+	// The two fault axes must both have bitten, hard enough to mean
+	// something: the ISSUE's floor is a 20% default rate.
+	resolved := st.WinnersDefaulted + st.CompletionsReported
+	if resolved == 0 {
+		t.Fatal("no assignments resolved; the soak tested nothing")
+	}
+	rate := float64(st.WinnersDefaulted) / float64(resolved)
+	if rate < 0.20 {
+		t.Fatalf("default rate %.0f%% below the 20%% floor (%d defaults / %d resolved)", rate*100, st.WinnersDefaulted, resolved)
+	}
+	if st.Resumes == 0 {
+		t.Fatalf("no resumes under chaos seed %d: %+v", seed, st)
+	}
+	t.Logf("soak stats: %d connections, %d resumes, %d completed, %d defaulted (%.0f%% rate), %d reallocated, %d unreplaced, %.2f issued, %.2f clawed back",
+		st.Connections, st.Resumes, st.CompletionsReported, st.WinnersDefaulted, rate*100,
+		st.TasksReallocated, st.TasksUnreplaced, st.TotalPaid, st.ClawbackTotal)
+}

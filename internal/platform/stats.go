@@ -29,6 +29,16 @@ type Stats struct {
 	MessagesQueued  int64 // outbound messages accepted into session queues
 	MessagesDropped int64 // outbound messages dropped (dead or overflowing session)
 	SlowConsumers   int64 // sessions disconnected for not draining their queue
+
+	// Completion-lifecycle tallies (zero unless Config.CompletionDeadline
+	// is set; see docs/PLATFORM.md).
+	CompletionsReported int     // task-done reports accepted
+	CompletionsRejected int     // task-done reports refused (wrong phone/task/round)
+	WinnersDefaulted    int     // winners whose completion deadline lapsed
+	TasksReallocated    int     // defaulted tasks re-assigned to a replacement
+	TasksUnreplaced     int     // defaulted tasks with no eligible replacement
+	ClawbacksIssued     int     // revocation notices sent for already-paid winners
+	ClawbackTotal       float64 // Σ revoked payment amounts
 }
 
 // counters is the server's live tally. Every field is an atomic so a
@@ -54,8 +64,17 @@ type counters struct {
 	messagesQueued  atomic.Int64
 	messagesDropped atomic.Int64
 	slowConsumers   atomic.Int64
-	totalPaid       obs.FloatCounter
-	totalWelfare    obs.FloatCounter
+
+	completionsReported atomic.Int64
+	completionsRejected atomic.Int64
+	winnersDefaulted    atomic.Int64
+	tasksReallocated    atomic.Int64
+	tasksUnreplaced     atomic.Int64
+	clawbacksIssued     atomic.Int64
+
+	totalPaid     obs.FloatCounter
+	totalWelfare  obs.FloatCounter
+	clawbackTotal obs.FloatCounter
 }
 
 // Stats returns the current counters. Lock-free: safe to call at any
@@ -81,5 +100,13 @@ func (s *Server) Stats() Stats {
 		MessagesQueued:  c.messagesQueued.Load(),
 		MessagesDropped: c.messagesDropped.Load(),
 		SlowConsumers:   c.slowConsumers.Load(),
+
+		CompletionsReported: int(c.completionsReported.Load()),
+		CompletionsRejected: int(c.completionsRejected.Load()),
+		WinnersDefaulted:    int(c.winnersDefaulted.Load()),
+		TasksReallocated:    int(c.tasksReallocated.Load()),
+		TasksUnreplaced:     int(c.tasksUnreplaced.Load()),
+		ClawbacksIssued:     int(c.clawbacksIssued.Load()),
+		ClawbackTotal:       c.clawbackTotal.Value(),
 	}
 }

@@ -18,13 +18,22 @@
 //	                       <- round{round} when a multi-round platform opens
 //	                          the next round (agents may bid again)
 //	resume{phone, round}   -> replay of the phone's standing: welcome, its
-//	                          assignment and payment if any, and end if the
-//	                          round is over — so an agent that lost its TCP
-//	                          connection mid-round re-attaches to its
-//	                          admitted bid and still learns its critical-
-//	                          value payment. A resume naming a finished
+//	                          assignment, its payment or clawback if any,
+//	                          and end if the round is over — so an agent
+//	                          that lost its TCP connection mid-round
+//	                          re-attaches to its admitted bid and still
+//	                          learns its critical-value payment (or that it
+//	                          was defaulted). A resume naming a finished
 //	                          round is answered with round{current} instead
 //	                          (the phone-ID namespace restarted; bid again).
+//	complete{phone, task,  -> ack, or error{...} naming the typed core
+//	         round}           rejection (already completed / not assigned)
+//	                          without disturbing the round. Only meaningful
+//	                          when the platform runs a completion deadline;
+//	                          a winner that never completes is defaulted
+//	                          when its deadline lapses:
+//	                       <- clawback{phone, amount, slot} payment revoked
+//	                          (amount 0 if none had been issued)
 //
 // Bids carry a duration (number of slots the phone stays active,
 // starting at the slot in which the platform admits the bid) rather than
@@ -58,6 +67,11 @@ const (
 	TypeRound   = "round"
 	TypeResume  = "resume"
 	TypeError   = "error"
+	// TypeComplete is an agent's report that it performed its assigned
+	// task; TypeClawback is the platform's notice that a defaulted
+	// winner's payment is revoked.
+	TypeComplete = "complete"
+	TypeClawback = "clawback"
 )
 
 // MaxLineBytes bounds a single wire message; longer lines abort the
@@ -126,7 +140,18 @@ func (m *Message) Validate() error {
 			return fmt.Errorf("protocol: resume round %d < 1", m.Round)
 		}
 		return nil
-	case TypeState, TypeAck, TypeWelcome, TypeSlot, TypeAssign, TypePayment, TypeEnd, TypeRound, TypeError:
+	case TypeComplete:
+		if m.Phone < 0 {
+			return fmt.Errorf("protocol: complete phone %d < 0", m.Phone)
+		}
+		if m.Task < 0 {
+			return fmt.Errorf("protocol: complete task %d < 0", m.Task)
+		}
+		if m.Round < 1 {
+			return fmt.Errorf("protocol: complete round %d < 1", m.Round)
+		}
+		return nil
+	case TypeState, TypeAck, TypeWelcome, TypeSlot, TypeAssign, TypePayment, TypeEnd, TypeRound, TypeError, TypeClawback:
 		return nil
 	case "":
 		return fmt.Errorf("protocol: missing message type")

@@ -118,6 +118,26 @@ func (a *Auction) SetTracer(tr *obs.Tracer) { a.tracer = tr }
 // TrackDepartures toggles SlotResult.Departed population.
 func (a *Auction) TrackDepartures(on bool) { a.trackDepartures = on }
 
+// TrackCompletions toggles the assignment lifecycle (see
+// core.OnlineAuction.TrackCompletions; semantics and outcomes are
+// bit-identical to the sequential engine's).
+func (a *Auction) TrackCompletions(on bool) { a.ledger.TrackCompletions(on) }
+
+// Complete marks phone p's assignment as delivered.
+func (a *Auction) Complete(p core.PhoneID) error { return a.ledger.Complete(p) }
+
+// Default marks phone p's assignment as failed, re-allocating its task
+// to the next-cheapest eligible phone (see core.OnlineAuction.Default).
+func (a *Auction) Default(p core.PhoneID) (*core.DefaultResult, error) {
+	return a.ledger.DefaultWinner(p, a.now, a.out)
+}
+
+// Completion returns phone p's lifecycle view.
+func (a *Auction) Completion(p core.PhoneID) core.CompletionState { return a.ledger.Completion(p) }
+
+// CompletionCounts returns aggregate lifecycle outcomes.
+func (a *Auction) CompletionCounts() core.CompletionCounts { return a.ledger.CompletionCounts() }
+
 // Now returns the last processed slot (0 before the first Step).
 func (a *Auction) Now() core.Slot { return a.now }
 
@@ -403,10 +423,12 @@ func (a *Auction) settle(t core.Slot, res *core.SlotResult, par bool) {
 	priceShard := func(s int) {
 		buf := a.notices[s][:0]
 		for _, ph := range a.pools[s].departing(t) {
-			if a.ledger.WonAt(ph) == 0 {
+			if a.ledger.WonAt(ph) == 0 || !a.ledger.Payable(ph) {
 				continue
 			}
-			buf = append(buf, core.PaymentNotice{Phone: ph, Amount: a.pricers[s].Price(ph)})
+			amount := a.pricers[s].Price(ph)
+			a.ledger.NotePaid(ph, amount, t) // distinct phones: race-free
+			buf = append(buf, core.PaymentNotice{Phone: ph, Amount: amount})
 		}
 		a.notices[s] = buf
 	}
@@ -419,10 +441,12 @@ func (a *Auction) settle(t core.Slot, res *core.SlotResult, par bool) {
 		return
 	}
 	for _, ph := range a.dep {
-		if a.ledger.WonAt(ph) == 0 {
+		if a.ledger.WonAt(ph) == 0 || !a.ledger.Payable(ph) {
 			continue
 		}
-		res.Payments = append(res.Payments, core.PaymentNotice{Phone: ph, Amount: a.pricers[0].Price(ph)})
+		amount := a.pricers[0].Price(ph)
+		a.ledger.NotePaid(ph, amount, t)
+		res.Payments = append(res.Payments, core.PaymentNotice{Phone: ph, Amount: amount})
 	}
 }
 

@@ -1,0 +1,225 @@
+package shard
+
+import (
+	"errors"
+	"testing"
+
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/workload"
+)
+
+// sameSlot requires two engines' slot results to agree bit-for-bit on
+// everything the completion pipeline can perturb: assignments, unserved
+// counts, and the full payment list (departure settlements plus any
+// immediate replacement payments appended by a resolver).
+func sameSlot(t *testing.T, label string, want, got *core.SlotResult) {
+	t.Helper()
+	if len(want.Assignments) != len(got.Assignments) {
+		t.Fatalf("%s: %d assignments != %d", label, len(got.Assignments), len(want.Assignments))
+	}
+	for i := range want.Assignments {
+		if want.Assignments[i] != got.Assignments[i] {
+			t.Fatalf("%s: assignment %d: %+v != %+v", label, i, got.Assignments[i], want.Assignments[i])
+		}
+	}
+	if want.Unserved != got.Unserved {
+		t.Fatalf("%s: unserved %d != %d", label, got.Unserved, want.Unserved)
+	}
+	if !sameNotices(want.Payments, got.Payments) {
+		t.Fatalf("%s: payments %+v != %+v", label, got.Payments, want.Payments)
+	}
+}
+
+// TestShardCompletionParity drives the sequential and sharded engines
+// through identical streams while the same realization script decides,
+// slot by slot, which winners deliver and which default. Every slot
+// result, the final outcome, and the lifecycle tallies must be
+// bit-identical for every shard count.
+func TestShardCompletionParity(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42} {
+		in := genInstance(t, seed)
+		rel, err := workload.ChaosModel().Realize(in, seed+100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		byArrival, tasks := streamPlan(in)
+
+		for _, shards := range []int{1, 2, 4, 8} {
+			sh, err := New(shards, in.Slots, in.Value, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sh.TrackCompletions(true)
+
+			ref, errRef := core.NewOnlineAuction(in.Slots, in.Value, false)
+			if errRef != nil {
+				t.Fatal(errRef)
+			}
+			ref.TrackCompletions(true)
+
+			for s := core.Slot(1); s <= in.Slots; s++ {
+				label := "seed " + itoa(int(seed)) + " shards " + itoa(shards) + " slot " + itoa(int(s))
+				want, err := ref.Step(byArrival[s], tasks[s-1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := sh.Step(byArrival[s], tasks[s-1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Resolve mutates the slot result (appends replacement
+				// payments), so run it on both before comparing.
+				wc, wd, err := rel.Resolve(ref, want)
+				if err != nil {
+					t.Fatal(err)
+				}
+				gc, gd, err := rel.Resolve(sh, got)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if wc != gc || wd != gd {
+					t.Fatalf("%s: resolved (%d completed, %d defaulted) != (%d, %d)", label, gc, gd, wc, wd)
+				}
+				sameSlot(t, label, want, got)
+			}
+			sameOutcome(t, "seed "+itoa(int(seed))+" shards "+itoa(shards), ref.Outcome(), sh.Outcome())
+			if a, b := ref.CompletionCounts(), sh.CompletionCounts(); a != b {
+				t.Fatalf("seed %d shards %d: counts %+v != %+v", seed, shards, b, a)
+			}
+			for i := 0; i < len(in.Bids); i++ {
+				if a, b := ref.Completion(core.PhoneID(i)), sh.Completion(core.PhoneID(i)); a != b {
+					t.Fatalf("seed %d shards %d: phone %d state %+v != %+v", seed, shards, i, b, a)
+				}
+			}
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	neg := n < 0
+	if neg {
+		n = -n
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// FuzzShardCompletionOrder feeds arbitrary completion-event orderings —
+// complete, default, or defer, applied in fuzzer-chosen order across
+// the round — to the sequential and sharded engines simultaneously.
+// Both must accept and reject the exact same operations and end in
+// bit-identical states.
+func FuzzShardCompletionOrder(f *testing.F) {
+	f.Add(uint64(1), []byte{0, 1, 2, 0, 1})
+	f.Add(uint64(7), []byte{2, 2, 2, 1, 1, 1, 0, 0})
+	f.Add(uint64(42), []byte{1, 0, 2, 5, 9, 13, 77})
+	f.Fuzz(func(t *testing.T, seed uint64, script []byte) {
+		in := genInstance(t, seed%16+1)
+		byArrival, tasks := streamPlan(in)
+
+		ref, err := core.NewOnlineAuction(in.Slots, in.Value, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.TrackCompletions(true)
+		sh, err := New(int(seed%7)+2, in.Slots, in.Value, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh.TrackCompletions(true)
+
+		next := 0
+		op := func() byte {
+			if len(script) == 0 {
+				return 0
+			}
+			b := script[next%len(script)]
+			next++
+			return b
+		}
+		// pending holds phones assigned but not yet resolved; the script
+		// may come back to them slots later, exercising out-of-order and
+		// cross-slot completion events.
+		var pending []core.PhoneID
+
+		apply := func(p core.PhoneID, b byte) {
+			switch b % 3 {
+			case 0: // complete on both; identical verdicts required
+				e1 := ref.Complete(p)
+				e2 := sh.Complete(p)
+				if (e1 == nil) != (e2 == nil) || (e1 != nil && !errors.Is(e2, cause(e1))) {
+					t.Fatalf("Complete(%d): sequential %v, sharded %v", p, e1, e2)
+				}
+			case 1: // default on both; replacement chains must agree
+				d1, e1 := ref.Default(p)
+				d2, e2 := sh.Default(p)
+				if (e1 == nil) != (e2 == nil) || (e1 != nil && !errors.Is(e2, cause(e1))) {
+					t.Fatalf("Default(%d): sequential %v, sharded %v", p, e1, e2)
+				}
+				if e1 == nil {
+					if d1.Replacement != d2.Replacement || d1.Clawback != d2.Clawback || d1.Task != d2.Task {
+						t.Fatalf("Default(%d): %+v != %+v", p, d2, d1)
+					}
+					if !sameNotices(d1.Payments, d2.Payments) {
+						t.Fatalf("Default(%d) payments: %+v != %+v", p, d2.Payments, d1.Payments)
+					}
+					if d1.Replacement != core.NoPhone {
+						pending = append(pending, d1.Replacement)
+					}
+				}
+			default: // defer: leave the assignment open for a later byte
+				pending = append(pending, p)
+			}
+		}
+
+		for s := core.Slot(1); s <= in.Slots; s++ {
+			want, err := ref.Step(byArrival[s], tasks[s-1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := sh.Step(byArrival[s], tasks[s-1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSlot(t, "fuzz slot", want, got)
+			for _, as := range want.Assignments {
+				apply(as.Phone, op())
+			}
+			// Revisit one deferred phone per slot in fuzzer order.
+			if len(pending) > 0 {
+				idx := int(op()) % len(pending)
+				p := pending[idx]
+				pending = append(pending[:idx], pending[idx+1:]...)
+				apply(p, op())
+			}
+		}
+		sameOutcome(t, "fuzz outcome", ref.Outcome(), sh.Outcome())
+		if a, b := ref.CompletionCounts(), sh.CompletionCounts(); a != b {
+			t.Fatalf("fuzz counts: %+v != %+v", b, a)
+		}
+	})
+}
+
+// cause maps a lifecycle error to its typed sentinel so cross-engine
+// verdicts can be compared with errors.Is.
+func cause(err error) error {
+	for _, sentinel := range []error{core.ErrAlreadyCompleted, core.ErrNotAssigned, core.ErrNotTracking} {
+		if errors.Is(err, sentinel) {
+			return sentinel
+		}
+	}
+	return err
+}

@@ -121,11 +121,13 @@ func (s *pool) pop() core.PhoneID {
 
 // popEligible pops the shard's cheapest phone still active in slot t,
 // permanently discarding departed entries on the way (lazy deletion: a
-// departed phone can never become eligible again).
+// departed phone can never become eligible again). Unassignable phones
+// — re-allocated by a default while still pooled, or defaulted
+// themselves — are discarded the same way; both states are terminal.
 func (s *pool) popEligible(t core.Slot) core.PhoneID {
 	for len(s.items) > 0 {
 		p := s.pop()
-		if s.ledger.Bid(p).Departure >= t {
+		if s.ledger.Bid(p).Departure >= t && s.ledger.Assignable(p) {
 			return p
 		}
 	}

@@ -24,6 +24,11 @@ type snapshot struct {
 	ByTask         []core.PhoneID `json:"byTask"`
 	WonAt          []core.Slot    `json:"wonAt"`
 	Shards         int            `json:"shards,omitempty"`
+	// Completions mirrors the sequential snapshot's lifecycle field (same
+	// JSON key, so engine portability extends to lifecycle rounds). The
+	// default log replays interleaved with the recorded slots; statuses
+	// and issued payments restore verbatim afterwards.
+	Completions *core.CompletionSnapshot `json:"completions,omitempty"`
 }
 
 const snapshotVersion = 1
@@ -43,6 +48,7 @@ func (a *Auction) Snapshot() ([]byte, error) {
 		ByTask:         a.ledger.ByTask(),
 		WonAt:          a.ledger.WonAtSlots(),
 		Shards:         len(a.pools),
+		Completions:    a.ledger.MarshalCompletions(),
 	}
 	data, err := json.Marshal(snap)
 	if err != nil {
@@ -114,14 +120,33 @@ func Restore(data []byte, shards int) (*Auction, error) {
 		tasksAt[arr]++
 	}
 
+	var defaults []core.CompletionEvent
+	if snap.Completions != nil {
+		a.TrackCompletions(true)
+		defaults = snap.Completions.Log
+	}
 	a.replay = true
+	li := 0
 	for t := core.Slot(1); t <= snap.Now; t++ {
 		if _, err := a.Step(byArrival[t], tasksAt[t]); err != nil {
 			a.replay = false
 			return nil, fmt.Errorf("restore sharded auction: replay slot %d: %w", t, err)
 		}
+		// Defaults mutate the winner set at a specific clock value; apply
+		// each at the clock it originally happened so the re-allocation
+		// scans see the state they saw live.
+		for ; li < len(defaults) && defaults[li].Slot == t; li++ {
+			if _, err := a.Default(defaults[li].Phone); err != nil {
+				a.replay = false
+				return nil, fmt.Errorf("restore sharded auction: replay default %d (phone %d at clock %d): %w",
+					li, defaults[li].Phone, t, err)
+			}
+		}
 	}
 	a.replay = false
+	if li != len(defaults) {
+		return nil, fmt.Errorf("restore sharded auction: default log not in clock order (replayed %d of %d)", li, len(defaults))
+	}
 
 	// The replayed assignment must agree with the stored one; a mismatch
 	// means the snapshot was tampered with or produced by different code.
@@ -133,6 +158,13 @@ func Restore(data []byte, shards int) (*Auction, error) {
 	for i, w := range snap.WonAt {
 		if got := a.ledger.WonAt(core.PhoneID(i)); got != w {
 			return nil, fmt.Errorf("restore sharded auction: phone %d winning slot %d disagrees with replay %d", i, w, got)
+		}
+	}
+	if snap.Completions != nil {
+		// Statuses, issued payments, and counters restore verbatim; the
+		// replay above only rebuilt the allocation-side mutations.
+		if err := a.ledger.RestoreCompletions(snap.Completions); err != nil {
+			return nil, fmt.Errorf("restore sharded auction: %w", err)
 		}
 	}
 	return a, nil

@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"testing"
+
+	"dynacrowd/internal/core"
+)
+
+func TestRealizationModelValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		m    RealizationModel
+	}{
+		{"empty", RealizationModel{}},
+		{"negative weight", RealizationModel{Classes: []ReliabilityClass{{Weight: -1}}}},
+		{"zero total weight", RealizationModel{Classes: []ReliabilityClass{{Weight: 0}}}},
+		{"no-show out of range", RealizationModel{Classes: []ReliabilityClass{{Weight: 1, NoShow: 1.5}}}},
+		{"late without bound", RealizationModel{Classes: []ReliabilityClass{{Weight: 1, LateShow: 0.5}}}},
+		{"vanish out of range", RealizationModel{Classes: []ReliabilityClass{{Weight: 1, Vanish: -0.1}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.m.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted an invalid model", tc.name)
+		}
+	}
+	for _, m := range []RealizationModel{ReliableModel(), TieredModel(), ChaosModel()} {
+		if err := m.Validate(); err != nil {
+			t.Errorf("built-in model invalid: %v", err)
+		}
+	}
+}
+
+func TestRealizationDeterministic(t *testing.T) {
+	in, err := HeavyTrafficQuick().Generate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ChaosModel().Realize(in, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChaosModel().Realize(in, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in.Bids {
+		if a.Class[i] != b.Class[i] || a.Arrive[i] != b.Arrive[i] || a.Depart[i] != b.Depart[i] {
+			t.Fatalf("phone %d: realization differs across identical draws", i)
+		}
+	}
+	c, err := ChaosModel().Realize(in, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range in.Bids {
+		if a.Arrive[i] != c.Arrive[i] || a.Depart[i] != c.Depart[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("distinct seeds produced identical realizations")
+	}
+}
+
+func TestRealizationSemantics(t *testing.T) {
+	in, err := DefaultScenario().Generate(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := ReliableModel().Realize(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range in.Bids {
+		p := core.PhoneID(i)
+		if rel.Arrive[p] != b.Arrival || rel.Depart[p] != b.Departure {
+			t.Fatalf("reliable phone %d realized [%d,%d], declared [%d,%d]",
+				i, rel.Arrive[p], rel.Depart[p], b.Arrival, b.Departure)
+		}
+		if !rel.Present(p, b.Arrival) || !rel.Completes(p, b.Departure) {
+			t.Fatalf("reliable phone %d not present over its window", i)
+		}
+	}
+
+	ghost := RealizationModel{Classes: []ReliabilityClass{{Name: "ghost", Weight: 1, NoShow: 1}}}
+	gr, err := ghost.Realize(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range in.Bids {
+		for t2 := b.Arrival; t2 <= b.Departure; t2++ {
+			if gr.Present(core.PhoneID(i), t2) {
+				t.Fatalf("ghost phone %d present in slot %d", i, t2)
+			}
+		}
+	}
+
+	// Realized presence always stays within the declared window.
+	ch, err := ChaosModel().Realize(in, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range in.Bids {
+		if ch.Arrive[i] > ch.Depart[i] {
+			continue // never present
+		}
+		if ch.Arrive[i] < b.Arrival || ch.Depart[i] > b.Departure {
+			t.Fatalf("phone %d realized [%d,%d] outside declared [%d,%d]",
+				i, ch.Arrive[i], ch.Depart[i], b.Arrival, b.Departure)
+		}
+	}
+}
+
+func TestRealizationClassMix(t *testing.T) {
+	in, err := HeavyTrafficScenario().Generate(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := TieredModel()
+	r, err := model.Realize(in, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(model.Classes))
+	for _, c := range r.Class {
+		counts[c]++
+	}
+	n := float64(len(in.Bids))
+	for ci, c := range model.Classes {
+		got := float64(counts[ci]) / n
+		if got < c.Weight-0.05 || got > c.Weight+0.05 {
+			t.Errorf("class %s: fraction %.3f far from weight %.2f (n=%d)", c.Name, got, c.Weight, len(in.Bids))
+		}
+	}
+}
+
+// TestRealizationResolve drives a whole round through the sequential
+// engine with Resolve and checks the lifecycle tallies are consistent:
+// every assignment resolved, defaulted winners paid zero, completed
+// winners' tasks paid at most once.
+func TestRealizationResolve(t *testing.T) {
+	in, err := HeavyTrafficQuick().Generate(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := ChaosModel().Realize(in, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oa, err := core.NewOnlineAuction(in.Slots, in.Value, in.AllocateAtLoss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oa.TrackCompletions(true)
+	bi, ti := 0, 0
+	var completed, defaulted int
+	for s := core.Slot(1); s <= in.Slots; s++ {
+		var arriving []core.StreamBid
+		for ; bi < len(in.Bids) && in.Bids[bi].Arrival == s; bi++ {
+			arriving = append(arriving, core.StreamBid{Departure: in.Bids[bi].Departure, Cost: in.Bids[bi].Cost})
+		}
+		tasks := 0
+		for ; ti < len(in.Tasks) && in.Tasks[ti].Arrival == s; ti++ {
+			tasks++
+		}
+		res, err := oa.Step(arriving, tasks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, d, err := rel.Resolve(oa, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		completed += c
+		defaulted += d
+	}
+	counts := oa.CompletionCounts()
+	if int(counts.Completed) != completed || int(counts.Defaulted) != defaulted {
+		t.Fatalf("counts %+v disagree with tallies completed=%d defaulted=%d", counts, completed, defaulted)
+	}
+	if counts.Reallocated+counts.Unreplaced != counts.Defaulted {
+		t.Fatalf("defaults %d != reallocated %d + unreplaced %d", counts.Defaulted, counts.Reallocated, counts.Unreplaced)
+	}
+	if counts.Defaulted == 0 {
+		t.Fatal("chaos model produced no defaults; soak would not exercise re-allocation")
+	}
+	out := oa.Outcome()
+	for i := range in.Bids {
+		st := oa.Completion(core.PhoneID(i))
+		if st.Status == core.StatusDefaulted && out.Payments[i] != 0 {
+			t.Fatalf("defaulted phone %d paid %g", i, out.Payments[i])
+		}
+	}
+}
