@@ -4,16 +4,19 @@ GO ?= go
 # to record a pre-change reference into the trajectory file.
 BENCHTIME ?= 1x
 BENCH_SECTION ?= current
-BENCH_OUT ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR7.json
 
-.PHONY: all check vet build test race race-hot soak bench bench-merge staticcheck profile obs-demo clean
+.PHONY: all check vet build test race race-hot soak fuzz-smoke diff-sweep bench bench-merge staticcheck profile obs-demo clean
 
 all: check
 
 # check is the tier-1 gate: everything CI runs, in order. race-hot runs
 # first so races on the mechanism/platform hot paths (pooled scratch,
 # concurrent sessions) fail fast before the full-tree race pass.
-check: vet build test race-hot race
+# diff-sweep re-runs the offline engine differential battery verbosely
+# and fails if the sweep was filtered out or skipped, so the fast
+# offline engine can never silently drift from the Hungarian+VCG oracle.
+check: vet build test race-hot race diff-sweep
 
 vet:
 	$(GO) vet ./...
@@ -32,7 +35,7 @@ race:
 # fan-out/merge, the platform server, and the lock-free observability
 # primitives.
 race-hot:
-	$(GO) test -race -count=1 ./internal/core/... ./internal/shard/... ./internal/platform/... ./internal/obs/...
+	$(GO) test -race -count=1 ./internal/core/... ./internal/shard/... ./internal/platform/... ./internal/obs/... ./internal/matching/...
 
 # soak exercises the unreliable-winner pipeline under the race detector:
 # the chaos soak (realization faults composed with transport faults,
@@ -43,6 +46,24 @@ soak:
 	$(GO) test -race -count=1 -run TestSoakUnreliableWinnersUnderChaos -v ./internal/platform/
 	$(GO) test -race -count=1 -run TestShardCompletionParity ./internal/shard/
 	$(GO) test -race -count=1 -run '^$$' -fuzz FuzzShardCompletionOrder -fuzztime 10s ./internal/shard/
+
+# fuzz-smoke gives the offline-VCG differential fuzzers a short,
+# deterministic budget: FuzzOfflineVCG cross-checks the fast interval
+# engine against the Hungarian+VCG oracle (welfare, payments, IR) and
+# FuzzIntervalSolver pins the augmenting-path matcher to the dense
+# Hungarian optimum on arbitrary interval instances.
+fuzz-smoke:
+	$(GO) test -race -count=1 -run '^$$' -fuzz FuzzOfflineVCG -fuzztime 10s ./internal/core/
+	$(GO) test -race -count=1 -run '^$$' -fuzz FuzzIntervalSolver -fuzztime 5s ./internal/matching/
+
+# diff-sweep proves the oracle-differential battery actually ran: the
+# grep fails the target unless the sweep's PASS line is in the verbose
+# output, so a -run filter, a skip, or a renamed test cannot silently
+# drop the offline engines' equivalence evidence from the gate.
+diff-sweep:
+	$(GO) test -count=1 -run TestOfflineDifferentialSweep -v ./internal/core/ \
+		| tee /tmp/dynacrowd-diff-sweep.out
+	grep -q -- '--- PASS: TestOfflineDifferentialSweep' /tmp/dynacrowd-diff-sweep.out
 
 # staticcheck runs honnef.co/go/tools if it is installed; the tier-1
 # gate stays dependency-free, so a missing binary is a skip, not a

@@ -147,13 +147,65 @@ func BenchmarkPaymentEngines(b *testing.B) {
 	}
 }
 
-// BenchmarkOfflineMechanism measures the full offline run (Hungarian
-// matching + incremental VCG payments).
+// BenchmarkOfflineMechanism measures the full offline run under the
+// default interval engine (augmenting-path matching + deletion-exchange
+// VCG payments; see docs/THEORY.md §6).
 func BenchmarkOfflineMechanism(b *testing.B) {
 	for _, m := range []core.Slot{25, 50, 100} {
 		in := generated(b, m)
 		b.Run(fmt.Sprintf("slots=%d", m), func(b *testing.B) {
 			mech := &core.OfflineMechanism{}
+			for i := 0; i < b.N; i++ {
+				if _, err := mech.Run(in); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkOfflineEngines ablates the offline solver engines on the same
+// instances: the interval fast path against the dense Hungarian oracle
+// and the two generic matchers. All four return the same welfare and
+// (modulo ties) the same payments — see TestOfflineDifferentialSweep —
+// so the spread here is pure engine cost.
+func BenchmarkOfflineEngines(b *testing.B) {
+	for _, m := range []core.Slot{25, 50, 100} {
+		in := generated(b, m)
+		for _, eng := range []core.OfflineEngine{
+			core.IntervalOffline, core.HungarianOffline, core.FlowOffline, core.SSPOffline,
+		} {
+			b.Run(fmt.Sprintf("%s/slots=%d", eng.Name(), m), func(b *testing.B) {
+				mech := &core.OfflineMechanism{Engine: eng}
+				for i := 0; i < b.N; i++ {
+					if _, err := mech.Run(in); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkOfflineSweep pushes the interval engine to the 10⁴–10⁵ phone
+// scale the dense engines cannot reach (the Hungarian oracle is
+// O((n+γ)³): at 10⁴ phones that is ~10¹² steps, so it is deliberately
+// absent here — use BenchmarkOfflineEngines for the head-to-head at
+// feasible sizes). Phones per round = Slots × PhoneRate.
+func BenchmarkOfflineSweep(b *testing.B) {
+	for _, phones := range []int{10_000, 30_000, 100_000} {
+		scn := workload.DefaultScenario()
+		scn.Slots = 500
+		scn.PhoneRate = float64(phones) / float64(scn.Slots)
+		scn.TaskRate = scn.PhoneRate / 2
+		in, err := scn.Generate(1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("phones=%d", phones), func(b *testing.B) {
+			mech := &core.OfflineMechanism{}
+			b.ReportMetric(float64(in.NumPhones()), "phones/op")
+			b.ReportMetric(float64(in.NumTasks()), "tasks/op")
 			for i := 0; i < b.N; i++ {
 				if _, err := mech.Run(in); err != nil {
 					b.Fatal(err)

@@ -28,6 +28,12 @@
 //	                  re-allocated and any issued payment clawed back
 //	                  (default 0: tracking disabled; forces the cascade
 //	                  payment engine when set)
+//	-offline-benchmark e
+//	                  solve each completed round's offline VCG optimum ω*
+//	                  with engine e (interval | hungarian | flow | ssp) and
+//	                  log it beside the realized online welfare — the
+//	                  paper's competitive-ratio check, live (default "":
+//	                  disabled)
 //	-obs-addr a       serve Prometheus metrics, health, trace dumps and
 //	                  pprof on this address (e.g. 127.0.0.1:7390); empty
 //	                  disables observability
@@ -63,9 +69,10 @@ func main() {
 	completionDeadline := flag.Int("completion-deadline", 0, "slots a winner has to report completion before defaulting (0 disables)")
 	obsAddr := flag.String("obs-addr", "", "observability HTTP address (metrics, trace, pprof); empty disables")
 	trace := flag.String("trace", "", "append auction trace events to this JSONL file")
+	offlineBench := flag.String("offline-benchmark", "", "solve each round's offline VCG optimum with this engine: interval | hungarian | flow | ssp (empty disables)")
 	flag.Parse()
 
-	if err := run(*addr, *slots, *value, *taskRate, *slotEvery, *seed, *rounds, *shards, *completionDeadline, *checkpoint, *payments, *obsAddr, *trace); err != nil {
+	if err := run(*addr, *slots, *value, *taskRate, *slotEvery, *seed, *rounds, *shards, *completionDeadline, *checkpoint, *payments, *obsAddr, *trace, *offlineBench); err != nil {
 		fmt.Fprintln(os.Stderr, "crowd-platform:", err)
 		os.Exit(1)
 	}
@@ -102,10 +109,17 @@ func paymentEngine(name string) (core.PaymentEngine, error) {
 	}
 }
 
-func run(addr string, slots int, value, taskRate float64, slotEvery time.Duration, seed uint64, rounds, shards, completionDeadline int, checkpoint, payments, obsAddr, trace string) error {
+func run(addr string, slots int, value, taskRate float64, slotEvery time.Duration, seed uint64, rounds, shards, completionDeadline int, checkpoint, payments, obsAddr, trace, offlineBench string) error {
 	engine, err := paymentEngine(payments)
 	if err != nil {
 		return err
+	}
+	var offlineEngine core.OfflineEngine
+	if offlineBench != "" {
+		offlineEngine, err = core.OfflineEngineByName(offlineBench)
+		if err != nil {
+			return err
+		}
 	}
 	observ, err := buildObs(obsAddr, trace)
 	if err != nil {
@@ -119,6 +133,7 @@ func run(addr string, slots int, value, taskRate float64, slotEvery time.Duratio
 		Logger:             slog.Default(),
 		PaymentEngine:      engine,
 		CompletionDeadline: core.Slot(completionDeadline),
+		OfflineBenchmark:   offlineEngine,
 		Obs:                observ, // server owns it: srv.Close flushes and stops it
 	}
 	if observ != nil && observ.HTTP != nil {
@@ -169,6 +184,14 @@ func run(addr string, slots int, value, taskRate float64, slotEvery time.Duratio
 	if completionDeadline > 0 {
 		log.Printf("completions: %d reported, %d winners defaulted, %d tasks re-allocated, %d unreplaced, %.2f clawed back",
 			st.CompletionsReported, st.WinnersDefaulted, st.TasksReallocated, st.TasksUnreplaced, st.ClawbackTotal)
+	}
+	if offlineEngine != nil && st.OfflineRounds > 0 {
+		ratio := 1.0
+		if st.OfflineOptimum > 0 {
+			ratio = st.TotalWelfare / st.OfflineOptimum
+		}
+		log.Printf("offline benchmark (%s): optimum %.2f over %d round(s), online welfare %.2f, ratio %.3f",
+			offlineEngine.Name(), st.OfflineOptimum, st.OfflineRounds, st.TotalWelfare, ratio)
 	}
 	return nil
 }

@@ -21,6 +21,10 @@
 //	-shards n      run the online mechanism on the sharded engine with n
 //	               bid pools (default 1 = sequential; outcomes are
 //	               bit-identical either way)
+//	-offline-engine e  solver engine for the offline VCG benchmark:
+//	               interval (default, augmenting-path fast path),
+//	               hungarian (dense oracle), flow, or ssp
+//	               (welfare is identical across engines)
 //	-quick         3 seeds and a thinned sweep, for smoke runs
 //	-cpuprofile f  write a CPU profile of the run to f (go tool pprof)
 //	-memprofile f  write an end-of-run heap profile to f
@@ -62,6 +66,7 @@ func run(args []string, out io.Writer) error {
 	check := fs.Bool("check", false, "verify the paper's shape claims")
 	value := fs.Float64("value", 0, "per-task value ν override (0 = scenario default)")
 	shards := fs.Int("shards", 1, "bid-pool shards for the online mechanism (1 = sequential)")
+	offlineEngine := fs.String("offline-engine", "", "offline solver engine: interval | hungarian | flow | ssp (default interval)")
 	quick := fs.Bool("quick", false, "3 seeds and thinned sweeps")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write an end-of-run heap profile to this file")
@@ -116,6 +121,13 @@ func run(args []string, out io.Writer) error {
 	opt := experiments.Options{Seeds: *seeds, BaseSeed: *seed, Scenario: base}
 	if *shards > 1 {
 		opt.Online = &shard.Mechanism{Shards: *shards}
+	}
+	if *offlineEngine != "" {
+		eng, err := core.OfflineEngineByName(*offlineEngine)
+		if err != nil {
+			return err
+		}
+		opt.Offline = &core.OfflineMechanism{Engine: eng}
 	}
 	if *quick {
 		opt.Seeds = 3

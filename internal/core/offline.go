@@ -10,29 +10,42 @@ import (
 // arrivals are known before allocation. Winning-bid determination is an
 // exact maximum weighted bipartite matching (tasks × phones, edge weight
 // ν − b_i when the phone's claimed window covers the task's arrival
-// slot), computed by the Hungarian algorithm in O((n+γ)³). Payments are
-// VCG: a winner is paid its externality,
+// slot). Payments are VCG: a winner is paid its externality,
 //
 //	p_i = ω*(B) + b_i − ω*(B₋ᵢ),
 //
 // and losers are paid zero. The mechanism is truthful in all three bid
 // dimensions (Theorem 1), individually rational (Theorem 2), and
 // welfare-optimal.
+//
+// The algorithm is selected by Engine. The default IntervalOffline
+// engine solves the matching by weight-ordered augmenting paths over
+// the instance's interval structure and derives every payment from one
+// substitute-weight sweep — near-linear, against the oracle engines'
+// cubic solves (see OfflineEngine and docs/THEORY.md §6).
 type OfflineMechanism struct {
-	// Matcher selects the matching backend; nil means the Hungarian
-	// solver. Exposed so ablation benchmarks can swap in the min-cost-flow
-	// solver.
+	// Engine selects the solve/payment backend; nil means the fast
+	// IntervalOffline engine. HungarianOffline is the literal
+	// Hungarian+VCG oracle kept for differential testing.
+	Engine OfflineEngine
+	// Matcher is the legacy backend seam: a non-nil matcher overrides
+	// Engine, computing the allocation with the given function and
+	// pricing each winner by a full re-solve without it. Kept for
+	// ablation benchmarks and tests that inject a specific solver.
 	Matcher func(numLeft, numRight int, w matching.WeightFunc) matching.Result
 }
 
 // Name implements Mechanism.
 func (of *OfflineMechanism) Name() string { return "offline-vcg" }
 
-func (of *OfflineMechanism) matcher() func(int, int, matching.WeightFunc) matching.Result {
+func (of *OfflineMechanism) engine() OfflineEngine {
 	if of.Matcher != nil {
-		return of.Matcher
+		return matcherOfflineEngine{name: "custom", match: of.Matcher}
 	}
-	return matching.MaxWeightMatching
+	if of.Engine != nil {
+		return of.Engine
+	}
+	return IntervalOffline
 }
 
 // weightFunc builds the bipartite edge-weight function for an instance:
@@ -49,54 +62,13 @@ func weightFunc(in *Instance) matching.WeightFunc {
 	}
 }
 
-// Run implements Mechanism. It validates the instance, computes the
-// optimal allocation, and derives VCG payments. With the default
-// Hungarian backend, each winner's ω*(B₋ᵢ) is an O((n+γ)²) post-optimal
-// dual query on the solved matching rather than a fresh O((n+γ)³) solve;
-// with a custom Matcher it falls back to one reduced matching per winner.
+// Run implements Mechanism. It validates the instance and delegates to
+// the selected engine for the optimal allocation and VCG payments.
 func (of *OfflineMechanism) Run(in *Instance) (*Outcome, error) {
 	if err := in.Validate(); err != nil {
 		return nil, fmt.Errorf("offline mechanism: %w", err)
 	}
-
-	if of.Matcher == nil {
-		sv := matching.NewSolver(in.NumTasks(), in.NumPhones(), weightFunc(in))
-		alloc := NewAllocation(in.NumTasks(), in.NumPhones())
-		res := sv.Result()
-		for task, phone := range res.MatchLeft {
-			if phone == matching.Unmatched {
-				continue
-			}
-			alloc.Assign(TaskID(task), PhoneID(phone), in.Tasks[task].Arrival)
-		}
-		out := &Outcome{
-			Allocation: alloc,
-			Payments:   make([]float64, in.NumPhones()),
-			Welfare:    res.Weight,
-		}
-		// VCG: p_i = ω*(B) + b_i − ω*(B₋ᵢ).
-		for _, i := range alloc.Winners() {
-			out.Payments[i] = res.Weight + in.Bids[i].Cost - sv.WeightWithoutRight(int(i))
-		}
-		return out, nil
-	}
-
-	match := of.matcher()
-	alloc, welfare := of.solve(in, match)
-	out := &Outcome{
-		Allocation: alloc,
-		Payments:   make([]float64, in.NumPhones()),
-		Welfare:    welfare,
-	}
-	// VCG payments: for each winner i, re-solve without i. weightFunc
-	// indexes bids positionally, so it applies unchanged to the reduced
-	// instance.
-	for _, i := range alloc.Winners() {
-		reduced := in.WithoutPhone(i)
-		wWithout := match(len(reduced.Tasks), len(reduced.Bids), weightFunc(reduced)).Weight
-		out.Payments[i] = welfare + in.Bids[i].Cost - wWithout
-	}
-	return out, nil
+	return of.engine().run(in)
 }
 
 // Welfare computes only the optimal social welfare of the instance,
@@ -106,18 +78,5 @@ func (of *OfflineMechanism) Welfare(in *Instance) (float64, error) {
 	if err := in.Validate(); err != nil {
 		return 0, fmt.Errorf("offline welfare: %w", err)
 	}
-	_, w := of.solve(in, of.matcher())
-	return w, nil
-}
-
-func (of *OfflineMechanism) solve(in *Instance, match func(int, int, matching.WeightFunc) matching.Result) (*Allocation, float64) {
-	res := match(in.NumTasks(), in.NumPhones(), weightFunc(in))
-	alloc := NewAllocation(in.NumTasks(), in.NumPhones())
-	for task, phone := range res.MatchLeft {
-		if phone == matching.Unmatched {
-			continue
-		}
-		alloc.Assign(TaskID(task), PhoneID(phone), in.Tasks[task].Arrival)
-	}
-	return alloc, res.Weight
+	return of.engine().welfare(in), nil
 }

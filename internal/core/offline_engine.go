@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+
+	"dynacrowd/internal/matching"
+)
+
+// OfflineEngine selects how OfflineMechanism computes the optimal
+// allocation and the VCG payments. Mirroring PaymentEngine, every
+// engine produces the optimal welfare and — up to tie-breaking among
+// equal-weight optima — the same payments; they differ only in cost:
+//
+//   - IntervalOffline exploits the instance's interval structure: tasks
+//     within a slot are interchangeable and edge weights depend only on
+//     the phone, so allocation is a weight-ordered augmenting-path
+//     greedy over slot capacities and every ω*(B₋ᵢ) follows from one
+//     substitute query instead of a re-solve (docs/THEORY.md §6).
+//     Near-linear in practice; the default.
+//   - HungarianOffline is the literal dense O((n+γ)³) Hungarian solve
+//     with O((n+γ)²) post-optimal dual queries per winner — the
+//     differential oracle the fast engine is pinned against.
+//   - FlowOffline and SSPOffline run the generic min-cost-flow and
+//     successive-shortest-path matchers with one full re-solve per
+//     winner — slow, independent cross-checks for the test battery.
+//
+// Engines are stateless and safe for concurrent use.
+type OfflineEngine interface {
+	// Name returns a short identifier ("interval", "hungarian", ...).
+	Name() string
+	// run computes the welfare-optimal allocation and VCG payments for a
+	// validated instance.
+	run(in *Instance) (*Outcome, error)
+	// welfare computes only ω*(B) for a validated instance.
+	welfare(in *Instance) float64
+}
+
+// The package-level engine instances. IntervalOffline is the default
+// used by OfflineMechanism when none is selected.
+var (
+	IntervalOffline  OfflineEngine = intervalOfflineEngine{}
+	HungarianOffline OfflineEngine = hungarianOfflineEngine{}
+	FlowOffline      OfflineEngine = matcherOfflineEngine{name: "flow", match: matching.MaxWeightMatchingFlow}
+	SSPOffline       OfflineEngine = matcherOfflineEngine{name: "ssp", match: matching.MaxWeightMatchingSSP}
+)
+
+// OfflineEngineByName resolves a CLI/config engine name. The empty
+// string selects the default (interval) engine.
+func OfflineEngineByName(name string) (OfflineEngine, error) {
+	switch name {
+	case "", "interval":
+		return IntervalOffline, nil
+	case "hungarian":
+		return HungarianOffline, nil
+	case "flow":
+		return FlowOffline, nil
+	case "ssp":
+		return SSPOffline, nil
+	default:
+		return nil, fmt.Errorf("unknown offline engine %q (want interval, hungarian, flow, or ssp)", name)
+	}
+}
+
+// intervalOfflineEngine is the fast path: it collapses the tasks×phones
+// matching into the interval-capacity problem matching.SolveInterval
+// solves (phones are items with window [arrival, departure] and weight
+// ν − b; slot capacities are the per-slot task counts) and prices every
+// winner from one substitute-weight sweep:
+//
+//	p_i = ω*(B) + b_i − ω*(B₋ᵢ) = ν − w(best substitute)   (ν if none).
+type intervalOfflineEngine struct{}
+
+func (intervalOfflineEngine) Name() string { return "interval" }
+
+func offlineItems(in *Instance) []matching.IntervalItem {
+	items := make([]matching.IntervalItem, len(in.Bids))
+	for i, b := range in.Bids {
+		items[i] = matching.IntervalItem{Lo: int(b.Arrival), Hi: int(b.Departure), Weight: in.Value - b.Cost}
+	}
+	return items
+}
+
+func (intervalOfflineEngine) solve(in *Instance) *matching.IntervalAssignment {
+	m := int(in.Slots)
+	capacity := make([]int, m+1)
+	for _, tk := range in.Tasks {
+		capacity[tk.Arrival]++
+	}
+	return matching.SolveInterval(m, capacity, offlineItems(in))
+}
+
+func (e intervalOfflineEngine) run(in *Instance) (*Outcome, error) {
+	asg := e.solve(in)
+
+	// Tasks are arrival-sorted (Validate), so slot t's tasks occupy the
+	// contiguous index range [start[t], start[t+1]); hand them out to
+	// that slot's winners in phone-id order.
+	m := int(in.Slots)
+	start := make([]int, m+2)
+	for _, tk := range in.Tasks {
+		start[int(tk.Arrival)+1]++
+	}
+	for t := 1; t <= m+1; t++ {
+		start[t] += start[t-1]
+	}
+	alloc := NewAllocation(in.NumTasks(), in.NumPhones())
+	cursor := start
+	for i, t := range asg.SlotOf {
+		if t == matching.Unmatched {
+			continue
+		}
+		task := cursor[t]
+		cursor[t]++
+		alloc.Assign(TaskID(task), PhoneID(i), Slot(t))
+	}
+
+	out := &Outcome{
+		Allocation: alloc,
+		Payments:   make([]float64, in.NumPhones()),
+		Welfare:    asg.Weight,
+	}
+	sub := asg.SubstituteWeights()
+	for i, t := range asg.SlotOf {
+		if t != matching.Unmatched {
+			out.Payments[i] = in.Value - sub[i]
+		}
+	}
+	return out, nil
+}
+
+func (e intervalOfflineEngine) welfare(in *Instance) float64 {
+	return e.solve(in).Weight
+}
+
+// hungarianOfflineEngine is the PR-seed algorithm kept verbatim as the
+// differential oracle: dense Hungarian solve, then each winner's
+// ω*(B₋ᵢ) as a post-optimal dual query on the solved matching.
+type hungarianOfflineEngine struct{}
+
+func (hungarianOfflineEngine) Name() string { return "hungarian" }
+
+func (hungarianOfflineEngine) run(in *Instance) (*Outcome, error) {
+	sv := matching.NewSolver(in.NumTasks(), in.NumPhones(), weightFunc(in))
+	alloc := NewAllocation(in.NumTasks(), in.NumPhones())
+	res := sv.Result()
+	for task, phone := range res.MatchLeft {
+		if phone == matching.Unmatched {
+			continue
+		}
+		alloc.Assign(TaskID(task), PhoneID(phone), in.Tasks[task].Arrival)
+	}
+	out := &Outcome{
+		Allocation: alloc,
+		Payments:   make([]float64, in.NumPhones()),
+		Welfare:    res.Weight,
+	}
+	// VCG: p_i = ω*(B) + b_i − ω*(B₋ᵢ).
+	for _, i := range alloc.Winners() {
+		out.Payments[i] = res.Weight + in.Bids[i].Cost - sv.WeightWithoutRight(int(i))
+	}
+	return out, nil
+}
+
+func (hungarianOfflineEngine) welfare(in *Instance) float64 {
+	return matching.MaxWeightMatching(in.NumTasks(), in.NumPhones(), weightFunc(in)).Weight
+}
+
+// matcherOfflineEngine adapts any generic matcher into an engine: one
+// solve for the allocation and one reduced re-solve per winner for its
+// payment. This is the legacy Matcher seam and the flow/ssp
+// cross-checks.
+type matcherOfflineEngine struct {
+	name  string
+	match func(numLeft, numRight int, w matching.WeightFunc) matching.Result
+}
+
+func (e matcherOfflineEngine) Name() string { return e.name }
+
+func (e matcherOfflineEngine) run(in *Instance) (*Outcome, error) {
+	alloc, welfare := solveWithMatcher(in, e.match)
+	out := &Outcome{
+		Allocation: alloc,
+		Payments:   make([]float64, in.NumPhones()),
+		Welfare:    welfare,
+	}
+	// VCG payments: for each winner i, re-solve without i. weightFunc
+	// indexes bids positionally, so it applies unchanged to the reduced
+	// instance.
+	for _, i := range alloc.Winners() {
+		reduced := in.WithoutPhone(i)
+		wWithout := e.match(len(reduced.Tasks), len(reduced.Bids), weightFunc(reduced)).Weight
+		out.Payments[i] = welfare + in.Bids[i].Cost - wWithout
+	}
+	return out, nil
+}
+
+func (e matcherOfflineEngine) welfare(in *Instance) float64 {
+	return e.match(in.NumTasks(), in.NumPhones(), weightFunc(in)).Weight
+}
+
+func solveWithMatcher(in *Instance, match func(int, int, matching.WeightFunc) matching.Result) (*Allocation, float64) {
+	res := match(in.NumTasks(), in.NumPhones(), weightFunc(in))
+	alloc := NewAllocation(in.NumTasks(), in.NumPhones())
+	for task, phone := range res.MatchLeft {
+		if phone == matching.Unmatched {
+			continue
+		}
+		alloc.Assign(TaskID(task), PhoneID(phone), in.Tasks[task].Arrival)
+	}
+	return alloc, res.Weight
+}

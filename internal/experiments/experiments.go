@@ -33,6 +33,12 @@ type Options struct {
 	// same outcomes as the sequential mechanism for the figures to stay
 	// comparable.
 	Online core.Mechanism
+	// Offline substitutes an alternative implementation for the paper's
+	// offline VCG benchmark (nil: core.OfflineMechanism under its
+	// default interval engine). Used to pin figures to a specific
+	// core.OfflineEngine; all engines produce the same welfare, so this
+	// is a performance/differential knob only.
+	Offline core.Mechanism
 }
 
 func (o Options) withDefaults() Options {
@@ -108,13 +114,17 @@ type Result struct {
 }
 
 // mechanisms returns the two paper mechanisms in figure order,
-// honouring the Online override.
+// honouring the Online and Offline overrides.
 func (o Options) mechanisms() []core.Mechanism {
 	online := o.Online
 	if online == nil {
 		online = &core.OnlineMechanism{}
 	}
-	return []core.Mechanism{online, &core.OfflineMechanism{}}
+	offline := o.Offline
+	if offline == nil {
+		offline = &core.OfflineMechanism{}
+	}
+	return []core.Mechanism{online, offline}
 }
 
 const (

@@ -1,0 +1,269 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomIntervalCase draws one interval-assignment instance. Variants
+// stress different regimes: 0 = mixed uniform, 1 = tie-heavy integer
+// weights, 2 = degenerate single-slot windows, 3 = dense full-range
+// windows with scarce capacity.
+func randomIntervalCase(rng *rand.Rand, variant int) (int, []int, []IntervalItem) {
+	numSlots := 1 + rng.Intn(8)
+	capacity := make([]int, numSlots+1)
+	for t := 1; t <= numSlots; t++ {
+		capacity[t] = rng.Intn(3)
+	}
+	items := make([]IntervalItem, rng.Intn(13))
+	for i := range items {
+		lo := 1 + rng.Intn(numSlots)
+		hi := lo + rng.Intn(numSlots-lo+1)
+		var wt float64
+		switch variant % 4 {
+		case 0:
+			wt = rng.Float64()*12 - 2 // some non-positive
+		case 1:
+			wt = float64(rng.Intn(4)) // heavy ties, zeros included
+		case 2:
+			hi = lo // singleton windows
+			wt = rng.Float64() * 5
+		default:
+			lo, hi = 1, numSlots
+			wt = 1 + rng.Float64()*4
+		}
+		items[i] = IntervalItem{Lo: lo, Hi: hi, Weight: wt}
+	}
+	return numSlots, capacity, items
+}
+
+// expandInterval turns an interval instance into an explicit bipartite
+// graph (items × capacity units) for cross-checking against the generic
+// solvers.
+func expandInterval(numSlots int, capacity []int, items []IntervalItem) (int, int, WeightFunc) {
+	var unitSlot []int
+	for t := 1; t <= numSlots; t++ {
+		for k := 0; k < capacity[t]; k++ {
+			unitSlot = append(unitSlot, t)
+		}
+	}
+	w := func(l, r int) float64 {
+		it := items[l]
+		if !(it.Weight > 0) || unitSlot[r] < it.Lo || unitSlot[r] > it.Hi {
+			return 0
+		}
+		return it.Weight
+	}
+	return len(items), len(unitSlot), w
+}
+
+// checkIntervalFeasible asserts the placement respects windows and
+// capacities and that Weight equals the recomputed sum.
+func checkIntervalFeasible(t *testing.T, numSlots int, capacity []int, items []IntervalItem, a *IntervalAssignment) {
+	t.Helper()
+	used := make([]int, numSlots+1)
+	var total float64
+	for i, slot := range a.SlotOf {
+		if slot == Unmatched {
+			continue
+		}
+		it := items[i]
+		if !(it.Weight > 0) {
+			t.Fatalf("item %d placed with weight %v", i, it.Weight)
+		}
+		if slot < it.Lo || slot > it.Hi || slot < 1 || slot > numSlots {
+			t.Fatalf("item %d placed at %d outside window [%d,%d]", i, slot, it.Lo, it.Hi)
+		}
+		used[slot]++
+		total += it.Weight
+	}
+	for s := 1; s <= numSlots; s++ {
+		if used[s] > capacity[s] {
+			t.Fatalf("slot %d holds %d items, capacity %d", s, used[s], capacity[s])
+		}
+	}
+	if !almostEqual(total, a.Weight) {
+		t.Fatalf("recorded weight %g, placed sum %g", a.Weight, total)
+	}
+}
+
+// TestSolveIntervalMatchesHungarian: the specialized solver and the
+// dense Hungarian solver agree on optimal weight across every variant.
+func TestSolveIntervalMatchesHungarian(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 300; trial++ {
+		numSlots, capacity, items := randomIntervalCase(rng, trial)
+		a := SolveInterval(numSlots, capacity, items)
+		checkIntervalFeasible(t, numSlots, capacity, items, a)
+		nl, nr, w := expandInterval(numSlots, capacity, items)
+		want := MaxWeightMatching(nl, nr, w).Weight
+		if !almostEqual(a.Weight, want) {
+			t.Fatalf("trial %d: interval weight %g, hungarian %g (slots=%d items=%v cap=%v)",
+				trial, a.Weight, want, numSlots, items, capacity)
+		}
+	}
+}
+
+// TestSolveIntervalSubstitutes pins the deletion-exchange payment
+// identity: for every placed item i, the optimum without i equals
+// Weight − w_i + SubstituteWeights()[i], verified against a literal
+// re-solve. The substitute can never outweigh the item it replaces
+// (that is what makes the derived VCG payment individually rational).
+func TestSolveIntervalSubstitutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 200; trial++ {
+		numSlots, capacity, items := randomIntervalCase(rng, trial)
+		a := SolveInterval(numSlots, capacity, items)
+		sub := a.SubstituteWeights()
+		for i, slot := range a.SlotOf {
+			if slot == Unmatched {
+				if sub[i] != 0 {
+					t.Fatalf("trial %d: unplaced item %d has substitute %g", trial, i, sub[i])
+				}
+				continue
+			}
+			if sub[i] > items[i].Weight+1e-9 {
+				t.Fatalf("trial %d: substitute %g outweighs item %d (%g)", trial, sub[i], i, items[i].Weight)
+			}
+			without := make([]IntervalItem, len(items))
+			copy(without, items)
+			without[i].Weight = 0 // weight ≤ 0 ⇒ never placed
+			resolved := SolveInterval(numSlots, capacity, without)
+			want := a.Weight - items[i].Weight + sub[i]
+			if !almostEqual(resolved.Weight, want) {
+				t.Fatalf("trial %d item %d: re-solve without = %g, greedy−w+sub = %g (sub %g, items %v cap %v)",
+					trial, i, resolved.Weight, want, sub[i], items, capacity)
+			}
+		}
+	}
+}
+
+func TestSolveIntervalEdgeCases(t *testing.T) {
+	t.Run("no items", func(t *testing.T) {
+		a := SolveInterval(3, []int{0, 1, 1, 1}, nil)
+		if a.Weight != 0 || len(a.SlotOf) != 0 {
+			t.Fatalf("empty instance: %+v", a)
+		}
+		if s := a.SubstituteWeights(); len(s) != 0 {
+			t.Fatalf("substitutes on empty instance: %v", s)
+		}
+	})
+	t.Run("non-positive and NaN weights", func(t *testing.T) {
+		items := []IntervalItem{
+			{Lo: 1, Hi: 2, Weight: 0},
+			{Lo: 1, Hi: 2, Weight: -3},
+			{Lo: 1, Hi: 2, Weight: math.NaN()},
+			{Lo: 1, Hi: 2, Weight: 4},
+		}
+		a := SolveInterval(2, []int{0, 1, 1}, items)
+		if a.Weight != 4 || a.SlotOf[3] == Unmatched {
+			t.Fatalf("positive item not placed alone: %+v", a)
+		}
+		for i := 0; i < 3; i++ {
+			if a.SlotOf[i] != Unmatched {
+				t.Fatalf("item %d with weight %v placed", i, items[i].Weight)
+			}
+		}
+	})
+	t.Run("window clamped to round", func(t *testing.T) {
+		items := []IntervalItem{{Lo: -5, Hi: 99, Weight: 2}, {Lo: 4, Hi: 3, Weight: 2}}
+		a := SolveInterval(3, []int{0, 1, 0, 0}, items)
+		if a.SlotOf[0] != 1 || a.SlotOf[1] != Unmatched || a.Weight != 2 {
+			t.Fatalf("clamping wrong: %+v", a)
+		}
+	})
+	t.Run("displacement chain", func(t *testing.T) {
+		// Heaviest first takes slot 1; the next two force it to walk:
+		// item 0 [1,3], item 1 [1,1], item 2 [1,2], all capacity 1.
+		items := []IntervalItem{
+			{Lo: 1, Hi: 3, Weight: 5},
+			{Lo: 1, Hi: 1, Weight: 4},
+			{Lo: 1, Hi: 2, Weight: 3},
+		}
+		a := SolveInterval(3, []int{0, 1, 1, 1}, items)
+		if a.Weight != 12 {
+			t.Fatalf("chain weight %g, want 12", a.Weight)
+		}
+		if a.SlotOf[1] != 1 || a.SlotOf[2] != 2 || a.SlotOf[0] != 3 {
+			t.Fatalf("chain placement %v", a.SlotOf)
+		}
+	})
+	t.Run("pivotal item has no substitute", func(t *testing.T) {
+		a := SolveInterval(1, []int{0, 1}, []IntervalItem{{Lo: 1, Hi: 1, Weight: 3}})
+		if sub := a.SubstituteWeights(); sub[0] != 0 {
+			t.Fatalf("uncontested substitute %g, want 0", sub[0])
+		}
+	})
+	t.Run("substitute via displacement", func(t *testing.T) {
+		// Loser 2 [1,1] cannot sit at slot 2 directly, but replacing
+		// winner 1 works because winner 0 at slot 1 can shift to 2.
+		items := []IntervalItem{
+			{Lo: 1, Hi: 2, Weight: 5},
+			{Lo: 1, Hi: 2, Weight: 4},
+			{Lo: 1, Hi: 1, Weight: 2},
+		}
+		a := SolveInterval(2, []int{0, 1, 1}, items)
+		sub := a.SubstituteWeights()
+		for i := 0; i < 2; i++ {
+			if sub[i] != 2 {
+				t.Fatalf("winner %d substitute %g, want 2 (slots %v)", i, sub[i], a.SlotOf)
+			}
+		}
+	})
+}
+
+// FuzzIntervalSolver drives the interval engine against the Hungarian
+// solver and the substitute identity on arbitrary seeds.
+func FuzzIntervalSolver(f *testing.F) {
+	for seed := int64(0); seed < 8; seed++ {
+		f.Add(seed, uint8(seed))
+	}
+	f.Fuzz(func(t *testing.T, seed int64, variant uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		numSlots, capacity, items := randomIntervalCase(rng, int(variant))
+		a := SolveInterval(numSlots, capacity, items)
+		checkIntervalFeasible(t, numSlots, capacity, items, a)
+		nl, nr, w := expandInterval(numSlots, capacity, items)
+		if want := MaxWeightMatching(nl, nr, w).Weight; !almostEqual(a.Weight, want) {
+			t.Fatalf("interval %g vs hungarian %g", a.Weight, want)
+		}
+		sub := a.SubstituteWeights()
+		for i, slot := range a.SlotOf {
+			if slot == Unmatched {
+				continue
+			}
+			without := make([]IntervalItem, len(items))
+			copy(without, items)
+			without[i].Weight = 0
+			if got, want := SolveInterval(numSlots, capacity, without).Weight, a.Weight-items[i].Weight+sub[i]; !almostEqual(got, want) {
+				t.Fatalf("item %d: re-solve %g, identity %g", i, got, want)
+			}
+		}
+	})
+}
+
+func BenchmarkSolveInterval(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	const numSlots = 200
+	capacity := make([]int, numSlots+1)
+	for t := 1; t <= numSlots; t++ {
+		capacity[t] = 3
+	}
+	items := make([]IntervalItem, 2000)
+	for i := range items {
+		lo := 1 + rng.Intn(numSlots)
+		hi := lo + rng.Intn(6)
+		items[i] = IntervalItem{Lo: lo, Hi: hi, Weight: rng.Float64() * 10}
+	}
+	b.Run("solve", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SolveInterval(numSlots, capacity, items)
+		}
+	})
+	b.Run("solve+substitutes", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			SolveInterval(numSlots, capacity, items).SubstituteWeights()
+		}
+	})
+}

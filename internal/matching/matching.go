@@ -75,8 +75,10 @@ func (r Result) Verify(numLeft, numRight int, w WeightFunc) bool {
 			return false
 		}
 		seen[j] = true
+		// !(wt > 0) rather than wt <= 0 so NaN weights (for which every
+		// comparison is false) are rejected, not summed.
 		wt := w(l, j)
-		if wt <= 0 {
+		if !(wt > 0) {
 			return false
 		}
 		total += wt

@@ -114,7 +114,8 @@ func randomMatrix(rng *rand.Rand, l, r int, density float64, lo, hi float64) [][
 	return m
 }
 
-// TestSolversAgreeRandom cross-checks the three solvers on random
+// TestSolversAgreeRandom cross-checks all four solvers — Hungarian,
+// SPFA flow, successive-shortest-path, brute force — on random
 // instances of increasing size (brute force only where tractable).
 func TestSolversAgreeRandom(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
@@ -123,26 +124,31 @@ func TestSolversAgreeRandom(t *testing.T) {
 		r := 1 + rng.Intn(7)
 		m := randomMatrix(rng, l, r, 0.6, -2, 10)
 		w := denseWeights(m)
-		h := MaxWeightMatching(l, r, w)
-		f := MaxWeightMatchingFlow(l, r, w)
 		b := BruteForceMaxWeight(l, r, w)
-		if !almostEqual(h.Weight, b.Weight) {
-			t.Fatalf("trial %d (%dx%d): hungarian %g != brute %g\nmatrix %v", trial, l, r, h.Weight, b.Weight, m)
-		}
-		if !almostEqual(f.Weight, b.Weight) {
-			t.Fatalf("trial %d (%dx%d): flow %g != brute %g\nmatrix %v", trial, l, r, f.Weight, b.Weight, m)
-		}
-		if !h.Verify(l, r, w) {
-			t.Fatalf("trial %d: hungarian produced invalid matching %+v", trial, h)
-		}
-		if !f.Verify(l, r, w) {
-			t.Fatalf("trial %d: flow produced invalid matching %+v", trial, f)
+		for name, solve := range solvers() {
+			res := solve(l, r, w)
+			if !almostEqual(res.Weight, b.Weight) {
+				t.Fatalf("trial %d (%dx%d): %s %g != brute %g\nmatrix %v", trial, l, r, name, res.Weight, b.Weight, m)
+			}
+			if !res.Verify(l, r, w) {
+				t.Fatalf("trial %d: %s produced invalid matching %+v", trial, name, res)
+			}
 		}
 	}
 }
 
-// TestSolversAgreeLarger cross-checks Hungarian vs flow on sizes beyond
-// brute-force reach.
+// solvers returns every generic max-weight matcher in the package, for
+// the agreement sweeps.
+func solvers() map[string]func(int, int, WeightFunc) Result {
+	return map[string]func(int, int, WeightFunc) Result{
+		"hungarian": MaxWeightMatching,
+		"flow":      MaxWeightMatchingFlow,
+		"ssp":       MaxWeightMatchingSSP,
+	}
+}
+
+// TestSolversAgreeLarger cross-checks Hungarian vs flow vs ssp on sizes
+// beyond brute-force reach.
 func TestSolversAgreeLarger(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 25; trial++ {
@@ -151,12 +157,82 @@ func TestSolversAgreeLarger(t *testing.T) {
 		m := randomMatrix(rng, l, r, 0.3, 0, 100)
 		w := denseWeights(m)
 		h := MaxWeightMatching(l, r, w)
-		f := MaxWeightMatchingFlow(l, r, w)
-		if !almostEqual(h.Weight, f.Weight) {
-			t.Fatalf("trial %d (%dx%d): hungarian %g != flow %g", trial, l, r, h.Weight, f.Weight)
-		}
 		if !h.Verify(l, r, w) {
 			t.Fatalf("trial %d: invalid hungarian matching", trial)
+		}
+		for name, solve := range solvers() {
+			res := solve(l, r, w)
+			if !almostEqual(h.Weight, res.Weight) {
+				t.Fatalf("trial %d (%dx%d): hungarian %g != %s %g", trial, l, r, h.Weight, name, res.Weight)
+			}
+			if !res.Verify(l, r, w) {
+				t.Fatalf("trial %d: %s produced invalid matching", trial, name)
+			}
+		}
+	}
+}
+
+// TestSolversIgnoreNaNWeights: a NaN edge weight means "no usable edge"
+// for every solver (NaN > 0 is false), and Verify rejects any matching
+// that claims one. Regression for the offline engines, whose weight
+// functions must never let a poisoned cost select an edge.
+func TestSolversIgnoreNaNWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 60; trial++ {
+		l := 1 + rng.Intn(6)
+		r := 1 + rng.Intn(6)
+		m := randomMatrix(rng, l, r, 0.7, 0, 10)
+		clean := make([][]float64, l)
+		for i := range m {
+			clean[i] = append([]float64(nil), m[i]...)
+			for j := range m[i] {
+				if rng.Float64() < 0.25 {
+					m[i][j] = math.NaN() // poisoned: must behave as absent
+					clean[i][j] = 0
+				}
+			}
+		}
+		want := BruteForceMaxWeight(l, r, denseWeights(clean)).Weight
+		for name, solve := range solvers() {
+			res := solve(l, r, denseWeights(m))
+			if !almostEqual(res.Weight, want) || math.IsNaN(res.Weight) {
+				t.Fatalf("trial %d: %s with NaN edges = %g, want %g", trial, name, res.Weight, want)
+			}
+			if !res.Verify(l, r, denseWeights(m)) {
+				t.Fatalf("trial %d: %s matched a NaN edge: %+v", trial, name, res)
+			}
+		}
+	}
+	// Verify itself must reject a matching asserting a NaN edge.
+	nanW := func(int, int) float64 { return math.NaN() }
+	if (Result{MatchLeft: []int{0}, Weight: 1}).Verify(1, 1, nanW) {
+		t.Fatal("Verify accepted a NaN-weight edge")
+	}
+}
+
+// TestSolversRectangularTasksExceedPhones: regression for the offline
+// reduction with more tasks (left) than phones (right) — and the
+// transpose — where column-padded solvers must leave the surplus side
+// unmatched rather than misindex.
+func TestSolversRectangularTasksExceedPhones(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	shapes := [][2]int{{9, 3}, {3, 9}, {12, 1}, {1, 12}, {7, 2}}
+	for trial, shape := range shapes {
+		l, r := shape[0], shape[1]
+		m := randomMatrix(rng, l, r, 0.8, -1, 10)
+		w := denseWeights(m)
+		want := BruteForceMaxWeight(l, r, w).Weight
+		for name, solve := range solvers() {
+			res := solve(l, r, w)
+			if !almostEqual(res.Weight, want) {
+				t.Fatalf("shape %d (%dx%d): %s %g != brute %g", trial, l, r, name, res.Weight, want)
+			}
+			if !res.Verify(l, r, w) {
+				t.Fatalf("shape %d: %s invalid matching %+v", trial, name, res)
+			}
+			if got := res.Size(); got > l || got > r {
+				t.Fatalf("shape %d: %s matched %d pairs on a %dx%d graph", trial, name, got, l, r)
+			}
 		}
 	}
 }
@@ -340,6 +416,11 @@ func BenchmarkMatchers(b *testing.B) {
 		b.Run("flow/"+itoa(size), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				MaxWeightMatchingFlow(size, size, w)
+			}
+		})
+		b.Run("ssp/"+itoa(size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				MaxWeightMatchingSSP(size, size, w)
 			}
 		})
 	}

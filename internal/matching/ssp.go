@@ -1,0 +1,167 @@
+package matching
+
+import "math"
+
+// MaxWeightMatchingSSP computes a maximum weight bipartite matching by
+// successive shortest augmenting paths over the min-cost-flow reduction
+// (edge cost −w), with Johnson vertex potentials maintained across
+// augmentations so every phase is a Dijkstra over non-negative reduced
+// costs — no Bellman–Ford after the initial potential seeding. It stops
+// as soon as the cheapest augmenting path has non-negative real cost,
+// i.e. when adding another edge can no longer increase total weight.
+//
+// This is a third independent implementation alongside the Hungarian
+// solver and the SPFA flow solver, used by the solver-agreement tests
+// and as a generic backend for the offline mechanism's differential
+// battery. Dense Dijkstra: O(min(L,R)·(L·R)).
+func MaxWeightMatchingSSP(numLeft, numRight int, w WeightFunc) Result {
+	res := Result{MatchLeft: make([]int, numLeft)}
+	for i := range res.MatchLeft {
+		res.MatchLeft[i] = Unmatched
+	}
+	if numLeft == 0 || numRight == 0 {
+		return res
+	}
+
+	// Sparse adjacency over the strictly positive edges (NaN and ≤ 0
+	// weights are absent by the package convention). Initial potentials
+	// piR[r] = −max incident weight make every reduced forward cost
+	// −w + piL − piR = (maxw − w) ≥ 0, replacing the usual Bellman–Ford
+	// seeding pass.
+	adjR := make([][]int32, numLeft)
+	adjW := make([][]float64, numLeft)
+	piL := make([]float64, numLeft)
+	piR := make([]float64, numRight)
+	hasEdge := false
+	for l := 0; l < numLeft; l++ {
+		for r := 0; r < numRight; r++ {
+			if wt := w(l, r); wt > 0 {
+				adjR[l] = append(adjR[l], int32(r))
+				adjW[l] = append(adjW[l], wt)
+				if -wt < piR[r] {
+					piR[r] = -wt
+				}
+				hasEdge = true
+			}
+		}
+	}
+	if !hasEdge {
+		return res
+	}
+
+	matchR := make([]int, numRight)
+	matchW := make([]float64, numRight) // weight of r's matched edge
+	for j := range matchR {
+		matchR[j] = Unmatched
+	}
+
+	distL := make([]float64, numLeft)
+	distR := make([]float64, numRight)
+	doneL := make([]bool, numLeft)
+	doneR := make([]bool, numRight)
+	parentR := make([]int, numRight)  // left vertex whose edge reached r
+	parentW := make([]float64, numRight)
+
+	for {
+		// Multi-source Dijkstra from every unmatched left vertex. An
+		// unmatched left vertex keeps potential 0 forever (its distance
+		// is always 0 and the update below adds min(dist, cap)), so all
+		// sources start at the same real offset.
+		for l := range distL {
+			distL[l] = math.Inf(1)
+			doneL[l] = false
+			if res.MatchLeft[l] == Unmatched {
+				distL[l] = 0
+			}
+		}
+		for r := range distR {
+			distR[r] = math.Inf(1)
+			doneR[r] = false
+			parentR[r] = -1
+		}
+		for {
+			best := math.Inf(1)
+			bl, br := -1, -1
+			for l := 0; l < numLeft; l++ {
+				if !doneL[l] && distL[l] < best {
+					best, bl, br = distL[l], l, -1
+				}
+			}
+			for r := 0; r < numRight; r++ {
+				if !doneR[r] && distR[r] < best {
+					best, bl, br = distR[r], -1, r
+				}
+			}
+			if bl == -1 && br == -1 {
+				break
+			}
+			if br == -1 {
+				doneL[bl] = true
+				for k, r32 := range adjR[bl] {
+					r := int(r32)
+					if doneR[r] || res.MatchLeft[bl] == r {
+						continue
+					}
+					rc := -adjW[bl][k] + piL[bl] - piR[r]
+					if nd := distL[bl] + rc; nd < distR[r] {
+						distR[r] = nd
+						parentR[r] = bl
+						parentW[r] = adjW[bl][k]
+					}
+				}
+			} else {
+				doneR[br] = true
+				if l := matchR[br]; l != Unmatched && !doneL[l] {
+					// Residual (backward) edge along the matched pair.
+					rc := matchW[br] + piR[br] - piL[l]
+					if nd := distR[br] + rc; nd < distL[l] {
+						distL[l] = nd
+					}
+				}
+			}
+		}
+
+		// The cheapest augmentation in real cost: sources have potential
+		// 0, so real(path to r) = distR[r] + piR[r].
+		target := -1
+		bestReal := math.Inf(1)
+		for r := 0; r < numRight; r++ {
+			if matchR[r] != Unmatched || math.IsInf(distR[r], 1) {
+				continue
+			}
+			if real := distR[r] + piR[r]; real < bestReal {
+				bestReal = real
+				target = r
+			}
+		}
+		if target == -1 || bestReal >= 0 {
+			break
+		}
+
+		// Potential update: π[v] += min(dist[v], dist[target]) keeps all
+		// residual reduced costs non-negative and makes the chosen path
+		// tight. math.Min maps unreached (Inf) vertices to the cap.
+		dcap := distR[target]
+		for l := range piL {
+			piL[l] += math.Min(distL[l], dcap)
+		}
+		for r := range piR {
+			piR[r] += math.Min(distR[r], dcap)
+		}
+
+		// Augment: alternate matched edges back to a source.
+		for r := target; ; {
+			l := parentR[r]
+			prev := res.MatchLeft[l]
+			res.MatchLeft[l] = r
+			matchR[r] = l
+			matchW[r] = parentW[r]
+			if prev == Unmatched {
+				break
+			}
+			r = prev
+		}
+		res.Weight += -bestReal
+	}
+	return res
+}

@@ -39,6 +39,12 @@ type Stats struct {
 	TasksUnreplaced     int     // defaulted tasks with no eligible replacement
 	ClawbacksIssued     int     // revocation notices sent for already-paid winners
 	ClawbackTotal       float64 // Σ revoked payment amounts
+
+	// Offline-benchmark tallies (zero unless Config.OfflineBenchmark is
+	// set). OfflineOptimum / TotalWelfare is the realized competitive
+	// ratio across benchmarked rounds (≥ 1/2 by Theorem 6).
+	OfflineRounds  int     // rounds whose offline optimum was solved
+	OfflineOptimum float64 // Σ ω* across benchmarked rounds
 }
 
 // counters is the server's live tally. Every field is an atomic so a
@@ -72,9 +78,12 @@ type counters struct {
 	tasksUnreplaced     atomic.Int64
 	clawbacksIssued     atomic.Int64
 
-	totalPaid     obs.FloatCounter
-	totalWelfare  obs.FloatCounter
-	clawbackTotal obs.FloatCounter
+	offlineRounds atomic.Int64
+
+	totalPaid      obs.FloatCounter
+	totalWelfare   obs.FloatCounter
+	clawbackTotal  obs.FloatCounter
+	offlineOptimum obs.FloatCounter
 }
 
 // Stats returns the current counters. Lock-free: safe to call at any
@@ -108,5 +117,8 @@ func (s *Server) Stats() Stats {
 		TasksUnreplaced:     int(c.tasksUnreplaced.Load()),
 		ClawbacksIssued:     int(c.clawbacksIssued.Load()),
 		ClawbackTotal:       c.clawbackTotal.Value(),
+
+		OfflineRounds:  int(c.offlineRounds.Load()),
+		OfflineOptimum: c.offlineOptimum.Value(),
 	}
 }
