@@ -4,9 +4,9 @@ GO ?= go
 # to record a pre-change reference into the trajectory file.
 BENCHTIME ?= 1x
 BENCH_SECTION ?= current
-BENCH_OUT ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR8.json
 
-.PHONY: all check vet build test race race-hot soak fuzz-smoke diff-sweep bench bench-merge staticcheck profile obs-demo clean
+.PHONY: all check vet build test race race-hot soak fuzz-smoke diff-sweep wire-diff loadtest-smoke loadtest bench bench-merge staticcheck profile obs-demo clean
 
 all: check
 
@@ -16,7 +16,7 @@ all: check
 # diff-sweep re-runs the offline engine differential battery verbosely
 # and fails if the sweep was filtered out or skipped, so the fast
 # offline engine can never silently drift from the Hungarian+VCG oracle.
-check: vet build test race-hot race diff-sweep
+check: vet build test race-hot race diff-sweep wire-diff
 
 vet:
 	$(GO) vet ./...
@@ -55,6 +55,34 @@ soak:
 fuzz-smoke:
 	$(GO) test -race -count=1 -run '^$$' -fuzz FuzzOfflineVCG -fuzztime 10s ./internal/core/
 	$(GO) test -race -count=1 -run '^$$' -fuzz FuzzIntervalSolver -fuzztime 5s ./internal/matching/
+	$(GO) test -race -count=1 -run '^$$' -fuzz FuzzBinaryFrame -fuzztime 10s ./internal/protocol/
+
+# wire-diff proves the binary framing is transport dressing only: the
+# same scripted multi-round auction (completions, defaults, clawbacks)
+# replayed over all-JSON, all-binary, and mixed swarms must produce a
+# bit-identical outcome. The grep fails the target if the differential
+# was filtered out or skipped.
+wire-diff:
+	$(GO) test -count=1 -run TestWireDifferentialSwarm -v ./internal/platform/ \
+		| tee /tmp/dynacrowd-wire-diff.out
+	grep -q -- '--- PASS: TestWireDifferentialSwarm' /tmp/dynacrowd-wire-diff.out
+
+# loadtest-smoke is the fast gate for the load harness (docs/LOADTEST.md):
+# a 5k-agent swarm over in-memory pipes in both wire formats, with a
+# conservative sustained-throughput floor so a fan-out regression that
+# halves delivery rate fails loudly even on a busy CI box.
+loadtest-smoke:
+	$(GO) run ./cmd/crowdsim -load -load-agents 5000 -load-ticks 30 -load-min-msgs 50000 >/dev/null
+
+# loadtest is the full recorded run: the 100k-agent sustained swarm plus
+# a hot-cache 2k-agent run (where throughput is codec-bound rather than
+# scheduler-bound — that is where the binary framing's >=3x shows),
+# both appended to the trajectory file.
+loadtest:
+	$(GO) run ./cmd/crowdsim -load -load-agents 2000 -load-ticks 50 \
+		| $(GO) run ./cmd/benchjson -out $(BENCH_OUT) -section load-2k
+	$(GO) run ./cmd/crowdsim -load -load-agents 100000 -load-ticks 50 \
+		| $(GO) run ./cmd/benchjson -out $(BENCH_OUT) -section load-100k
 
 # diff-sweep proves the oracle-differential battery actually ran: the
 # grep fails the target unless the sweep's PASS line is in the verbose

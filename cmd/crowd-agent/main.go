@@ -19,6 +19,9 @@
 //	                  (default 1; meaningful against a platform running
 //	                  -completion-deadline — an agent that stays silent
 //	                  is defaulted and its payment clawed back)
+//	-wire f           wire framing: json (default) or binary — binary
+//	                  negotiates the compact length-prefixed framing at
+//	                  hello (see docs/PLATFORM.md "Wire formats")
 package main
 
 import (
@@ -31,6 +34,7 @@ import (
 
 	"dynacrowd/internal/core"
 	"dynacrowd/internal/platform"
+	"dynacrowd/internal/protocol"
 	"dynacrowd/internal/workload"
 )
 
@@ -43,20 +47,24 @@ func main() {
 	seed := flag.Uint64("seed", 1, "randomness seed")
 	reconnect := flag.Bool("reconnect", true, "reconnect and resume after connection loss")
 	complete := flag.Float64("complete", 1, "probability of reporting an assigned task done")
+	wire := flag.String("wire", "json", "wire framing: json | binary (negotiated at hello)")
 	flag.Parse()
 
-	if err := run(*addr, *n, *cost, *duration, *joinSpread, *seed, *reconnect, *complete); err != nil {
+	if err := run(*addr, *n, *cost, *duration, *joinSpread, *seed, *reconnect, *complete, *wire); err != nil {
 		fmt.Fprintln(os.Stderr, "crowd-agent:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, n int, cost float64, duration int, joinSpread time.Duration, seed uint64, reconnect bool, complete float64) error {
+func run(addr string, n int, cost float64, duration int, joinSpread time.Duration, seed uint64, reconnect bool, complete float64, wire string) error {
 	if n < 1 {
 		return fmt.Errorf("need at least one agent, got %d", n)
 	}
 	if complete < 0 || complete > 1 {
 		return fmt.Errorf("completion probability %g outside [0,1]", complete)
+	}
+	if wire != protocol.WireJSON && wire != protocol.WireBinary {
+		return fmt.Errorf("wire format %q must be json or binary", wire)
 	}
 	rng := workload.NewRNG(seed)
 	var wg sync.WaitGroup
@@ -74,7 +82,7 @@ func run(addr string, n int, cost float64, duration int, joinSpread time.Duratio
 		go func() {
 			defer wg.Done()
 			time.Sleep(delay)
-			if err := runAgent(addr, name, core.Slot(d), c, reconnect, complete, agentSeed); err != nil {
+			if err := runAgent(addr, name, core.Slot(d), c, reconnect, complete, wire, agentSeed); err != nil {
 				errs <- fmt.Errorf("%s: %w", name, err)
 			}
 		}()
@@ -88,7 +96,7 @@ func run(addr string, n int, cost float64, duration int, joinSpread time.Duratio
 }
 
 // runAgent plays one phone's life: hello, bid, consume events to the end.
-func runAgent(addr, name string, duration core.Slot, cost float64, reconnect bool, complete float64, seed int64) error {
+func runAgent(addr, name string, duration core.Slot, cost float64, reconnect bool, complete float64, wire string, seed int64) error {
 	var a *platform.Agent
 	var err error
 	if reconnect {
@@ -101,12 +109,17 @@ func runAgent(addr, name string, duration core.Slot, cost float64, reconnect boo
 	}
 	defer a.Close()
 
-	st, err := a.Hello()
+	var st platform.RoundState
+	if wire == protocol.WireBinary {
+		st, err = a.UpgradeBinary()
+	} else {
+		st, err = a.Hello()
+	}
 	if err != nil {
 		return err
 	}
-	log.Printf("%s: joined round at slot %d/%d (ν=%g); bidding cost %.2f for %d slots",
-		name, st.Slot, st.Slots, st.Value, cost, duration)
+	log.Printf("%s: joined round at slot %d/%d (ν=%g, wire %s); bidding cost %.2f for %d slots",
+		name, st.Slot, st.Slots, st.Value, wire, cost, duration)
 	if err := a.SubmitBid(name, duration, cost); err != nil {
 		return err
 	}

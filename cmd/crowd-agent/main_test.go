@@ -17,7 +17,7 @@ func TestRunAgentAgainstInProcessPlatform(t *testing.T) {
 	}
 
 	done := make(chan error, 1)
-	go func() { done <- runAgent(srv.Addr(), "cli-test", 2, 4, true, 1, 1) }()
+	go func() { done <- runAgent(srv.Addr(), "cli-test", 2, 4, true, 1, "binary", 1) }()
 
 	// Give the agent time to connect and bid, then play the round out.
 	deadline := time.After(5 * time.Second)
@@ -55,11 +55,14 @@ func TestRunAgentAgainstInProcessPlatform(t *testing.T) {
 
 // TestRunSwarmValidation exercises the fan-out wrapper's error paths.
 func TestRunSwarmValidation(t *testing.T) {
-	if err := run("127.0.0.1:1", 0, 10, 3, time.Second, 1, false, 1); err == nil {
+	if err := run("127.0.0.1:1", 0, 10, 3, time.Second, 1, false, 1, "json"); err == nil {
 		t.Fatal("want error for zero agents")
 	}
+	if err := run("127.0.0.1:1", 1, 10, 3, time.Second, 1, false, 1, "carrier-pigeon"); err == nil {
+		t.Fatal("want error for unknown wire format")
+	}
 	// A dead address must surface a dial error from the agent.
-	if err := run("127.0.0.1:1", 1, 10, 3, time.Millisecond, 1, false, 1); err == nil {
+	if err := run("127.0.0.1:1", 1, 10, 3, time.Millisecond, 1, false, 1, "json"); err == nil {
 		t.Fatal("want dial error")
 	}
 }
@@ -73,7 +76,7 @@ func TestSwarmAgainstInProcessPlatform(t *testing.T) {
 	}
 
 	done := make(chan error, 1)
-	go func() { done <- run(srv.Addr(), 5, 15, 2, 50*time.Millisecond, 7, true, 1) }()
+	go func() { done <- run(srv.Addr(), 5, 15, 2, 50*time.Millisecond, 7, true, 1, "binary") }()
 
 	deadline := time.After(5 * time.Second)
 	for srv.Stats().BidsAccepted < 5 {

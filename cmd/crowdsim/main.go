@@ -31,6 +31,13 @@
 //	-obs-addr a    serve live Prometheus metrics (mechanism latency
 //	               histograms, round counters) and pprof on this address
 //	               while the sweep runs; empty disables
+//	-load          run the platform load harness instead of figures:
+//	               -load-agents in-process virtual agents connect, bid,
+//	               and drain slot fan-out from a real platform.Server
+//	               for -load-ticks slot ticks, in each -load-wire format
+//	               (json | binary | both). Prints benchjson-compatible
+//	               result lines (bids/s, msgs/s, fan-out p50/p99,
+//	               allocs/msg); see docs/LOADTEST.md
 package main
 
 import (
@@ -71,6 +78,14 @@ func run(args []string, out io.Writer) error {
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write an end-of-run heap profile to this file")
 	obsAddr := fs.String("obs-addr", "", "observability HTTP address (metrics, pprof); empty disables")
+	load := fs.Bool("load", false, "run the platform load harness instead of figures (see docs/LOADTEST.md)")
+	loadAgents := fs.Int("load-agents", 5000, "load: concurrent virtual agents")
+	loadTicks := fs.Int("load-ticks", 50, "load: measured slot ticks")
+	loadTasks := fs.Int("load-tasks", 0, "load: tasks announced per measured tick (0 = pure fan-out)")
+	loadQueue := fs.Int("load-queue", 256, "load: per-session outbound queue depth")
+	loadWire := fs.String("load-wire", "both", "load: wire format to drive: json | binary | both")
+	loadTransport := fs.String("load-transport", "mem", "load: transport: mem (net.Pipe, no fds) | tcp (loopback)")
+	loadMinMsgs := fs.Float64("load-min-msgs", 0, "load: fail if sustained msgs/s falls below this floor (0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -112,6 +127,19 @@ func run(args []string, out io.Writer) error {
 				fmt.Fprintln(os.Stderr, "crowdsim: heap profile:", err)
 			}
 		}()
+	}
+
+	if *load {
+		return runLoad(loadOptions{
+			agents:    *loadAgents,
+			ticks:     *loadTicks,
+			tasks:     *loadTasks,
+			queue:     *loadQueue,
+			wire:      *loadWire,
+			transport: *loadTransport,
+			minMsgs:   *loadMinMsgs,
+			seed:      *seed,
+		}, out)
 	}
 
 	base := workload.DefaultScenario()

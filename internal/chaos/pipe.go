@@ -1,0 +1,126 @@
+package chaos
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// MemListener is an in-memory net.Listener whose connections are
+// net.Pipe pairs: no file descriptors, no kernel buffers, fully
+// synchronous (a write blocks until the peer reads). It exists for two
+// jobs this package serves:
+//
+//   - Scale harnesses: a 100k-agent load test cannot open 100k TCP
+//     sockets on an ordinary fd limit, but 100k pipes are just memory.
+//   - Backpressure tests: the synchronous pipe makes "peer stopped
+//     reading" propagate to the writer immediately, with no kernel
+//     buffer to hide behind — the platform's bounded-queue/slow-consumer
+//     machinery is exercised deterministically.
+//
+// Pipe conns support deadlines, so the platform's write-timeout path
+// works over them; compose with WrapConn for fault injection on top.
+type MemListener struct {
+	accept chan net.Conn
+	done   chan struct{}
+	once   sync.Once
+	seq    atomic.Int64
+}
+
+// NewMemListener returns a listening MemListener. The backlog bounds
+// how many dials may be awaiting Accept; further Dial calls block.
+func NewMemListener(backlog int) *MemListener {
+	if backlog < 1 {
+		backlog = 128
+	}
+	return &MemListener{
+		accept: make(chan net.Conn, backlog),
+		done:   make(chan struct{}),
+	}
+}
+
+// Dial creates a new connection to the listener and returns the client
+// half; the server half is delivered to Accept. It fails once the
+// listener is closed.
+func (l *MemListener) Dial() (net.Conn, error) {
+	select {
+	case <-l.done:
+		// Checked up front: the backlog channel may have free capacity
+		// after Close's drain, and the select below would otherwise pick
+		// the send arm nondeterministically.
+		return nil, net.ErrClosed
+	default:
+	}
+	server, client := net.Pipe()
+	id := l.seq.Add(1)
+	sc := &memConn{Conn: server, local: memAddr{"mem-listener"}, remote: memAddr{addrName("mem-client", id)}}
+	cc := &memConn{Conn: client, local: memAddr{addrName("mem-client", id)}, remote: memAddr{"mem-listener"}}
+	select {
+	case l.accept <- sc:
+		return cc, nil
+	case <-l.done:
+		server.Close()
+		client.Close()
+		return nil, net.ErrClosed
+	}
+}
+
+// Accept implements net.Listener.
+func (l *MemListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-l.accept:
+		return c, nil
+	case <-l.done:
+		return nil, net.ErrClosed
+	}
+}
+
+// Close implements net.Listener. Connections already established stay
+// open; dials parked in the backlog are severed.
+func (l *MemListener) Close() error {
+	l.once.Do(func() {
+		close(l.done)
+		for {
+			select {
+			case c := <-l.accept:
+				c.Close()
+			default:
+				return
+			}
+		}
+	})
+	return nil
+}
+
+// Addr implements net.Listener.
+func (l *MemListener) Addr() net.Addr { return memAddr{"mem-listener"} }
+
+// memConn decorates a pipe half with distinguishable addresses so
+// platform logs ("remote", ...) stay meaningful.
+type memConn struct {
+	net.Conn
+	local, remote memAddr
+}
+
+func (c *memConn) LocalAddr() net.Addr  { return c.local }
+func (c *memConn) RemoteAddr() net.Addr { return c.remote }
+
+type memAddr struct{ name string }
+
+func (a memAddr) Network() string { return "mem" }
+func (a memAddr) String() string  { return a.name }
+
+// addrName formats "prefix-N" without fmt (dialed on the connect path
+// of very large swarms, where fmt.Sprintf is measurable).
+func addrName(prefix string, id int64) string {
+	var buf [20]byte
+	i := len(buf)
+	for {
+		i--
+		buf[i] = byte('0' + id%10)
+		if id /= 10; id == 0 {
+			break
+		}
+	}
+	return prefix + "-" + string(buf[i:])
+}

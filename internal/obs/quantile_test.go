@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_test_seconds", "test", []float64{1, 2, 4, 8})
+
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram must yield NaN")
+	}
+
+	// 100 observations uniform in (0, 1]: every quantile lands in the
+	// first bucket, interpolated within [0, 1].
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 100)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("p50 of first bucket = %v, want 0.5", got)
+	}
+
+	// Another 100 in (2, 4]: the distribution is now half ≤1, half in
+	// (2,4]; p75 interpolates at the (2,4] bucket's midpoint.
+	for i := 0; i < 100; i++ {
+		h.Observe(3)
+	}
+	if got := h.Quantile(0.75); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("p75 = %v, want 3", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("p0 = %v, want 0", got)
+	}
+
+	// Observations past the last bound land in the overflow bucket; the
+	// quantile clamps to the last finite bound rather than inventing one.
+	h2 := reg.Histogram("q_test_overflow_seconds", "test", []float64{1, 2})
+	h2.Observe(100)
+	if got := h2.Quantile(0.99); got != 2 {
+		t.Fatalf("overflow p99 = %v, want last bound 2", got)
+	}
+
+	var nilH *Histogram
+	if !math.IsNaN(nilH.Quantile(0.5)) {
+		t.Fatal("nil histogram must yield NaN")
+	}
+}

@@ -166,6 +166,54 @@ func (h *Histogram) Observe(v float64) {
 	h.count.Add(1)
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) of the observed
+// distribution from the bucket counts, interpolating linearly inside
+// the bucket the quantile falls in — the same estimate a Prometheus
+// histogram_quantile() would give. Returns NaN with no observations.
+// The snapshot is not atomic across buckets; under concurrent Observe
+// traffic the estimate is approximate, which is all a bucketed
+// histogram offers anyway.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || h.count.Load() == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	counts := make([]uint64, len(h.counts))
+	var total uint64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i, c := range counts {
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		if i >= len(h.bounds) {
+			// Overflow bucket: no finite upper bound to interpolate toward;
+			// the last finite bound is the best (under)estimate.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		if c == 0 {
+			return hi
+		}
+		return lo + (hi-lo)*(rank-float64(cum))/float64(c)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 {
 	if h == nil {

@@ -72,6 +72,7 @@ type RoundState struct {
 	Slots core.Slot // round length m
 	Value float64   // per-task value ν
 	Round int       // current round number (1-based)
+	Wire  string    // wire format in effect after this reply ("" means JSON)
 }
 
 // ReconnectPolicy configures a resilient agent's automatic reconnect:
@@ -210,7 +211,35 @@ func dial(addr string, policy *ReconnectPolicy) (*Agent, error) {
 
 // Hello queries the round state (current slot, round length, ν).
 func (a *Agent) Hello() (RoundState, error) {
-	if err := a.send(&protocol.Message{Type: protocol.TypeHello}); err != nil {
+	return a.hello("")
+}
+
+// UpgradeBinary negotiates the compact binary wire framing: it sends
+// hello{wire:"binary"} and blocks until the platform's state reply
+// confirms the switch. Call it first on a fresh connection, before any
+// other message — the negotiation contract forbids sending between the
+// hello and the state reply. After it returns, all traffic both ways is
+// binary-framed. A resilient agent that redials starts the new
+// connection back in JSON (resume does not re-negotiate).
+func (a *Agent) UpgradeBinary() (RoundState, error) {
+	st, err := a.hello(protocol.WireBinary)
+	if err != nil {
+		return st, err
+	}
+	if st.Wire != protocol.WireBinary {
+		return st, fmt.Errorf("agent: platform kept wire format %q", st.Wire)
+	}
+	// The read side switched itself when the state reply arrived (see
+	// readConn); switching the writer here, after that reply, keeps the
+	// negotiation ordering.
+	a.mu.Lock()
+	a.w.SetFormat(protocol.FormatBinary)
+	a.mu.Unlock()
+	return st, nil
+}
+
+func (a *Agent) hello(wire string) (RoundState, error) {
+	if err := a.send(&protocol.Message{Type: protocol.TypeHello, Wire: wire}); err != nil {
 		return RoundState{}, err
 	}
 	select {
@@ -411,8 +440,15 @@ func (a *Agent) readConn(conn net.Conn) error {
 			if m.Round > 0 {
 				a.round = m.Round
 			}
+			if m.Wire == protocol.WireBinary {
+				// Negotiated upgrade confirmed: everything after this state
+				// reply arrives binary-framed. The buffered-byte-preserving
+				// reader makes the switch safe even if binary frames are
+				// already sitting behind the reply.
+				r.SetFormat(protocol.FormatBinary)
+			}
 			select {
-			case a.stateful <- RoundState{Slot: m.Slot, Slots: m.Slots, Value: m.Value, Round: m.Round}:
+			case a.stateful <- RoundState{Slot: m.Slot, Slots: m.Slots, Value: m.Value, Round: m.Round, Wire: m.Wire}:
 			default: // unsolicited state replies are dropped
 			}
 		case protocol.TypeWelcome:

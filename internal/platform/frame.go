@@ -1,0 +1,65 @@
+package platform
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dynacrowd/internal/protocol"
+)
+
+// frame is one broadcast message encoded once per wire format and
+// shared by reference across every session it is fanned out to — the
+// heart of batched fan-out: a tick's slot notice costs two encodes
+// total instead of one marshal per session.
+//
+// Lifecycle: newFrame returns a frame holding the broadcaster's
+// reference. The broadcaster retains once per session it enqueues to
+// (sendFrame does this) and releases its own reference when the loop is
+// done; each session's writer releases after the frame hits the wire
+// (or when the session dies with frames still queued). At zero
+// references the frame's buffers go back to the pool, so steady-state
+// broadcasts recycle the same two byte slices forever.
+type frame struct {
+	refs atomic.Int32
+	json []byte
+	bin  []byte
+}
+
+var framePool = sync.Pool{New: func() any { return new(frame) }}
+
+// newFrame encodes m in both wire formats into pooled buffers. Both
+// encodings are built eagerly: frames are pooled, so a sync.Once-style
+// lazy encode would need re-arming, and every realistic broadcast mix
+// has at least one session per format anyway.
+func newFrame(m *protocol.Message) (*frame, error) {
+	f := framePool.Get().(*frame)
+	var err error
+	if f.json, err = protocol.AppendFrame(f.json[:0], m, protocol.FormatJSON); err != nil {
+		framePool.Put(f)
+		return nil, err
+	}
+	if f.bin, err = protocol.AppendFrame(f.bin[:0], m, protocol.FormatBinary); err != nil {
+		framePool.Put(f)
+		return nil, err
+	}
+	f.refs.Store(1)
+	return f, nil
+}
+
+// encoded returns the frame bytes for one wire format. The slice is
+// owned by the frame: valid only while the caller holds a reference.
+func (f *frame) encoded(format protocol.Format) []byte {
+	if format == protocol.FormatBinary {
+		return f.bin
+	}
+	return f.json
+}
+
+func (f *frame) retain() { f.refs.Add(1) }
+
+// release drops one reference, returning the frame to the pool at zero.
+func (f *frame) release() {
+	if f.refs.Add(-1) == 0 {
+		framePool.Put(f)
+	}
+}

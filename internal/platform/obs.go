@@ -11,10 +11,11 @@ import (
 // disabled) makes every method a cheap no-op, keeping the tick path
 // allocation-free.
 type platformMetrics struct {
-	tickSeconds  *obs.Histogram
-	roundWelfare *obs.FloatGauge // welfare accumulated in the current round
-	roundPaid    *obs.FloatGauge // payments issued in the current round
-	queueDepth   func() float64  // retained for tests; registered as a GaugeFunc
+	tickSeconds   *obs.Histogram
+	fanoutSeconds *obs.Histogram  // latency of one batched slot fan-out
+	roundWelfare  *obs.FloatGauge // welfare accumulated in the current round
+	roundPaid     *obs.FloatGauge // payments issued in the current round
+	queueDepth    func() float64  // retained for tests; registered as a GaugeFunc
 }
 
 // newPlatformMetrics registers the platform metric catalog (see
@@ -53,6 +54,14 @@ func newPlatformMetrics(reg *obs.Registry, s *Server) *platformMetrics {
 	bridge("dynacrowd_platform_messages_queued_total", "Outbound messages accepted into session queues.", i64(&c.messagesQueued), false)
 	bridge("dynacrowd_platform_messages_dropped_total", "Outbound messages dropped (dead or overflowing session).", i64(&c.messagesDropped), false)
 	bridge("dynacrowd_platform_slow_consumers_total", "Sessions disconnected for not draining their queue.", i64(&c.slowConsumers), false)
+	reg.GaugeFunc("dynacrowd_platform_sessions", "Agent sessions currently connected, by negotiated wire format.",
+		func() float64 { return float64(c.live.Load() - c.binarySessions.Load()) }, "format", "json")
+	reg.GaugeFunc("dynacrowd_platform_sessions", "Agent sessions currently connected, by negotiated wire format.",
+		i64(&c.binarySessions), "format", "binary")
+	reg.CounterFunc("dynacrowd_platform_messages_sent_total", "Messages written to the wire, by framing.",
+		i64(&c.sentJSON), "format", "json")
+	reg.CounterFunc("dynacrowd_platform_messages_sent_total", "Messages written to the wire, by framing.",
+		i64(&c.sentBinary), "format", "binary")
 	bridge("dynacrowd_platform_completions_total", "Task-done reports accepted from winners.", i64(&c.completionsReported), false)
 	bridge("dynacrowd_platform_completions_rejected_total", "Task-done reports refused (wrong phone, task, or round).", i64(&c.completionsRejected), false)
 	bridge("dynacrowd_platform_winners_defaulted_total", "Winners whose completion deadline lapsed.", i64(&c.winnersDefaulted), false)
@@ -85,6 +94,9 @@ func newPlatformMetrics(reg *obs.Registry, s *Server) *platformMetrics {
 		tickSeconds: reg.Histogram("dynacrowd_platform_tick_seconds",
 			"Latency of one slot tick: bid admission, allocation, notifications, payments.",
 			obs.LatencyBuckets),
+		fanoutSeconds: reg.Histogram("dynacrowd_platform_fanout_seconds",
+			"Latency of one batched slot broadcast: encode once per format, enqueue to every phone.",
+			obs.LatencyBuckets),
 		roundWelfare: reg.FloatGauge("dynacrowd_platform_round_welfare",
 			"Social welfare accumulated in the current round."),
 		roundPaid: reg.FloatGauge("dynacrowd_platform_round_paid",
@@ -97,6 +109,13 @@ func newPlatformMetrics(reg *obs.Registry, s *Server) *platformMetrics {
 func (pm *platformMetrics) observeTick(d time.Duration) {
 	if pm != nil {
 		pm.tickSeconds.Observe(d.Seconds())
+	}
+}
+
+// observeFanout records one batched slot broadcast's latency.
+func (pm *platformMetrics) observeFanout(d time.Duration) {
+	if pm != nil {
+		pm.fanoutSeconds.Observe(d.Seconds())
 	}
 }
 

@@ -376,10 +376,14 @@ func (s *Server) serve(sess *session) {
 		delete(s.sessions, sess)
 		s.mu.Unlock()
 		s.counters.live.Add(-1)
+		if sess.binary.Load() {
+			s.counters.binarySessions.Add(-1)
+		}
 	}()
 	r := protocol.NewReader(sess.conn)
+	var m protocol.Message // reused across receives: steady-state reads allocate nothing
 	for {
-		m, err := r.Receive()
+		err := r.ReceiveInto(&m)
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				s.counters.protocolErrors.Add(1)
@@ -394,23 +398,38 @@ func (s *Server) serve(sess *session) {
 			now := s.auction.Now()
 			round := s.round
 			s.mu.Unlock()
-			sess.send(&protocol.Message{
+			reply := &protocol.Message{
 				Type:  protocol.TypeState,
 				Slot:  now,
 				Slots: s.cfg.Slots,
 				Value: s.cfg.Value,
 				Round: round,
-			})
+			}
+			wire, _ := protocol.FormatByName(m.Wire) // Validate vetted the name
+			if wire == protocol.FormatBinary {
+				// Negotiated upgrade: the state reply (still JSON) echoes the
+				// format and is the last JSON message either way — the writer
+				// flips right after sending it, and this reader flips now,
+				// because the agent sends nothing between hello and state.
+				reply.Wire = protocol.WireBinary
+				if sess.binary.CompareAndSwap(false, true) {
+					s.counters.binarySessions.Add(1)
+				}
+				sess.sendUpgrade(reply)
+				r.SetFormat(protocol.FormatBinary)
+			} else {
+				sess.send(reply)
+			}
 		case protocol.TypeBid:
-			if err := s.enqueueBid(m, sess); err != nil {
+			if err := s.enqueueBid(&m, sess); err != nil {
 				sess.send(&protocol.Message{Type: protocol.TypeError, Error: err.Error()})
 			} else {
 				sess.send(&protocol.Message{Type: protocol.TypeAck})
 			}
 		case protocol.TypeResume:
-			s.handleResume(m, sess)
+			s.handleResume(&m, sess)
 		case protocol.TypeComplete:
-			s.handleComplete(m, sess)
+			s.handleComplete(&m, sess)
 		default:
 			sess.send(&protocol.Message{
 				Type:  protocol.TypeError,
@@ -634,26 +653,51 @@ func (s *Server) Tick(numTasks int) (*core.SlotResult, error) {
 		s.metrics.addRoundPaid(paid)
 	}
 
-	snapshot := s.auction.Instance()
+	// Instance() clones the full bid set — O(phones) — so fetch it
+	// lazily: a steady-state tick (no joins, assignments, or departures)
+	// never pays for it, which also keeps such ticks allocation-free.
+	var cloned *core.Instance
+	snapshot := func() *core.Instance {
+		if cloned == nil {
+			cloned = s.auction.Instance()
+		}
+		return cloned
+	}
 	for k, id := range res.Joined {
 		s.phones[id] = admitted[k].sess
 		s.cfg.Logger.Info("phone admitted",
 			"phone", int(id), "name", admitted[k].name, "slot", int(res.Slot),
-			"departure", int(snapshot.Bids[id].Departure), "cost", snapshot.Bids[id].Cost)
+			"departure", int(snapshot().Bids[id].Departure), "cost", snapshot().Bids[id].Cost)
 		admitted[k].sess.send(&protocol.Message{
 			Type:      protocol.TypeWelcome,
 			Phone:     id,
 			Slot:      res.Slot,
-			Departure: snapshot.Bids[id].Departure,
+			Departure: snapshot().Bids[id].Departure,
 			Round:     s.round,
 		})
 	}
-	for _, sess := range s.phones {
-		sess.send(&protocol.Message{Type: protocol.TypeSlot, Slot: res.Slot})
+	if len(s.phones) > 0 {
+		// Batched fan-out: the slot notice is encoded once per wire format
+		// and the encoded frame is shared by every session (see frame.go) —
+		// the per-tick cost is two encodes plus one channel send per phone,
+		// regardless of population.
+		var fanStart time.Time
+		if s.metrics != nil {
+			fanStart = time.Now()
+		}
+		if f := s.newBroadcast(&protocol.Message{Type: protocol.TypeSlot, Slot: res.Slot}); f != nil {
+			for _, sess := range s.phones {
+				sess.sendFrame(f, protocol.TypeSlot)
+			}
+			f.release()
+		}
+		if s.metrics != nil {
+			s.metrics.observeFanout(time.Since(fanStart))
+		}
 	}
 	var welfare float64
 	for _, a := range res.Assignments {
-		cost := snapshot.Bids[a.Phone].Cost
+		cost := snapshot().Bids[a.Phone].Cost
 		welfare += s.cfg.Value - cost
 		s.cfg.Logger.Info("task assigned", "task", int(a.Task), "phone", int(a.Phone), "slot", int(a.Slot))
 		s.tracer.Emit(obs.Event{
@@ -688,7 +732,7 @@ func (s *Server) Tick(numTasks int) (*core.SlotResult, error) {
 	for _, p := range res.Departed {
 		s.tracer.Emit(obs.Event{
 			Type: obs.EventDeparture, Round: s.round, Slot: int(res.Slot),
-			Phone: int(p), Task: -1, Cost: snapshot.Bids[p].Cost,
+			Phone: int(p), Task: -1, Cost: snapshot().Bids[p].Cost,
 		})
 	}
 	for _, p := range res.Payments {
@@ -741,8 +785,11 @@ func (s *Server) finishRound(slot core.Slot) error {
 		Payments: out.TotalPayment(),
 		Round:    s.round,
 	}
-	for _, sess := range s.phones {
-		sess.send(end)
+	if f := s.newBroadcast(end); f != nil {
+		for _, sess := range s.phones {
+			sess.sendFrame(f, protocol.TypeEnd)
+		}
+		f.release()
 	}
 	if s.round < s.cfg.rounds() {
 		return s.beginNextRound()
@@ -984,10 +1031,26 @@ func (s *Server) beginNextRound() error {
 	}
 	s.cfg.Logger.Info("round opened", "round", s.round, "of", s.cfg.rounds())
 	announce := &protocol.Message{Type: protocol.TypeRound, Round: s.round}
-	for sess := range s.sessions {
-		sess.send(announce)
+	if f := s.newBroadcast(announce); f != nil {
+		for sess := range s.sessions {
+			sess.sendFrame(f, protocol.TypeRound)
+		}
+		f.release()
 	}
 	return nil
+}
+
+// newBroadcast encodes m once per wire format into a pooled shared
+// frame (see frame.go). A nil return means the message failed to encode
+// — impossible for the platform's own well-formed broadcasts, but
+// surfaced rather than panicking.
+func (s *Server) newBroadcast(m *protocol.Message) *frame {
+	f, err := newFrame(m)
+	if err != nil {
+		s.cfg.Logger.Error("broadcast encode failed", "type", m.Type, "err", err.Error())
+		return nil
+	}
+	return f
 }
 
 // Done reports whether every slot of every configured round has been

@@ -30,6 +30,11 @@ type Stats struct {
 	MessagesDropped int64 // outbound messages dropped (dead or overflowing session)
 	SlowConsumers   int64 // sessions disconnected for not draining their queue
 
+	// Wire-format split (see docs/PLATFORM.md "Wire formats").
+	SessionsBinary     int   // live sessions upgraded to the binary framing
+	MessagesSentJSON   int64 // messages written to the wire JSON-framed
+	MessagesSentBinary int64 // messages written to the wire binary-framed
+
 	// Completion-lifecycle tallies (zero unless Config.CompletionDeadline
 	// is set; see docs/PLATFORM.md).
 	CompletionsReported int     // task-done reports accepted
@@ -70,6 +75,9 @@ type counters struct {
 	messagesQueued  atomic.Int64
 	messagesDropped atomic.Int64
 	slowConsumers   atomic.Int64
+	binarySessions  atomic.Int64 // gauge: live binary-upgraded sessions
+	sentJSON        atomic.Int64
+	sentBinary      atomic.Int64
 
 	completionsReported atomic.Int64
 	completionsRejected atomic.Int64
@@ -109,6 +117,10 @@ func (s *Server) Stats() Stats {
 		MessagesQueued:  c.messagesQueued.Load(),
 		MessagesDropped: c.messagesDropped.Load(),
 		SlowConsumers:   c.slowConsumers.Load(),
+
+		SessionsBinary:     int(c.binarySessions.Load()),
+		MessagesSentJSON:   c.sentJSON.Load(),
+		MessagesSentBinary: c.sentBinary.Load(),
 
 		CompletionsReported: int(c.completionsReported.Load()),
 		CompletionsRejected: int(c.completionsRejected.Load()),

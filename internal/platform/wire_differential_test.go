@@ -1,0 +1,294 @@
+package platform
+
+import (
+	"net"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"dynacrowd/internal/chaos"
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/protocol"
+	"dynacrowd/internal/workload"
+)
+
+// TestWireDifferentialSwarm replays one scripted multi-round auction —
+// bids, assignments, completions, defaults with re-allocation, payment
+// clawbacks — under three wire configurations: every agent on JSON,
+// every agent on the binary framing, and a mixed swarm. The framing is
+// transport dressing and nothing else, so the auction outcome and every
+// wire-independent operational tally must be bit-identical across the
+// three runs.
+func TestWireDifferentialSwarm(t *testing.T) {
+	const agents = 10
+	// Seeded script, shared verbatim by all three runs. Agent 0 is
+	// pinned cheap, short-lived, and non-completing so the
+	// default/clawback path is provably exercised: it wins immediately,
+	// departs (and is paid) before its completion deadline, and never
+	// reports — the payment must be clawed back and the task re-offered.
+	rng := workload.NewRNG(42)
+	costs := make([]float64, agents)
+	durations := make([]core.Slot, agents)
+	for i := range costs {
+		costs[i] = rng.Uniform(5, 45)
+		durations[i] = core.Slot(2 + rng.Intn(7))
+	}
+	costs[0], durations[0] = 1, 2
+	schedule := make([]int, 64) // tasks announced per tick, both rounds
+	for i := range schedule {
+		schedule[i] = rng.Intn(3)
+	}
+
+	wires := func(pick func(i int) string) []string {
+		w := make([]string, agents)
+		for i := range w {
+			w[i] = pick(i)
+		}
+		return w
+	}
+	runs := map[string][]string{
+		"json":   wires(func(int) string { return protocol.WireJSON }),
+		"binary": wires(func(int) string { return protocol.WireBinary }),
+		"mixed": wires(func(i int) string {
+			if i%2 == 0 {
+				return protocol.WireBinary
+			}
+			return protocol.WireJSON
+		}),
+	}
+
+	type result struct {
+		outcome *core.Outcome
+		stats   Stats
+	}
+	results := make(map[string]result)
+	for name, wireByAgent := range runs {
+		outcome, stats := runWireDifferentialScript(t, wireByAgent, costs, durations, schedule)
+		results[name] = result{outcome, stats}
+		t.Logf("%s: welfare %.2f paid %.2f defaults %d reallocated %d clawbacks %d (%.2f)",
+			name, stats.TotalWelfare, stats.TotalPaid, stats.WinnersDefaulted,
+			stats.TasksReallocated, stats.ClawbacksIssued, stats.ClawbackTotal)
+	}
+
+	// The script must actually reach the paths it claims to compare.
+	ref := results["json"]
+	if ref.stats.CompletionsReported == 0 || ref.stats.WinnersDefaulted == 0 || ref.stats.ClawbacksIssued == 0 {
+		t.Fatalf("script did not exercise the completion lifecycle: %+v", ref.stats)
+	}
+	if ref.stats.RoundsCompleted != 2 {
+		t.Fatalf("script completed %d rounds, want 2", ref.stats.RoundsCompleted)
+	}
+
+	for name, got := range results {
+		if !reflect.DeepEqual(got.outcome, ref.outcome) {
+			t.Errorf("outcome diverges between json and %s swarms:\n json:   %+v\n %s: %+v",
+				name, ref.outcome, name, got.outcome)
+		}
+		// Every tally the wire format could plausibly perturb — money,
+		// allocation, lifecycle — must agree exactly. (Message counts
+		// are intentionally excluded: the formats split them by design.)
+		refK, gotK := wireIndependentStats(ref.stats), wireIndependentStats(got.stats)
+		if refK != gotK {
+			t.Errorf("stats diverge between json and %s swarms:\n json:   %+v\n %s: %+v",
+				name, refK, name, gotK)
+		}
+	}
+}
+
+// wireIndependentStats projects Stats onto the fields the wire format
+// must not influence.
+func wireIndependentStats(s Stats) [13]float64 {
+	return [13]float64{
+		float64(s.BidsAccepted), float64(s.BidsRejected),
+		float64(s.TasksAnnounced), float64(s.TasksServed),
+		float64(s.PaymentsIssued), s.TotalPaid, s.TotalWelfare,
+		float64(s.CompletionsReported), float64(s.WinnersDefaulted),
+		float64(s.TasksReallocated), float64(s.ClawbacksIssued),
+		s.ClawbackTotal, float64(s.RoundsCompleted),
+	}
+}
+
+// diffAgent is a scripted wire client that records everything the
+// platform tells it, so the test can react (complete assignments) and
+// synchronize (await acks) deterministically.
+type diffAgent struct {
+	conn net.Conn
+	w    *protocol.Writer
+
+	mu        sync.Mutex
+	phone     core.PhoneID
+	round     int
+	acks      int
+	asserts   []string // protocol errors observed (must stay empty)
+	assigns   []diffAssign
+	completed map[diffAssign]bool
+}
+
+type diffAssign struct {
+	round int
+	task  core.TaskID
+}
+
+func (a *diffAgent) readLoop(r *protocol.Reader) {
+	var m protocol.Message
+	for {
+		if err := r.ReceiveInto(&m); err != nil {
+			return
+		}
+		a.mu.Lock()
+		switch m.Type {
+		case protocol.TypeWelcome:
+			a.phone, a.round = m.Phone, m.Round
+		case protocol.TypeAck:
+			a.acks++
+		case protocol.TypeAssign:
+			a.assigns = append(a.assigns, diffAssign{round: a.round, task: m.Task})
+		case protocol.TypeError:
+			a.asserts = append(a.asserts, m.Error)
+		}
+		a.mu.Unlock()
+	}
+}
+
+// runWireDifferentialScript plays the fixed two-round script against a
+// fresh server with the given per-agent wire formats and returns the
+// final outcome and stats.
+func runWireDifferentialScript(t *testing.T, wireByAgent []string, costs []float64, durations []core.Slot, schedule []int) (*core.Outcome, Stats) {
+	t.Helper()
+	ln := chaos.NewMemListener(len(wireByAgent))
+	srv, err := Serve(ln, Config{
+		Slots:              8,
+		Value:              30,
+		Rounds:             2,
+		CompletionDeadline: 2,
+		WriteTimeout:       -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	swarm := make([]*diffAgent, len(wireByAgent))
+	for i, wire := range wireByAgent {
+		raw := newRawWireAgent(t, ln, wire)
+		a := &diffAgent{conn: raw.conn, w: raw.w, phone: -1, completed: map[diffAssign]bool{}}
+		go a.readLoop(raw.r)
+		swarm[i] = a
+		defer a.conn.Close()
+	}
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	completions := 0
+	tick := 0
+	for round := 1; round <= 2; round++ {
+		// Sequential ack-awaited bids: admission order, and therefore
+		// the phone-ID assignment, is identical in every run.
+		for i, a := range swarm {
+			wantAcks := a.ackCount() + 1
+			if err := a.w.Send(&protocol.Message{
+				Type: protocol.TypeBid, Name: "p", Duration: durations[i], Cost: costs[i],
+			}); err != nil {
+				t.Fatalf("round %d bid %d: %v", round, i, err)
+			}
+			waitFor("bid ack", func() bool { return a.ackCount() >= wantAcks })
+		}
+		// Tick the round to completion (including any completion-drain
+		// slots past the final one), completing assignments between
+		// ticks: every agent except the non-reporters (i%3 == 0)
+		// acknowledges each task as soon as it learns of it.
+		for srv.Stats().RoundsCompleted < round {
+			if tick >= len(schedule) {
+				t.Fatalf("round %d did not complete within %d ticks", round, len(schedule))
+			}
+			if _, err := srv.Tick(schedule[tick]); err != nil {
+				t.Fatal(err)
+			}
+			tick++
+			waitDrained(t, srv, 10*time.Second)
+			// waitDrained means the assign notices reached the wire, not
+			// that the agents' read loops parsed them yet; a starved
+			// reader could miss a completion window. Every assign notice
+			// corresponds to an allocation or re-allocation (no resumes
+			// here), so barrier until the swarm has observed them all.
+			wantAssigns := func() int {
+				st := srv.Stats()
+				return st.TasksServed + st.TasksReallocated
+			}()
+			waitFor("assign delivery", func() bool {
+				total := 0
+				for _, a := range swarm {
+					total += a.assignCount()
+				}
+				return total >= wantAssigns
+			})
+			for i, a := range swarm {
+				if i%3 == 0 {
+					continue
+				}
+				for _, c := range a.pendingCompletes(round) {
+					completions++
+					if err := a.w.Send(&c); err != nil {
+						t.Fatalf("round %d complete: %v", round, err)
+					}
+				}
+			}
+			want := completions
+			waitFor("completion processing", func() bool {
+				st := srv.Stats()
+				return st.CompletionsReported+st.CompletionsRejected >= want
+			})
+		}
+	}
+
+	outcome, stats := srv.Outcome(), srv.Stats()
+	for i, a := range swarm {
+		a.mu.Lock()
+		errs := a.asserts
+		a.mu.Unlock()
+		if len(errs) > 0 {
+			t.Fatalf("agent %d saw protocol errors: %v", i, errs)
+		}
+	}
+	return outcome, stats
+}
+
+func (a *diffAgent) ackCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.acks
+}
+
+func (a *diffAgent) assignCount() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.assigns)
+}
+
+// pendingCompletes returns complete messages for this round's
+// assignments not yet reported, marking them reported.
+func (a *diffAgent) pendingCompletes(round int) []protocol.Message {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []protocol.Message
+	for _, as := range a.assigns {
+		if as.round != round || a.completed[as] || a.phone < 0 {
+			continue
+		}
+		a.completed[as] = true
+		out = append(out, protocol.Message{
+			Type: protocol.TypeComplete, Phone: a.phone, Task: as.task, Round: round,
+		})
+	}
+	return out
+}

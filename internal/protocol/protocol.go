@@ -1,12 +1,23 @@
 // Package protocol defines the wire format between the crowdsourcing
-// platform server and smartphone agents: newline-delimited JSON messages
-// over TCP, one flat Message struct discriminated by Type. A flat tagged
-// message keeps the framing trivial to debug with netcat while remaining
-// strict: unknown fields and unknown types are rejected.
+// platform server and smartphone agents. Two framings share one flat
+// Message vocabulary:
+//
+//   - JSON (the default): newline-delimited JSON objects, trivial to
+//     debug with netcat, strict about unknown fields and types.
+//   - Binary (negotiated): length-prefixed frames with fixed layouts
+//     for the hot messages (slot, assign, payment, bid), built for the
+//     platform's per-tick fan-out to very large agent populations. See
+//     binary.go for the layout and docs/PLATFORM.md for the spec.
+//
+// A connection always starts in JSON. An agent opts into binary by
+// sending hello{wire:"binary"}; the platform's state reply echoes
+// wire:"binary" and is the last JSON message either side sends — both
+// directions switch immediately after it. An agent that requests the
+// upgrade must not send anything else until the state reply arrives.
 //
 // Conversation (agent-initiated messages left, platform replies right):
 //
-//	hello                  -> state{slot, slots, value}
+//	hello{wire?}           -> state{slot, slots, value, wire?}
 //	bid{name, duration,    -> ack (bid queued for the next slot tick)
 //	    cost}              -> welcome{phone, slot(=arrival), departure}
 //	                          ... at the next slot tick
@@ -46,9 +57,11 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
+	"unicode/utf8"
 
 	"dynacrowd/internal/core"
 )
@@ -75,8 +88,14 @@ const (
 )
 
 // MaxLineBytes bounds a single wire message; longer lines abort the
-// connection (defense against unframed garbage).
+// connection (defense against unframed garbage). Binary frames obey the
+// same bound (MaxFrameBytes).
 const MaxLineBytes = 64 * 1024
+
+// MaxNameBytes bounds a bid's human-readable label. The whole-message
+// bound alone would let one field monopolize the frame; a kilobyte-scale
+// name is always hostile.
+const MaxNameBytes = 4096
 
 // MaxDuration bounds a bid's claimed duration. The platform clamps
 // departures to the round length anyway; the bound exists so that
@@ -107,6 +126,10 @@ type Message struct {
 	Payments  float64      `json:"payments,omitempty"`  // end: total paid
 	Round     int          `json:"round,omitempty"`     // state/welcome/end/round/resume: round number (1-based)
 	Error     string       `json:"error,omitempty"`     // error
+	// Wire negotiates the framing: on hello it is the format the agent
+	// requests ("json", "binary", or empty for the JSON default); on
+	// state it is the format in effect immediately after that reply.
+	Wire string `json:"wire,omitempty"`
 }
 
 // Validate checks type-specific structural requirements of inbound
@@ -114,6 +137,9 @@ type Message struct {
 func (m *Message) Validate() error {
 	switch m.Type {
 	case TypeHello:
+		if _, err := FormatByName(m.Wire); err != nil {
+			return err
+		}
 		return nil
 	case TypeBid:
 		if m.Duration < 1 {
@@ -130,6 +156,15 @@ func (m *Message) Validate() error {
 		}
 		if m.Cost < 0 {
 			return fmt.Errorf("protocol: negative bid cost %g", m.Cost)
+		}
+		if len(m.Name) > MaxNameBytes {
+			return fmt.Errorf("protocol: bid name %d bytes exceeds limit %d", len(m.Name), MaxNameBytes)
+		}
+		// The binary framing carries names as raw bytes; JSON cannot
+		// represent invalid UTF-8, so rejecting it here keeps the two
+		// framings' value spaces identical.
+		if !utf8.ValidString(m.Name) {
+			return fmt.Errorf("protocol: bid name is not valid UTF-8")
 		}
 		return nil
 	case TypeResume:
@@ -160,66 +195,230 @@ func (m *Message) Validate() error {
 	}
 }
 
+// AppendFrame appends m's wire encoding in format f to dst and returns
+// the extended slice. This is how pre-encoded frames are built once and
+// shared across many connections (see Writer.SendEncoded); Writer.Send
+// uses it internally with a reusable scratch buffer.
+func AppendFrame(dst []byte, m *Message, f Format) ([]byte, error) {
+	switch f {
+	case FormatJSON:
+		b, err := json.Marshal(m)
+		if err != nil {
+			return dst, fmt.Errorf("protocol: encode %s: %w", m.Type, err)
+		}
+		dst = append(dst, b...)
+		return append(dst, '\n'), nil
+	case FormatBinary:
+		return appendBinaryFrame(dst, m)
+	default:
+		return dst, fmt.Errorf("protocol: unknown format %d", f)
+	}
+}
+
 // Writer frames messages onto a stream. Writer is not safe for
 // concurrent use; callers serialize (the platform holds one per
-// connection under its own lock).
+// connection under its own writer goroutine). A Writer starts in JSON;
+// SetFormat switches the framing of subsequent sends.
 type Writer struct {
-	w   *bufio.Writer
-	enc *json.Encoder
+	bw      *bufio.Writer
+	format  Format
+	scratch []byte // reused across Send calls: steady-state sends allocate nothing
 }
 
 // NewWriter wraps w.
 func NewWriter(w io.Writer) *Writer {
-	bw := bufio.NewWriter(w)
-	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+	return &Writer{bw: bufio.NewWriter(w)}
 }
+
+// SetFormat switches the framing of subsequent Send calls. The caller
+// owns the negotiation ordering (see the package comment).
+func (w *Writer) SetFormat(f Format) { w.format = f }
+
+// Format returns the current framing.
+func (w *Writer) Format() Format { return w.format }
 
 // Send writes one message and flushes.
 func (w *Writer) Send(m *Message) error {
-	if err := w.enc.Encode(m); err != nil {
+	if err := w.Queue(m); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// SendEncoded writes a frame already encoded by AppendFrame (in the
+// Writer's current format — the caller guarantees the match) and
+// flushes. Zero-allocation: this is the fan-out hot path, where one
+// encoded broadcast frame is shared by every session.
+func (w *Writer) SendEncoded(frame []byte) error {
+	if err := w.QueueEncoded(frame); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// Queue stages m in the write buffer without flushing. Callers that
+// drain a backlog (the platform's session writers) queue every pending
+// message and flush once — write coalescing: one syscall (or one pipe
+// handoff) carries the whole batch. An overfull buffer still writes
+// through on its own.
+func (w *Writer) Queue(m *Message) error {
+	b, err := AppendFrame(w.scratch[:0], m, w.format)
+	if err != nil {
+		return err
+	}
+	w.scratch = b[:0]
+	if _, err := w.bw.Write(b); err != nil {
 		return fmt.Errorf("protocol: send %s: %w", m.Type, err)
 	}
-	if err := w.w.Flush(); err != nil {
+	return nil
+}
+
+// QueueEncoded stages a pre-encoded frame without flushing; see Queue.
+func (w *Writer) QueueEncoded(frame []byte) error {
+	if len(frame) == 0 {
+		return nil
+	}
+	if _, err := w.bw.Write(frame); err != nil {
+		return fmt.Errorf("protocol: send frame: %w", err)
+	}
+	return nil
+}
+
+// Flush writes the staged bytes through to the connection.
+func (w *Writer) Flush() error {
+	if err := w.bw.Flush(); err != nil {
 		return fmt.Errorf("protocol: flush: %w", err)
 	}
 	return nil
 }
 
-// Reader parses newline-delimited messages off a stream.
+// Reader parses messages off a stream. A Reader starts in JSON
+// (newline-delimited) mode; SetFormat switches to binary frames while
+// preserving any bytes already buffered, so a stream may negotiate
+// formats mid-connection. Not safe for concurrent use.
 type Reader struct {
-	s *bufio.Scanner
+	br      *bufio.Reader
+	format  Format
+	payload []byte // reused line/frame buffer; steady-state reads allocate nothing
 }
 
 // NewReader wraps r.
 func NewReader(r io.Reader) *Reader {
-	s := bufio.NewScanner(r)
-	s.Buffer(make([]byte, 0, 4096), MaxLineBytes)
-	return &Reader{s: s}
+	return &Reader{br: bufio.NewReaderSize(r, 4096)}
 }
+
+// SetFormat switches the framing of subsequent Receive calls. Buffered
+// bytes carry over, so the switch may follow a JSON message that was
+// already read from the same burst.
+func (r *Reader) SetFormat(f Format) { r.format = f }
+
+// Format returns the current framing.
+func (r *Reader) Format() Format { return r.format }
 
 // Receive reads the next message. It returns io.EOF at a clean end of
 // stream and a descriptive error for malformed input.
 func (r *Reader) Receive() (*Message, error) {
+	m := new(Message)
+	if err := r.ReceiveInto(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ReceiveInto reads the next message into *m, overwriting it. This is
+// the allocation-free read path: with binary framing, steady-state
+// receives of the hot message types perform no allocations at all.
+func (r *Reader) ReceiveInto(m *Message) error {
+	*m = Message{}
+	var err error
+	if r.format == FormatBinary {
+		err = r.receiveBinary(m)
+	} else {
+		err = r.receiveJSON(m)
+	}
+	if err != nil {
+		return err
+	}
+	return m.Validate()
+}
+
+func (r *Reader) receiveJSON(m *Message) error {
 	for {
-		if !r.s.Scan() {
-			if err := r.s.Err(); err != nil {
-				return nil, fmt.Errorf("protocol: read: %w", err)
-			}
-			return nil, io.EOF
+		line, err := r.readLine()
+		if err != nil {
+			return err
 		}
-		line := r.s.Bytes()
 		if len(line) == 0 {
 			continue
 		}
-		var m Message
 		dec := json.NewDecoder(bytes.NewReader(line))
 		dec.DisallowUnknownFields()
-		if err := dec.Decode(&m); err != nil {
-			return nil, fmt.Errorf("protocol: malformed message: %w", err)
+		if err := dec.Decode(m); err != nil {
+			return fmt.Errorf("protocol: malformed message: %w", err)
 		}
-		if err := m.Validate(); err != nil {
-			return nil, err
-		}
-		return &m, nil
+		return nil
 	}
+}
+
+// readLine accumulates the next newline-terminated line into the reused
+// payload buffer, stripping the terminator (and a preceding CR, for
+// telnet-style peers). A final unterminated line before EOF is returned
+// as a line, matching bufio.Scanner's behavior.
+func (r *Reader) readLine() ([]byte, error) {
+	r.payload = r.payload[:0]
+	for {
+		chunk, err := r.br.ReadSlice('\n')
+		r.payload = append(r.payload, chunk...)
+		if len(r.payload) > MaxLineBytes+1 {
+			return nil, fmt.Errorf("protocol: read: message exceeds %d bytes", MaxLineBytes)
+		}
+		switch {
+		case err == nil:
+			line := r.payload[:len(r.payload)-1] // strip '\n'
+			if n := len(line); n > 0 && line[n-1] == '\r' {
+				line = line[:n-1]
+			}
+			return line, nil
+		case errors.Is(err, bufio.ErrBufferFull):
+			continue
+		case errors.Is(err, io.EOF):
+			if len(r.payload) == 0 {
+				return nil, io.EOF
+			}
+			return r.payload, nil
+		default:
+			return nil, fmt.Errorf("protocol: read: %w", err)
+		}
+	}
+}
+
+func (r *Reader) receiveBinary(m *Message) error {
+	// Peek+Discard keeps the header inside the bufio buffer — a local
+	// [4]byte passed through io.ReadFull's interface would escape and
+	// cost one allocation per message.
+	hdr, err := r.br.Peek(4)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			if len(hdr) == 0 {
+				return io.EOF // clean end of stream at a frame boundary
+			}
+			return fmt.Errorf("protocol: torn frame header (%d of 4 bytes): %w", len(hdr), io.ErrUnexpectedEOF)
+		}
+		return fmt.Errorf("protocol: read frame header: %w", err)
+	}
+	n := int(uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24)
+	if _, err := r.br.Discard(4); err != nil {
+		return fmt.Errorf("protocol: read frame header: %w", err)
+	}
+	if n < 1 || n > MaxFrameBytes {
+		return fmt.Errorf("protocol: binary frame length %d outside [1, %d]", n, MaxFrameBytes)
+	}
+	if cap(r.payload) < n {
+		r.payload = make([]byte, n)
+	}
+	buf := r.payload[:n]
+	if k, err := io.ReadFull(r.br, buf); err != nil {
+		return fmt.Errorf("protocol: torn binary frame (%d of %d payload bytes): %w", k, n, err)
+	}
+	return decodeBinaryPayload(buf, m)
 }
