@@ -18,6 +18,10 @@
 //	-shards n         run the sharded auction engine with n bid pools
 //	                  (default 1: sequential engine; outcomes identical,
 //	                  see docs/SHARDING.md)
+//	-shard-addrs a,b  run the distributed engine against crowd-shard
+//	                  server processes at these addresses, one per
+//	                  partition (outcomes identical, see
+//	                  docs/DISTRIBUTED.md; takes precedence over -shards)
 //	-checkpoint f     write the auction state to f after every slot and,
 //	                  if f already exists at startup, resume from it
 //	-payments e       payment engine: cascade | oracle | parallel
@@ -47,6 +51,7 @@ import (
 	"log"
 	"log/slog"
 	"os"
+	"strings"
 	"time"
 
 	"dynacrowd/internal/core"
@@ -64,6 +69,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "task arrival seed")
 	rounds := flag.Int("rounds", 1, "consecutive auction rounds")
 	shards := flag.Int("shards", 1, "shard count for the sharded auction engine (1 = sequential)")
+	shardAddrs := flag.String("shard-addrs", "", "comma-separated crowd-shard server addresses for the distributed engine (empty = in-process)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file (resume if present)")
 	payments := flag.String("payments", "cascade", "payment engine: cascade | oracle | parallel")
 	completionDeadline := flag.Int("completion-deadline", 0, "slots a winner has to report completion before defaulting (0 disables)")
@@ -72,7 +78,7 @@ func main() {
 	offlineBench := flag.String("offline-benchmark", "", "solve each round's offline VCG optimum with this engine: interval | hungarian | flow | ssp (empty disables)")
 	flag.Parse()
 
-	if err := run(*addr, *slots, *value, *taskRate, *slotEvery, *seed, *rounds, *shards, *completionDeadline, *checkpoint, *payments, *obsAddr, *trace, *offlineBench); err != nil {
+	if err := run(*addr, *slots, *value, *taskRate, *slotEvery, *seed, *rounds, *shards, *completionDeadline, *checkpoint, *payments, *obsAddr, *trace, *offlineBench, *shardAddrs); err != nil {
 		fmt.Fprintln(os.Stderr, "crowd-platform:", err)
 		os.Exit(1)
 	}
@@ -109,7 +115,7 @@ func paymentEngine(name string) (core.PaymentEngine, error) {
 	}
 }
 
-func run(addr string, slots int, value, taskRate float64, slotEvery time.Duration, seed uint64, rounds, shards, completionDeadline int, checkpoint, payments, obsAddr, trace, offlineBench string) error {
+func run(addr string, slots int, value, taskRate float64, slotEvery time.Duration, seed uint64, rounds, shards, completionDeadline int, checkpoint, payments, obsAddr, trace, offlineBench, shardAddrs string) error {
 	engine, err := paymentEngine(payments)
 	if err != nil {
 		return err
@@ -125,11 +131,23 @@ func run(addr string, slots int, value, taskRate float64, slotEvery time.Duratio
 	if err != nil {
 		return err
 	}
+	var shardList []string
+	if shardAddrs != "" {
+		for _, a := range strings.Split(shardAddrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				shardList = append(shardList, a)
+			}
+		}
+		if len(shardList) == 0 {
+			return fmt.Errorf("-shard-addrs %q names no addresses", shardAddrs)
+		}
+	}
 	cfg := platform.Config{
 		Slots:              core.Slot(slots),
 		Value:              value,
 		Rounds:             rounds,
 		Shards:             shards,
+		ShardAddrs:         shardList,
 		Logger:             slog.Default(),
 		PaymentEngine:      engine,
 		CompletionDeadline: core.Slot(completionDeadline),

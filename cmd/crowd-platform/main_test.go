@@ -15,7 +15,7 @@ func TestRunPlaysRoundOnWallClock(t *testing.T) {
 	dir := t.TempDir()
 	ckpt := filepath.Join(dir, "round.ckpt")
 	trace := filepath.Join(dir, "round.trace.jsonl")
-	err := run("127.0.0.1:0", 3, 10, 1, 3*time.Millisecond, 1, 1, 1, 0, ckpt, "cascade", "127.0.0.1:0", trace, "")
+	err := run("127.0.0.1:0", 3, 10, 1, 3*time.Millisecond, 1, 1, 1, 0, ckpt, "cascade", "127.0.0.1:0", trace, "", "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,37 +39,37 @@ func TestRunPlaysRoundOnWallClock(t *testing.T) {
 // from the checkpoint file instead of starting over.
 func TestRunResumesFromCheckpoint(t *testing.T) {
 	ckpt := filepath.Join(t.TempDir(), "round.ckpt")
-	if err := run("127.0.0.1:0", 4, 10, 1, 3*time.Millisecond, 1, 1, 1, 0, ckpt, "cascade", "", "", ""); err != nil {
+	if err := run("127.0.0.1:0", 4, 10, 1, 3*time.Millisecond, 1, 1, 1, 0, ckpt, "cascade", "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	// The final checkpoint captures the last pre-completion state;
 	// resuming finishes the remaining slots and exits cleanly — here on
 	// the sharded engine, which reads the same snapshot format.
-	if err := run("127.0.0.1:0", 4, 10, 1, 3*time.Millisecond, 1, 1, 4, 0, ckpt, "cascade", "", "", ""); err != nil {
+	if err := run("127.0.0.1:0", 4, 10, 1, 3*time.Millisecond, 1, 1, 4, 0, ckpt, "cascade", "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsUnknownEngine(t *testing.T) {
-	if err := run("127.0.0.1:0", 3, 10, 1, time.Millisecond, 1, 1, 1, 0, "", "magic", "", "", ""); err == nil {
+	if err := run("127.0.0.1:0", 3, 10, 1, time.Millisecond, 1, 1, 1, 0, "", "magic", "", "", "", ""); err == nil {
 		t.Fatal("want unknown payment engine error")
 	}
 }
 
 func TestRunRejectsUnknownOfflineEngine(t *testing.T) {
-	if err := run("127.0.0.1:0", 3, 10, 1, time.Millisecond, 1, 1, 1, 0, "", "cascade", "", "", "magic"); err == nil {
+	if err := run("127.0.0.1:0", 3, 10, 1, time.Millisecond, 1, 1, 1, 0, "", "cascade", "", "", "magic", ""); err == nil {
 		t.Fatal("want unknown offline engine error")
 	}
 }
 
 func TestRunRejectsBadAddress(t *testing.T) {
-	if err := run("256.0.0.1:99999", 3, 10, 1, time.Millisecond, 1, 1, 1, 0, "", "", "", "", ""); err == nil {
+	if err := run("256.0.0.1:99999", 3, 10, 1, time.Millisecond, 1, 1, 1, 0, "", "", "", "", "", ""); err == nil {
 		t.Fatal("want listen error")
 	}
 }
 
 func TestRunMultiRound(t *testing.T) {
-	if err := run("127.0.0.1:0", 2, 10, 0.5, 3*time.Millisecond, 2, 2, 2, 0, "", "parallel", "", "", "interval"); err != nil {
+	if err := run("127.0.0.1:0", 2, 10, 0.5, 3*time.Millisecond, 2, 2, 2, 0, "", "parallel", "", "", "interval", ""); err != nil {
 		t.Fatal(err)
 	}
 }

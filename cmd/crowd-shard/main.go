@@ -1,0 +1,73 @@
+// Command crowd-shard runs one shard-server process for the distributed
+// auction engine (see docs/DISTRIBUTED.md). It is partition-agnostic:
+// the coordinator's join handshake names which partition a connection
+// owns and streams the replica state, so the same binary serves any
+// shard slot in any topology, and a restarted server rejoins with no
+// local state.
+//
+// Start one per partition, then point the coordinator at them:
+//
+//	crowd-shard -addr 127.0.0.1:7401 &
+//	crowd-shard -addr 127.0.0.1:7402 &
+//	crowd-platform -shard-addrs 127.0.0.1:7401,127.0.0.1:7402
+//
+// Usage:
+//
+//	crowd-shard [flags]
+//
+//	-addr host:port   listen address (default 127.0.0.1:7401)
+//	-quiet            suppress session lifecycle logging
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"dynacrowd/internal/dshard"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7401", "listen address")
+	quiet := flag.Bool("quiet", false, "suppress session lifecycle logging")
+	flag.Parse()
+
+	if err := run(*addr, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "crowd-shard:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, quiet bool) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &dshard.Server{}
+	if !quiet {
+		srv.Logger = slog.Default()
+		slog.Info("crowd-shard listening", "addr", ln.Addr().String())
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case sig := <-stop:
+		if !quiet {
+			slog.Info("crowd-shard shutting down", "signal", sig.String())
+		}
+		srv.Close()
+		<-done
+		return nil
+	case err := <-done:
+		srv.Close()
+		return err
+	}
+}

@@ -21,6 +21,10 @@
 //	-shards n      run the online mechanism on the sharded engine with n
 //	               bid pools (default 1 = sequential; outcomes are
 //	               bit-identical either way)
+//	-dshard n      run the online mechanism through the distributed
+//	               coordinator with n in-process shard servers over an
+//	               in-memory transport (default 0 = off; outcomes are
+//	               bit-identical, see docs/DISTRIBUTED.md)
 //	-offline-engine e  solver engine for the offline VCG benchmark:
 //	               interval (default, augmenting-path fast path),
 //	               hungarian (dense oracle), flow, or ssp
@@ -49,6 +53,7 @@ import (
 	"runtime/pprof"
 
 	"dynacrowd/internal/core"
+	"dynacrowd/internal/dshard"
 	"dynacrowd/internal/experiments"
 	"dynacrowd/internal/obs"
 	"dynacrowd/internal/shard"
@@ -73,6 +78,7 @@ func run(args []string, out io.Writer) error {
 	check := fs.Bool("check", false, "verify the paper's shape claims")
 	value := fs.Float64("value", 0, "per-task value ν override (0 = scenario default)")
 	shards := fs.Int("shards", 1, "bid-pool shards for the online mechanism (1 = sequential)")
+	dshards := fs.Int("dshard", 0, "run the online mechanism through a distributed coordinator with this many in-process shard servers (0 = off)")
 	offlineEngine := fs.String("offline-engine", "", "offline solver engine: interval | hungarian | flow | ssp (default interval)")
 	quick := fs.Bool("quick", false, "3 seeds and thinned sweeps")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -147,7 +153,10 @@ func run(args []string, out io.Writer) error {
 		base.Value = *value
 	}
 	opt := experiments.Options{Seeds: *seeds, BaseSeed: *seed, Scenario: base}
-	if *shards > 1 {
+	switch {
+	case *dshards > 0:
+		opt.Online = &dshard.Mechanism{Shards: *dshards}
+	case *shards > 1:
 		opt.Online = &shard.Mechanism{Shards: *shards}
 	}
 	if *offlineEngine != "" {

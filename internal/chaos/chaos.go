@@ -102,11 +102,17 @@ type Conn struct {
 	net.Conn
 	plan Plan
 
-	mu      sync.Mutex // guards rng, written, writes, cut
+	mu      sync.Mutex // guards rng, written, writes, cut (write path)
 	rng     *rand.Rand
 	written int64
 	writes  int
 	cut     bool
+
+	// The read path draws from its own stream under its own lock, so a
+	// Read never waits behind a Write blocked on the transport — real
+	// net.Conns are full duplex, and the wrapper must be too.
+	rmu  sync.Mutex
+	rrng *rand.Rand
 
 	closeOnce sync.Once
 	done      chan struct{} // closed on Close; releases stalls
@@ -116,10 +122,12 @@ type Conn struct {
 // stream derived for connection index (use distinct indexes for
 // distinct connections under one seed).
 func WrapConn(c net.Conn, plan Plan, index int64) *Conn {
+	child := childSeed(plan.Seed, index)
 	return &Conn{
 		Conn: c,
 		plan: plan,
-		rng:  rand.New(rand.NewSource(childSeed(plan.Seed, index))),
+		rng:  rand.New(rand.NewSource(child)),
+		rrng: rand.New(rand.NewSource(childSeed(child, 1))),
 		done: make(chan struct{}),
 	}
 }
@@ -135,9 +143,9 @@ func (c *Conn) Close() error {
 	return err
 }
 
-// maybeSleep rolls the latency fault. Called with c.mu held; the sleep
-// itself releases the lock so concurrent Reads are not serialized
-// behind an injected Write delay.
+// maybeSleep rolls the latency fault for the write path. Called with
+// c.mu held; the sleep itself releases the lock so a concurrent Close
+// (or another Write) is not serialized behind an injected delay.
 func (c *Conn) maybeSleep() {
 	if c.plan.LatencyProb <= 0 || c.plan.MaxLatency <= 0 {
 		return
@@ -155,16 +163,30 @@ func (c *Conn) maybeSleep() {
 	}
 }
 
-// Read implements net.Conn.
+// Read implements net.Conn. It shares no lock with Write: a Read may
+// proceed (and sleep, and deliver) while a Write is blocked on the
+// transport, exactly as on a real full-duplex connection.
 func (c *Conn) Read(b []byte) (int, error) {
 	if c.plan.StallReads {
 		c.plan.Counters.noteStalledRead()
 		<-c.done
 		return 0, errClosed("read")
 	}
-	c.mu.Lock()
-	c.maybeSleep()
-	c.mu.Unlock()
+	if c.plan.LatencyProb > 0 && c.plan.MaxLatency > 0 {
+		c.rmu.Lock()
+		var d time.Duration
+		if c.rrng.Float64() < c.plan.LatencyProb {
+			d = time.Duration(1 + c.rrng.Int63n(int64(c.plan.MaxLatency)))
+		}
+		c.rmu.Unlock()
+		if d > 0 {
+			c.plan.Counters.noteLatency()
+			select {
+			case <-time.After(d):
+			case <-c.done:
+			}
+		}
+	}
 	return c.Conn.Read(b)
 }
 

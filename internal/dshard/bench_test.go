@@ -1,0 +1,133 @@
+package dshard_test
+
+import (
+	"fmt"
+	"net"
+	"testing"
+
+	"dynacrowd/internal/chaos"
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/dshard"
+	"dynacrowd/internal/workload"
+)
+
+// benchFleet is a long-lived shard-server fleet for the distributed
+// benchmark: servers boot once per sub-benchmark and each iteration
+// dials a fresh coordinator against them, so the measured loop is the
+// real per-round cost (join handshake + slot RPCs), not process boot.
+type benchFleet struct {
+	addrs     []string
+	dial      func(string) (net.Conn, error)
+	listeners []net.Listener
+	servers   []*dshard.Server
+}
+
+func (f *benchFleet) Close() {
+	for _, srv := range f.servers {
+		srv.Close()
+	}
+	for _, ln := range f.listeners {
+		ln.Close()
+	}
+}
+
+// memFleet serves shards over in-memory duplex pipes (no sockets, no
+// kernel round trips): the transport-free upper bound.
+func memFleet(b *testing.B, shards int) *benchFleet {
+	b.Helper()
+	f := &benchFleet{addrs: make([]string, shards)}
+	mls := make([]*chaos.MemListener, shards)
+	for s := 0; s < shards; s++ {
+		f.addrs[s] = fmt.Sprintf("mem://bench/%d", s)
+		mls[s] = chaos.NewMemListener(8)
+		srv := &dshard.Server{}
+		go srv.Serve(mls[s])
+		f.servers = append(f.servers, srv)
+		f.listeners = append(f.listeners, mls[s])
+	}
+	f.dial = func(addr string) (net.Conn, error) {
+		for s, a := range f.addrs {
+			if a == addr {
+				return mls[s].Dial()
+			}
+		}
+		return nil, fmt.Errorf("unknown bench address %q", addr)
+	}
+	return f
+}
+
+// tcpFleet serves shards over TCP loopback: what a single-host
+// multi-process crowd-shard deployment actually pays per slot.
+func tcpFleet(b *testing.B, shards int) *benchFleet {
+	b.Helper()
+	f := &benchFleet{addrs: make([]string, shards)}
+	for s := 0; s < shards; s++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		f.addrs[s] = ln.Addr().String()
+		srv := &dshard.Server{}
+		go srv.Serve(ln)
+		f.servers = append(f.servers, srv)
+		f.listeners = append(f.listeners, ln)
+	}
+	return f // nil dial: the coordinator uses plain TCP
+}
+
+// BenchmarkDistributedSlot measures per-round slot throughput of the
+// distributed coordinator on the heavy-traffic workload, over both the
+// in-memory transport (protocol cost only) and TCP loopback (adds the
+// kernel socket round trips). Outcomes are bit-identical to the
+// sequential engine at every point (TestDistributedDifferentialSweep);
+// this measures only what the network merge costs. Compare with
+// BenchmarkShardedSlot (in-process fan-out) and BenchmarkStreamingSlot
+// (sequential) at the repo root; see docs/DISTRIBUTED.md for the
+// scaling discussion.
+func BenchmarkDistributedSlot(b *testing.B) {
+	scn := workload.HeavyTrafficScenario()
+	in, err := scn.Generate(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	perSlot := in.TasksPerSlot()
+	byArrival := make([][]core.StreamBid, in.Slots+1)
+	for _, bid := range in.Bids {
+		byArrival[bid.Arrival] = append(byArrival[bid.Arrival], core.StreamBid{
+			Departure: bid.Departure, Cost: bid.Cost,
+		})
+	}
+	transports := []struct {
+		name string
+		boot func(*testing.B, int) *benchFleet
+	}{
+		{"mem", memFleet},
+		{"tcp", tcpFleet},
+	}
+	for _, tr := range transports {
+		for _, s := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("transport=%s/shards=%d", tr.name, s), func(b *testing.B) {
+				fleet := tr.boot(b, s)
+				defer fleet.Close()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					co, err := dshard.New(dshard.Options{
+						Addrs: fleet.addrs, Dial: fleet.dial,
+						Slots: in.Slots, Value: in.Value, AllocateAtLoss: in.AllocateAtLoss,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					for t := core.Slot(1); t <= in.Slots; t++ {
+						if _, err := co.Step(byArrival[t], perSlot[t-1]); err != nil {
+							b.Fatal(err)
+						}
+					}
+					co.Close()
+				}
+				b.ReportMetric(float64(in.Slots), "slots/op")
+				b.ReportMetric(float64(len(in.Bids)), "bids/op")
+			})
+		}
+	}
+}

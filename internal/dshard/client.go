@@ -1,0 +1,300 @@
+package dshard
+
+import (
+	"encoding/base64"
+	"fmt"
+	"net"
+	"time"
+
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/protocol"
+)
+
+// snapshotChunkRaw is the raw byte size of one shard-snapshot chunk;
+// base64 expands it 4/3, comfortably inside protocol.MaxSnapshotChunk
+// and the frame bound.
+const snapshotChunkRaw = 32 * 1024
+
+// shardClient is the coordinator's connection to one shard server. It
+// is used by one goroutine at a time (the coordinator serializes per
+// shard; the parallel fan-outs give each shard its own goroutine).
+type shardClient struct {
+	co    *Coordinator
+	shard int
+	addr  string
+
+	conn   net.Conn
+	r      *protocol.Reader
+	w      *protocol.Writer
+	seq    uint64 // messages sent since the last seed
+	broken bool   // a queued write failed; reseed before the next request
+}
+
+// queue stages a fire-and-forget replication message. Errors don't
+// surface here — the apply-locally-first invariant makes every queued
+// mutation recoverable from the coordinator snapshot, so a failed
+// write just marks the client broken and the next request reseeds.
+func (sc *shardClient) queue(m *protocol.Message) {
+	if sc.broken {
+		return
+	}
+	m.Seq = 0 // fire-and-forget carries no seq
+	if err := sc.w.Queue(m); err != nil {
+		sc.broken = true
+		return
+	}
+	sc.seq++
+}
+
+// flush pushes queued messages to the wire.
+func (sc *shardClient) flush() {
+	if sc.broken {
+		return
+	}
+	if err := sc.w.Flush(); err != nil {
+		sc.broken = true
+	}
+}
+
+// request sends m (stamped with the client's seq), flushes, and reads
+// one reply, verifying the echoed seq when the reply carries one. A
+// nil reply error with reply.Type == error is surfaced as an error.
+func (sc *shardClient) request(m *protocol.Message, reply *protocol.Message) error {
+	if sc.broken {
+		return fmt.Errorf("dshard: shard %d connection marked broken", sc.shard)
+	}
+	m.Seq = sc.seq
+	if err := sc.w.Queue(m); err != nil {
+		sc.broken = true
+		return err
+	}
+	sc.seq++
+	if err := sc.w.Flush(); err != nil {
+		sc.broken = true
+		return err
+	}
+	if err := sc.r.ReceiveInto(reply); err != nil {
+		sc.broken = true
+		return err
+	}
+	if reply.Type == protocol.TypeError {
+		sc.broken = true
+		return fmt.Errorf("dshard: shard %d: %s", sc.shard, reply.Error)
+	}
+	return nil
+}
+
+// receive reads one more message of a multi-frame reply.
+func (sc *shardClient) receive(reply *protocol.Message) error {
+	if err := sc.r.ReceiveInto(reply); err != nil {
+		sc.broken = true
+		return err
+	}
+	if reply.Type == protocol.TypeError {
+		sc.broken = true
+		return fmt.Errorf("dshard: shard %d: %s", sc.shard, reply.Error)
+	}
+	return nil
+}
+
+// seed (re)establishes the connection and pushes the coordinator's
+// current snapshot: dial, wire negotiation, shard-join, snapshot
+// stream, ack. On success the client is fresh — seq 0, not broken.
+func (sc *shardClient) seed() error {
+	if sc.conn != nil {
+		sc.conn.Close()
+		sc.conn = nil
+	}
+	// Parallel fan-out goroutines may reseed concurrently; snapshot
+	// extraction reads the whole local replica, so serialize it.
+	sc.co.snapMu.Lock()
+	snap, err := sc.co.local.Snapshot()
+	sc.co.snapMu.Unlock()
+	if err != nil {
+		return fmt.Errorf("dshard: snapshot for shard %d seed: %w", sc.shard, err)
+	}
+	conn, err := sc.co.dial(sc.addr)
+	if err != nil {
+		return fmt.Errorf("dshard: dial shard %d (%s): %w", sc.shard, sc.addr, err)
+	}
+	r, w := protocol.NewReader(conn), protocol.NewWriter(conn)
+
+	format, err := protocol.FormatByName(sc.co.opts.Wire)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	var reply protocol.Message
+	if err := w.Send(&protocol.Message{Type: protocol.TypeHello, Wire: sc.co.opts.Wire}); err != nil {
+		conn.Close()
+		return fmt.Errorf("dshard: shard %d hello: %w", sc.shard, err)
+	}
+	if err := r.ReceiveInto(&reply); err != nil {
+		conn.Close()
+		return fmt.Errorf("dshard: shard %d state: %w", sc.shard, err)
+	}
+	if reply.Type != protocol.TypeState {
+		conn.Close()
+		return fmt.Errorf("dshard: shard %d: want state reply, got %s", sc.shard, reply.Type)
+	}
+	w.SetFormat(format)
+	r.SetFormat(format)
+
+	if err := w.Queue(&protocol.Message{
+		Type: protocol.TypeShardJoin, Shard: sc.shard, Shards: len(sc.co.clients),
+	}); err != nil {
+		conn.Close()
+		return fmt.Errorf("dshard: shard %d join: %w", sc.shard, err)
+	}
+	for off := 0; ; off += snapshotChunkRaw {
+		end := off + snapshotChunkRaw
+		if end > len(snap) {
+			end = len(snap)
+		}
+		remaining := 0
+		if end < len(snap) {
+			remaining = (len(snap) - end + snapshotChunkRaw - 1) / snapshotChunkRaw
+		}
+		if err := w.Queue(&protocol.Message{
+			Type:  protocol.TypeShardSnapshot,
+			Count: remaining,
+			Data:  base64.StdEncoding.EncodeToString(snap[off:end]),
+		}); err != nil {
+			conn.Close()
+			return fmt.Errorf("dshard: shard %d snapshot chunk: %w", sc.shard, err)
+		}
+		if end == len(snap) {
+			break
+		}
+	}
+	if err := w.Flush(); err != nil {
+		conn.Close()
+		return fmt.Errorf("dshard: shard %d seed flush: %w", sc.shard, err)
+	}
+	if err := r.ReceiveInto(&reply); err != nil {
+		conn.Close()
+		return fmt.Errorf("dshard: shard %d seed ack: %w", sc.shard, err)
+	}
+	if reply.Type != protocol.TypeAck {
+		conn.Close()
+		if reply.Type == protocol.TypeError {
+			return fmt.Errorf("dshard: shard %d seed rejected: %s", sc.shard, reply.Error)
+		}
+		return fmt.Errorf("dshard: shard %d: want seed ack, got %s", sc.shard, reply.Type)
+	}
+
+	sc.conn, sc.r, sc.w = conn, r, w
+	sc.seq = 0
+	sc.broken = false
+	return nil
+}
+
+// seedRetry retries seed with exponential backoff — a shard server
+// mid-restart needs a moment to start listening again. The attempt
+// budget and base backoff come from Options.
+func (sc *shardClient) seedRetry() error {
+	var err error
+	backoff := sc.co.opts.backoff()
+	for attempt := 0; attempt < sc.co.opts.attempts(); attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			if backoff < time.Second {
+				backoff *= 2
+			}
+		}
+		if err = sc.seed(); err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("dshard: seed shard %d: %w", sc.shard, err)
+}
+
+// close severs the connection.
+func (sc *shardClient) close() {
+	if sc.conn != nil {
+		sc.conn.Close()
+		sc.conn = nil
+	}
+	sc.broken = true
+}
+
+// pull issues a pull or top-up request for slot t and returns the
+// candidates. The caller handles reseed-on-error.
+func (sc *shardClient) pull(typ string, t core.Slot, count int, buf []core.PhoneID) ([]core.PhoneID, error) {
+	var reply protocol.Message
+	if err := sc.request(&protocol.Message{Type: typ, Slot: t, Count: count}, &reply); err != nil {
+		return buf, err
+	}
+	if reply.Type != protocol.TypeCands || reply.Slot != t {
+		sc.broken = true
+		return buf, fmt.Errorf("dshard: shard %d: want cands for slot %d, got %s slot %d",
+			sc.shard, t, reply.Type, reply.Slot)
+	}
+	if reply.Seq != sc.seq {
+		sc.broken = true
+		return buf, fmt.Errorf("dshard: shard %d seq %d, want %d — divergence", sc.shard, reply.Seq, sc.seq)
+	}
+	for i := 0; i < reply.Count; i++ {
+		var cand protocol.Message
+		if err := sc.receive(&cand); err != nil {
+			return buf, err
+		}
+		if cand.Type != protocol.TypeCand {
+			sc.broken = true
+			return buf, fmt.Errorf("dshard: shard %d: want cand, got %s", sc.shard, cand.Type)
+		}
+		buf = append(buf, cand.Phone)
+	}
+	return buf, nil
+}
+
+// prices asks the shard for its departing winners' critical-value
+// payments in one batched round-trip. The server replies to each
+// request as it reads it, so over an unbuffered transport the request
+// batch must be written concurrently with the reply reads — flushing it
+// all before reading would deadlock both sides against full pipes.
+func (sc *shardClient) prices(phones []core.PhoneID) (map[core.PhoneID]float64, error) {
+	if sc.broken {
+		return nil, fmt.Errorf("dshard: shard %d connection marked broken", sc.shard)
+	}
+	seqs := make([]uint64, len(phones))
+	for i := range phones {
+		seqs[i] = sc.seq
+		sc.seq++
+	}
+	w := sc.w // the writer goroutine touches only this capture, so a
+	// concurrent reseed (which replaces sc.w) cannot race it
+	writeErr := make(chan error, 1)
+	go func() {
+		for i, p := range phones {
+			if err := w.Queue(&protocol.Message{Type: protocol.TypePrice, Phone: p, Seq: seqs[i]}); err != nil {
+				writeErr <- err
+				return
+			}
+		}
+		writeErr <- w.Flush()
+	}()
+
+	out := make(map[core.PhoneID]float64, len(phones))
+	for _, p := range phones {
+		var reply protocol.Message
+		if err := sc.receive(&reply); err != nil {
+			// The writer goroutine exits when the dead connection fails
+			// its writes (the caller's reseed closes it).
+			return nil, err
+		}
+		// The payment reply's binary layout carries no seq; the echoed
+		// phone is the integrity check on this path.
+		if reply.Type != protocol.TypePayment || reply.Phone != p {
+			sc.broken = true
+			return nil, fmt.Errorf("dshard: shard %d: want payment for phone %d, got %s phone %d",
+				sc.shard, p, reply.Type, reply.Phone)
+		}
+		out[p] = reply.Amount
+	}
+	if err := <-writeErr; err != nil {
+		sc.broken = true
+		return nil, err
+	}
+	return out, nil
+}

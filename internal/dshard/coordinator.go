@@ -1,0 +1,658 @@
+package dshard
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/obs"
+	"dynacrowd/internal/protocol"
+	"dynacrowd/internal/shard"
+)
+
+// fetchRetries bounds how many reseed-and-retry cycles one candidate
+// fetch survives before the Step fails (each reseed already retries its
+// own dial with backoff, so this guards pathological flapping only).
+const fetchRetries = 3
+
+// Options configures a Coordinator.
+type Options struct {
+	// Addrs lists one shard-server address per partition: partition s
+	// of len(Addrs) lives at Addrs[s].
+	Addrs []string
+	// Slots, Value, and AllocateAtLoss mirror the engine constructors
+	// (core.NewOnlineAuction, shard.New).
+	Slots          core.Slot
+	Value          float64
+	AllocateAtLoss bool
+	// Dial opens a connection to a shard server; nil uses plain TCP.
+	Dial func(addr string) (net.Conn, error)
+	// Wire names the negotiated frame format; empty means binary (the
+	// distributed hot path is exactly what the binary framing is for).
+	Wire string
+	// Chunk overrides the speculative per-shard pull batch size; 0
+	// derives it from the slot's task demand, like the in-process merge.
+	Chunk int
+	// Attempts and Backoff bound seed/reseed dial retries (a shard
+	// server mid-restart needs a moment). Defaults: 10 and 15ms.
+	Attempts int
+	Backoff  time.Duration
+}
+
+func (o *Options) attempts() int {
+	if o.Attempts > 0 {
+		return o.Attempts
+	}
+	return 10
+}
+
+func (o *Options) backoff() time.Duration {
+	if o.Backoff > 0 {
+		return o.Backoff
+	}
+	return 15 * time.Millisecond
+}
+
+// Coordinator drives one online-auction round across shard-server
+// processes. It implements core.Auction with outcomes bit-identical to
+// core.OnlineAuction: the same k-way (cost, phone ID) merge the
+// in-process sharded engine runs, performed over the wire.
+//
+// The coordinator applies every mutation to its local Replica before
+// replicating it, so local state is authoritative at every instant and
+// a shard server is disposable cache: any RPC failure is handled by
+// redialing and streaming the local snapshot back (see shardClient.seed).
+//
+// Not safe for concurrent use; the platform serializes Steps.
+type Coordinator struct {
+	opts    Options
+	local   *shard.Replica
+	clients []*shardClient
+
+	metrics *core.Metrics
+	inst    *Metrics
+	tracer  *obs.Tracer
+
+	trackDepartures bool
+	closed          bool
+
+	// snapMu serializes snapshot extraction during reseeds — parallel
+	// fan-out goroutines may reseed concurrently, and each reseed reads
+	// the whole local replica.
+	snapMu  sync.Mutex
+	reseeds atomic.Uint64
+	rpcs    atomic.Uint64 // RPC round-trips this slot (trace detail)
+
+	// Merge scratch, reused across slots.
+	pulled [][]core.PhoneID
+	taken  []int
+	heads  []int
+}
+
+// New builds a coordinator for one round and seeds every shard server
+// with an empty replica. It fails if any shard cannot be seeded within
+// the options' retry budget.
+func New(opts Options) (*Coordinator, error) {
+	local, err := shard.NewReplica(0, len(opts.Addrs), opts.Slots, opts.Value, opts.AllocateAtLoss)
+	if err != nil {
+		return nil, fmt.Errorf("dshard: %w", err)
+	}
+	return connect(local, opts)
+}
+
+// Restore rebuilds a coordinator from an engine-portable v1 snapshot
+// (taken by Snapshot on any engine) and reseeds every shard server with
+// it. opts.Slots/Value/AllocateAtLoss are taken from the snapshot.
+func Restore(data []byte, opts Options) (*Coordinator, error) {
+	local, err := shard.RestoreReplica(data, 0, len(opts.Addrs))
+	if err != nil {
+		return nil, fmt.Errorf("dshard: %w", err)
+	}
+	return connect(local, opts)
+}
+
+func connect(local *shard.Replica, opts Options) (*Coordinator, error) {
+	if len(opts.Addrs) == 0 {
+		return nil, fmt.Errorf("dshard: no shard addresses")
+	}
+	if opts.Wire == "" {
+		opts.Wire = protocol.WireBinary
+	}
+	if _, err := protocol.FormatByName(opts.Wire); err != nil {
+		return nil, fmt.Errorf("dshard: %w", err)
+	}
+	c := &Coordinator{
+		opts:    opts,
+		local:   local,
+		clients: make([]*shardClient, len(opts.Addrs)),
+		pulled:  make([][]core.PhoneID, len(opts.Addrs)),
+		taken:   make([]int, len(opts.Addrs)),
+	}
+	for s, addr := range opts.Addrs {
+		c.clients[s] = &shardClient{co: c, shard: s, addr: addr}
+	}
+	errs := make([]error, len(c.clients))
+	var wg sync.WaitGroup
+	for s := range c.clients {
+		wg.Add(1)
+		go func(s int) { defer wg.Done(); errs[s] = c.clients[s].seedRetry() }(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Close flushes and severs every shard connection. The coordinator's
+// local state stays readable (Outcome, Snapshot) but Step fails.
+func (c *Coordinator) Close() error {
+	c.closed = true
+	for _, sc := range c.clients {
+		if sc != nil && sc.conn != nil {
+			sc.flush()
+			sc.close()
+		}
+	}
+	return nil
+}
+
+func (c *Coordinator) dial(addr string) (net.Conn, error) {
+	if c.opts.Dial != nil {
+		return c.opts.Dial(addr)
+	}
+	return net.Dial("tcp", addr)
+}
+
+// reseed recovers shard s: counts the loss, then redials and restreams
+// the local snapshot with retry/backoff.
+func (c *Coordinator) reseed(sc *shardClient) error {
+	if c.inst != nil {
+		c.inst.Reseeds[sc.shard].Add(1)
+	}
+	c.reseeds.Add(1)
+	return sc.seedRetry()
+}
+
+// Step advances the round one slot; semantics and outcomes match
+// core.OnlineAuction.Step exactly. A returned error is fatal for the
+// coordinator's connections but not its state: Snapshot still serializes
+// the authoritative local replica, and Restore resumes from it.
+func (c *Coordinator) Step(arriving []core.StreamBid, numTasks int) (*core.SlotResult, error) {
+	if c.closed {
+		return nil, fmt.Errorf("dshard: coordinator closed")
+	}
+	if c.Done() {
+		return nil, fmt.Errorf("dshard: round already complete (%d slots)", c.local.Slots())
+	}
+	if numTasks < 0 {
+		return nil, fmt.Errorf("dshard: negative task count %d", numTasks)
+	}
+	t := c.local.Now() + 1
+	// Validate every probe before admitting any, so a bad batch leaves
+	// the auction untouched (same atomicity as the sequential engine).
+	for k, sb := range arriving {
+		probe := core.Bid{Phone: core.PhoneID(c.local.NumPhones() + k), Arrival: t, Departure: sb.Departure, Cost: sb.Cost}
+		if err := probe.Validate(c.local.Slots()); err != nil {
+			return nil, fmt.Errorf("dshard: %w", err)
+		}
+	}
+	if err := c.local.Advance(t); err != nil {
+		return nil, err
+	}
+	res := &core.SlotResult{Slot: t}
+	c.rpcs.Store(0)
+	var start time.Time
+	if c.metrics != nil || c.tracer != nil {
+		start = time.Now()
+	}
+
+	// Admission: apply locally first, then replicate to every shard (all
+	// replicas ledger every bid; the owner also pools it).
+	for _, sb := range arriving {
+		id := core.PhoneID(c.local.NumPhones())
+		if err := c.local.Admit(id, t, sb.Departure, sb.Cost); err != nil {
+			return nil, err // unreachable: probes validated above
+		}
+		res.Joined = append(res.Joined, id)
+		for _, sc := range c.clients {
+			sc.queue(&protocol.Message{
+				Type:  protocol.TypeShardAdmit,
+				Phone: id, Slot: t, Departure: sb.Departure, Cost: sb.Cost,
+			})
+		}
+	}
+
+	if err := c.allocate(t, numTasks, res); err != nil {
+		return nil, err
+	}
+
+	if c.metrics != nil {
+		c.metrics.SlotAllocSeconds.Observe(time.Since(start).Seconds())
+	}
+	if c.tracer != nil {
+		c.tracer.Emit(obs.Event{
+			Time: time.Now(), Type: obs.EventShardRPC, Slot: int(t),
+			Phone: -1, Task: -1,
+			Detail: fmt.Sprintf("shards=%d tasks=%d rpcs=%d reseeds=%d",
+				len(c.clients), numTasks, c.rpcs.Load(), c.reseeds.Load()),
+		})
+	}
+	if c.metrics != nil {
+		start = time.Now()
+	}
+
+	if err := c.settle(t, res); err != nil {
+		return nil, err
+	}
+
+	if c.metrics != nil {
+		c.metrics.PaymentSeconds.Observe(time.Since(start).Seconds())
+	}
+	// Drain queued replication; a failed flush marks the client broken
+	// and the next request reseeds it.
+	for _, sc := range c.clients {
+		sc.flush()
+	}
+	return res, nil
+}
+
+// fetch pulls (or tops up) count candidates from shard s into
+// c.pulled[s], reseeding and retrying on any transport failure. After a
+// reseed the restored remote pool re-contains every candidate this
+// shard popped that the coordinator has not recorded as a win, so the
+// unconsumed local copy is discarded and pulled fresh; exclude names
+// the one popped phone the coordinator holds consumed-but-unrecorded
+// (the in-flight winner whose top-up this is), which a post-reseed
+// re-pull would otherwise hand back a second time.
+func (c *Coordinator) fetch(s int, typ string, t core.Slot, count int, exclude core.PhoneID) error {
+	sc := c.clients[s]
+	if c.inst != nil {
+		if typ == protocol.TypePull {
+			c.inst.Pulls[s].Add(1)
+		} else {
+			c.inst.Topups[s].Add(1)
+		}
+	}
+	var err error
+	for attempt := 0; attempt < fetchRetries; attempt++ {
+		if attempt > 0 || sc.broken {
+			if err2 := c.reseed(sc); err2 != nil {
+				return err2
+			}
+			c.pulled[s] = c.pulled[s][:c.taken[s]]
+		}
+		// A post-reseed pool re-contains the in-flight winner, and it is
+		// that pool's cheapest entry — a re-pull of exactly count would
+		// spend one slot of its budget on a candidate the filter below
+		// discards, under-filling the batch (fatal when count is 1: the
+		// shard would be dropped as dry with candidates still pooled).
+		// One extra is always outcome-neutral: extras push back.
+		req := count
+		if exclude != core.NoPhone {
+			req++
+		}
+		base := len(c.pulled[s])
+		rpcStart := time.Now()
+		var buf []core.PhoneID
+		buf, err = sc.pull(typ, t, req, c.pulled[s])
+		if c.inst != nil {
+			c.inst.RPCSeconds.Observe(time.Since(rpcStart).Seconds())
+		}
+		c.rpcs.Add(1)
+		if err != nil {
+			continue
+		}
+		out := buf[:base]
+		for _, ph := range buf[base:] {
+			if ph != exclude {
+				out = append(out, ph)
+			}
+		}
+		c.pulled[s] = out
+		return nil
+	}
+	return fmt.Errorf("dshard: shard %d fetch: %w", s, err)
+}
+
+// allocate announces numTasks tasks in slot t and assigns each to the
+// globally cheapest eligible phone: speculative parallel pulls, then
+// the sequential engine's exact merge over the pulled buffers, topping
+// a shard up (batch = remaining demand, so a lopsided shard costs O(1)
+// extra round-trips, not O(r_t)) only when its winners outrun its pull.
+func (c *Coordinator) allocate(t core.Slot, numTasks int, res *core.SlotResult) error {
+	if numTasks == 0 {
+		return nil
+	}
+	// Pre-pull: the merge needs at most numTasks winners plus one
+	// runner-up in total, so an even split plus one covers the common
+	// case. Chunk size affects round-trips only, never the outcome —
+	// extras push back at slot end.
+	chunk := c.opts.Chunk
+	if chunk <= 0 {
+		chunk = (numTasks+1)/len(c.clients) + 1
+	}
+	errs := make([]error, len(c.clients))
+	var wg sync.WaitGroup
+	for s := range c.clients {
+		c.pulled[s] = c.pulled[s][:0]
+		c.taken[s] = 0
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			errs[s] = c.fetch(s, protocol.TypePull, t, chunk, core.NoPhone)
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Merge heap over the shards' head candidates, ordered by the same
+	// (cost, phone ID) key every pool heap uses.
+	c.heads = c.heads[:0]
+	for s := range c.clients {
+		if len(c.pulled[s]) > 0 {
+			c.headsPush(s)
+		}
+	}
+	for k := 0; k < numTasks; k++ {
+		if len(c.heads) == 0 {
+			rem := numTasks - k
+			if err := c.local.Unserved(t, rem); err != nil {
+				return err
+			}
+			res.Unserved = rem
+			for _, sc := range c.clients {
+				sc.queue(&protocol.Message{Type: protocol.TypeShardUnserved, Slot: t, Count: rem})
+			}
+			break
+		}
+		s := c.heads[0]
+		winner := c.pulled[s][c.taken[s]]
+		c.taken[s]++
+		// Remaining demand past this win: numTasks-k-1 winners plus one
+		// runner-up.
+		if err := c.advanceHead(t, numTasks-k, winner); err != nil {
+			return err
+		}
+		runner := core.NoPhone
+		if len(c.heads) > 0 {
+			top := c.heads[0]
+			runner = c.pulled[top][c.taken[top]]
+		}
+		task, err := c.local.Win(winner, runner, t)
+		if err != nil {
+			return err
+		}
+		for _, sc := range c.clients {
+			sc.queue(&protocol.Message{
+				Type: protocol.TypeShardWin,
+				Task: task, Phone: winner, Runner: runner, Slot: t,
+			})
+		}
+		res.Assignments = append(res.Assignments, core.Assignment{Task: task, Phone: winner, Slot: t})
+	}
+
+	// Unconsumed candidates (including the surviving runner-up) return
+	// to their owning pools. The coordinator's local pools never popped
+	// them — only remote pools did — so push-back is remote-only.
+	for s, sc := range c.clients {
+		rest := c.pulled[s][c.taken[s]:]
+		for _, ph := range rest {
+			sc.queue(&protocol.Message{Type: protocol.TypePushback, Phone: ph})
+		}
+		if c.inst != nil && len(rest) > 0 {
+			c.inst.Pushbacks[s].Add(uint64(len(rest)))
+		}
+	}
+	return nil
+}
+
+// headLess orders shards by their current head candidate.
+func (c *Coordinator) headLess(sa, sb int) bool {
+	pa := c.pulled[sa][c.taken[sa]]
+	pb := c.pulled[sb][c.taken[sb]]
+	ca, cb := c.local.Bid(pa).Cost, c.local.Bid(pb).Cost
+	if ca != cb {
+		return ca < cb
+	}
+	return pa < pb
+}
+
+func (c *Coordinator) headsPush(s int) {
+	c.heads = append(c.heads, s)
+	i := len(c.heads) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !c.headLess(c.heads[i], c.heads[parent]) {
+			break
+		}
+		c.heads[i], c.heads[parent] = c.heads[parent], c.heads[i]
+		i = parent
+	}
+}
+
+// advanceHead moves the top shard past its consumed head, topping it up
+// over the wire (batch = remaining demand) when its buffer is
+// exhausted, dropping it when the shard is dry, and restoring the heap.
+func (c *Coordinator) advanceHead(t core.Slot, demand int, consumed core.PhoneID) error {
+	s := c.heads[0]
+	if c.taken[s] >= len(c.pulled[s]) {
+		if err := c.fetch(s, protocol.TypeTopup, t, demand, consumed); err != nil {
+			return err
+		}
+		if c.taken[s] >= len(c.pulled[s]) {
+			last := len(c.heads) - 1
+			c.heads[0] = c.heads[last]
+			c.heads = c.heads[:last]
+		}
+	}
+	c.headsFix()
+	return nil
+}
+
+// headsFix sifts heads[0] down after its key changed or was replaced.
+func (c *Coordinator) headsFix() {
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(c.heads) && c.headLess(c.heads[l], c.heads[small]) {
+			small = l
+		}
+		if r < len(c.heads) && c.headLess(c.heads[r], c.heads[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		c.heads[i], c.heads[small] = c.heads[small], c.heads[i]
+		i = small
+	}
+}
+
+// settle finalizes payments for winners whose reported departure is
+// slot t: the price fan-out runs one batched RPC per owning shard in
+// parallel (pricing is read-only on the replicas), then payments apply
+// locally and replicate in ascending phone ID — the sequential engine's
+// payout order.
+func (c *Coordinator) settle(t core.Slot, res *core.SlotResult) error {
+	deps := c.local.Departing(t)
+	if c.trackDepartures && len(deps) > 0 {
+		res.Departed = append(res.Departed, deps...)
+	}
+	perShard := make([][]core.PhoneID, len(c.clients))
+	payable := 0
+	for _, ph := range deps {
+		if c.local.WonAt(ph) == 0 || !c.local.Payable(ph) {
+			continue
+		}
+		s := shard.ShardOf(ph, len(c.clients))
+		perShard[s] = append(perShard[s], ph)
+		payable++
+	}
+	if payable == 0 {
+		return nil
+	}
+
+	amounts := make([]map[core.PhoneID]float64, len(c.clients))
+	errs := make([]error, len(c.clients))
+	var wg sync.WaitGroup
+	for s := range c.clients {
+		if len(perShard[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			amounts[s], errs[s] = c.priceShard(s, perShard[s])
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	for _, ph := range deps {
+		if c.local.WonAt(ph) == 0 || !c.local.Payable(ph) {
+			continue
+		}
+		amount := amounts[shard.ShardOf(ph, len(c.clients))][ph]
+		if err := c.local.Paid(ph, amount, t); err != nil {
+			return err
+		}
+		for _, sc := range c.clients {
+			sc.queue(&protocol.Message{Type: protocol.TypeShardPaid, Phone: ph, Amount: amount, Slot: t})
+		}
+		res.Payments = append(res.Payments, core.PaymentNotice{Phone: ph, Amount: amount})
+	}
+	return nil
+}
+
+// priceShard asks shard s to price its departing winners, one batched
+// round-trip, reseeding and retrying on failure (pricing is read-only,
+// so a retry after reseed is trivially safe).
+func (c *Coordinator) priceShard(s int, phones []core.PhoneID) (map[core.PhoneID]float64, error) {
+	sc := c.clients[s]
+	var err error
+	for attempt := 0; attempt < fetchRetries; attempt++ {
+		if attempt > 0 || sc.broken {
+			if err2 := c.reseed(sc); err2 != nil {
+				return nil, err2
+			}
+		}
+		rpcStart := time.Now()
+		var out map[core.PhoneID]float64
+		out, err = sc.prices(phones)
+		if c.inst != nil {
+			c.inst.RPCSeconds.Observe(time.Since(rpcStart).Seconds())
+		}
+		c.rpcs.Add(1)
+		if err == nil {
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("dshard: shard %d price fan-out: %w", s, err)
+}
+
+// Now returns the last processed slot; Done whether the round is over.
+func (c *Coordinator) Now() core.Slot { return c.local.Now() }
+func (c *Coordinator) Done() bool     { return c.local.Now() >= c.local.Slots() }
+
+// Shards returns the number of shard servers the coordinator drives.
+func (c *Coordinator) Shards() int { return len(c.clients) }
+
+// Outcome assembles the round outcome so far from the authoritative
+// local replica; Instance returns the accumulated bids and tasks.
+func (c *Coordinator) Outcome() *core.Outcome   { return c.local.Outcome() }
+func (c *Coordinator) Instance() *core.Instance { return c.local.Instance() }
+
+// Snapshot serializes the authoritative local state in the
+// engine-portable v1 format — the same stream that reseeds shards.
+func (c *Coordinator) Snapshot() ([]byte, error) { return c.local.Snapshot() }
+
+// SetPaymentEngine selects the engine used for outcome assembly and
+// default re-allocation (nil: cascade). Departure pricing on the shard
+// servers always runs the cascade engine; every engine prices
+// identically by the differential contract, so outcomes are unchanged.
+func (c *Coordinator) SetPaymentEngine(e core.PaymentEngine) { c.local.SetEngine(e) }
+
+// SetMetrics instruments the hot path (nil disables).
+func (c *Coordinator) SetMetrics(m *core.Metrics) { c.metrics = m }
+
+// SetInstruments attaches the distributed observability bundle; a
+// shape mismatch drops it rather than mis-attributing series.
+func (c *Coordinator) SetInstruments(m *Metrics) {
+	if m != nil && len(m.Pulls) != len(c.clients) {
+		m = nil
+	}
+	c.inst = m
+}
+
+// SetTracer attaches a structured event tracer (shard_rpc events).
+func (c *Coordinator) SetTracer(tr *obs.Tracer) { c.tracer = tr }
+
+// TrackDepartures toggles SlotResult.Departed population.
+func (c *Coordinator) TrackDepartures(on bool) { c.trackDepartures = on }
+
+// TrackCompletions toggles the assignment lifecycle, locally and on
+// every replica.
+func (c *Coordinator) TrackCompletions(on bool) {
+	c.local.Track(on)
+	count := 0
+	if on {
+		count = 1
+	}
+	for _, sc := range c.clients {
+		sc.queue(&protocol.Message{Type: protocol.TypeShardTrack, Count: count})
+		sc.flush()
+	}
+}
+
+// Complete marks phone p's assignment delivered, locally first, then on
+// every replica.
+func (c *Coordinator) Complete(p core.PhoneID) error {
+	if err := c.local.Complete(p); err != nil {
+		return err
+	}
+	for _, sc := range c.clients {
+		sc.queue(&protocol.Message{Type: protocol.TypeShardComplete, Phone: p})
+		sc.flush()
+	}
+	return nil
+}
+
+// Default marks phone p's assignment failed at the current slot,
+// re-allocating its task (see core.Ledger.DefaultWinner), locally
+// first, then on every replica (the re-allocation is deterministic from
+// ledger state, so replicas converge).
+func (c *Coordinator) Default(p core.PhoneID) (*core.DefaultResult, error) {
+	now := c.local.Now()
+	dr, err := c.local.Default(p, now)
+	if err != nil {
+		return nil, err
+	}
+	for _, sc := range c.clients {
+		sc.queue(&protocol.Message{Type: protocol.TypeShardDefault, Phone: p, Slot: now})
+		sc.flush()
+	}
+	return dr, nil
+}
+
+// Completion returns phone p's lifecycle view; CompletionCounts the
+// aggregate outcomes.
+func (c *Coordinator) Completion(p core.PhoneID) core.CompletionState { return c.local.Completion(p) }
+func (c *Coordinator) CompletionCounts() core.CompletionCounts        { return c.local.CompletionCounts() }
+
+var _ core.Auction = (*Coordinator)(nil)

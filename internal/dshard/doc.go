@@ -1,0 +1,42 @@
+// Package dshard runs the online mechanism across processes: shard
+// server processes each own one hash partition of the active-bid pool,
+// and a coordinator performs the sharded engine's exact k-way top-k
+// merge over the wire.
+//
+// The design promotes internal/shard's in-process architecture to a
+// networked deployment without giving up its exactness bar:
+//
+//   - Each shard server holds a shard.Replica — a full mirror of the
+//     auction ledger plus the bid-pool heap of the one partition it
+//     owns — seeded over the wire from the engine-portable v1 snapshot
+//     and kept current by replicated mutations (protocol.TypeShardAdmit
+//     and friends). Full mirroring is what lets a shard price
+//     departures locally: the cascade critical-value computation reads
+//     the whole bid set.
+//
+//   - The Coordinator implements core.Auction. It applies every
+//     mutation to its own local Replica first and only then replicates,
+//     so its snapshot is authoritative at every instant — a shard
+//     server is pure disposable cache. Per slot it pipelines one
+//     speculative pull per shard (batch sized by the slot's task demand
+//     r_t), merges the returned candidate heads in the sequential
+//     engine's exact (cost, phone ID) order, tops up a shard only when
+//     its winners outrun its batch, and pushes unconsumed candidates
+//     back — so a slot costs O(1) round-trips per shard in the common
+//     case. Departure pricing fans `price` RPCs to the owning shards in
+//     parallel, one round-trip per shard per slot.
+//
+//   - Recovery: when any RPC fails (connection cut, torn frame,
+//     restarted server), the coordinator redials and reseeds the shard
+//     by streaming its current snapshot; the server rebuilds the
+//     replica by deterministic replay, mid-slot included, and the
+//     coordinator re-pulls that shard's unconsumed candidates. Winners
+//     already recorded locally are never re-decided, and payments are
+//     executed exactly once (locally, after the price fan-in), so a
+//     shard lost mid-round cannot change the outcome. The chaos
+//     recovery tests kill and restart servers mid-merge to pin this.
+//
+// docs/DISTRIBUTED.md spells out the topology, the exactness-over-RPC
+// argument, and the single-host caveats; TestDistributedDifferentialSweep
+// enforces bit-identical outcomes against core.OnlineAuction.
+package dshard

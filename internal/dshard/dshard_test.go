@@ -1,0 +1,548 @@
+package dshard_test
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dynacrowd/internal/chaos"
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/dshard"
+	"dynacrowd/internal/obs"
+	"dynacrowd/internal/workload"
+)
+
+// testCluster hosts S shard servers over in-memory listeners with an
+// optional chaos plan battering every coordinator-dialed connection,
+// plus kill/restart hooks for the recovery tests.
+type testCluster struct {
+	t    *testing.T
+	co   *dshard.Coordinator
+	plan *chaos.Plan
+
+	mu        sync.Mutex
+	listeners []*chaos.MemListener
+	servers   []*dshard.Server
+	dials     atomic.Int64
+}
+
+func startCluster(t *testing.T, shards int, slots core.Slot, value float64, atLoss bool, plan *chaos.Plan, wire string) *testCluster {
+	t.Helper()
+	tc := &testCluster{
+		t:         t,
+		plan:      plan,
+		listeners: make([]*chaos.MemListener, shards),
+		servers:   make([]*dshard.Server, shards),
+	}
+	addrs := make([]string, shards)
+	for s := 0; s < shards; s++ {
+		tc.bootServer(s)
+		addrs[s] = "shard-" + strconv.Itoa(s)
+	}
+	co, err := dshard.New(dshard.Options{
+		Addrs: addrs, Slots: slots, Value: value, AllocateAtLoss: atLoss,
+		Dial: tc.dial, Wire: wire, Backoff: time.Millisecond,
+	})
+	if err != nil {
+		tc.Close()
+		t.Fatalf("start cluster: %v", err)
+	}
+	tc.co = co
+	t.Cleanup(func() { tc.Close() })
+	return tc
+}
+
+func (tc *testCluster) bootServer(s int) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.listeners[s] = chaos.NewMemListener(8)
+	tc.servers[s] = &dshard.Server{}
+	go tc.servers[s].Serve(tc.listeners[s])
+}
+
+func (tc *testCluster) dial(addr string) (net.Conn, error) {
+	s, err := strconv.Atoi(strings.TrimPrefix(addr, "shard-"))
+	if err != nil {
+		return nil, fmt.Errorf("bad test address %q", addr)
+	}
+	tc.mu.Lock()
+	ln := tc.listeners[s]
+	tc.mu.Unlock()
+	c, err := ln.Dial()
+	if err != nil {
+		return nil, err
+	}
+	if tc.plan != nil {
+		return chaos.WrapConn(c, *tc.plan, tc.dials.Add(1)), nil
+	}
+	return c, nil
+}
+
+// killShard severs shard s — listener and every live session die, like
+// a shard-server process crash.
+func (tc *testCluster) killShard(s int) {
+	tc.mu.Lock()
+	srv := tc.servers[s]
+	tc.mu.Unlock()
+	srv.Close()
+}
+
+// restartShard boots a fresh, empty server at shard s's address.
+func (tc *testCluster) restartShard(s int) { tc.bootServer(s) }
+
+func (tc *testCluster) Close() {
+	if tc.co != nil {
+		tc.co.Close()
+	}
+	tc.mu.Lock()
+	servers := append([]*dshard.Server(nil), tc.servers...)
+	tc.mu.Unlock()
+	for _, srv := range servers {
+		if srv != nil {
+			srv.Close()
+		}
+	}
+}
+
+// sweepPlan is the fault schedule for the differential sweep: latency
+// jitter, chunked writes, torn frames, and clean mid-stream hangups on
+// every coordinator connection, armed after the handshake so the very
+// first seed usually lands.
+func sweepPlan(seed int64) *chaos.Plan {
+	return &chaos.Plan{
+		Seed:           seed,
+		LatencyProb:    0.02,
+		MaxLatency:     200 * time.Microsecond,
+		ChunkBytes:     61,
+		TruncateProb:   0.004,
+		DisconnectProb: 0.008,
+		ArmAfterBytes:  2048,
+	}
+}
+
+func streamPlan(in *core.Instance) ([][]core.StreamBid, []int) {
+	byArrival := make([][]core.StreamBid, in.Slots+1)
+	for _, b := range in.Bids {
+		byArrival[b.Arrival] = append(byArrival[b.Arrival], core.StreamBid{Departure: b.Departure, Cost: b.Cost})
+	}
+	return byArrival, in.TasksPerSlot()
+}
+
+func genInstance(t testing.TB, seed uint64) *core.Instance {
+	t.Helper()
+	scn := workload.DefaultScenario()
+	scn.Slots = 30
+	in, err := scn.Generate(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func sameNotices(a, b []core.PaymentNotice) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Phone != b[i].Phone || math.Float64bits(a[i].Amount) != math.Float64bits(b[i].Amount) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameSlot(t *testing.T, label string, want, got *core.SlotResult) {
+	t.Helper()
+	if len(want.Joined) != len(got.Joined) || want.Unserved != got.Unserved {
+		t.Fatalf("%s: joined/unserved mismatch: %+v vs %+v", label, got, want)
+	}
+	if len(want.Assignments) != len(got.Assignments) {
+		t.Fatalf("%s: %d assignments != %d", label, len(got.Assignments), len(want.Assignments))
+	}
+	for k := range want.Assignments {
+		if want.Assignments[k] != got.Assignments[k] {
+			t.Fatalf("%s: assignment %d: %+v != %+v", label, k, got.Assignments[k], want.Assignments[k])
+		}
+	}
+	if !sameNotices(want.Payments, got.Payments) {
+		t.Fatalf("%s: payments %+v != %+v", label, got.Payments, want.Payments)
+	}
+	if len(want.Departed) != len(got.Departed) {
+		t.Fatalf("%s: departed %v != %v", label, got.Departed, want.Departed)
+	}
+	for k := range want.Departed {
+		if want.Departed[k] != got.Departed[k] {
+			t.Fatalf("%s: departed %v != %v", label, got.Departed, want.Departed)
+		}
+	}
+}
+
+func sameOutcome(t *testing.T, label string, want, got *core.Outcome) {
+	t.Helper()
+	if len(want.Allocation.ByTask) != len(got.Allocation.ByTask) {
+		t.Fatalf("%s: task count %d != %d", label, len(got.Allocation.ByTask), len(want.Allocation.ByTask))
+	}
+	for k := range want.Allocation.ByTask {
+		if want.Allocation.ByTask[k] != got.Allocation.ByTask[k] {
+			t.Fatalf("%s: task %d winner %d != %d", label, k, got.Allocation.ByTask[k], want.Allocation.ByTask[k])
+		}
+	}
+	for i := range want.Allocation.WonAt {
+		if want.Allocation.WonAt[i] != got.Allocation.WonAt[i] {
+			t.Fatalf("%s: phone %d winning slot %d != %d", label, i, got.Allocation.WonAt[i], want.Allocation.WonAt[i])
+		}
+	}
+	if len(want.Payments) != len(got.Payments) {
+		t.Fatalf("%s: payment vector %d != %d", label, len(got.Payments), len(want.Payments))
+	}
+	for i := range want.Payments {
+		if math.Float64bits(want.Payments[i]) != math.Float64bits(got.Payments[i]) {
+			t.Fatalf("%s: phone %d payment %v != %v (bitwise)", label, i, got.Payments[i], want.Payments[i])
+		}
+	}
+	if math.Float64bits(want.Welfare) != math.Float64bits(got.Welfare) {
+		t.Fatalf("%s: welfare %v != %v (bitwise)", label, got.Welfare, want.Welfare)
+	}
+}
+
+// TestDistributedStepParity drives a coordinator+shards cluster and the
+// sequential engine through identical streams on a clean transport and
+// requires every per-slot result — assignments, unserved counts,
+// departures, payment notices (bitwise floats) — to match.
+func TestDistributedStepParity(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 4, 8} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			in := genInstance(t, seed)
+			byArrival, perSlot := streamPlan(in)
+
+			seq, err := core.NewOnlineAuction(in.Slots, in.Value, in.AllocateAtLoss)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq.TrackDepartures(true)
+			tc := startCluster(t, shards, in.Slots, in.Value, in.AllocateAtLoss, nil, "")
+			tc.co.TrackDepartures(true)
+
+			label := fmt.Sprintf("s=%d seed=%d", shards, seed)
+			for s := core.Slot(1); s <= in.Slots; s++ {
+				want, err := seq.Step(byArrival[s], perSlot[s-1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := tc.co.Step(byArrival[s], perSlot[s-1])
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameSlot(t, fmt.Sprintf("%s slot %d", label, s), want, got)
+			}
+			sameOutcome(t, label, seq.Outcome(), tc.co.Outcome())
+			tc.Close()
+		}
+	}
+}
+
+// TestDistributedDifferentialSweep is the distributed exactness
+// contract: across ≥208 seeded rounds (52 seeds × shard counts 1, 2, 4,
+// 8) a coordinator + S shard-server cluster over chaos-battered
+// in-memory connections — latency jitter, segmented writes, torn
+// frames, mid-stream disconnects forcing snapshot reseeds — produces
+// allocations, payment vectors, and welfare bit-identical to
+// core.OnlineAuction. The completions subtest repeats the check with
+// the PR 6 realization scripts deciding, slot by slot, which winners
+// deliver and which default.
+func TestDistributedDifferentialSweep(t *testing.T) {
+	t.Run("outcomes", func(t *testing.T) {
+		const seeds = 52
+		rounds := 0
+		for _, shards := range []int{1, 2, 4, 8} {
+			for seed := uint64(1); seed <= seeds; seed++ {
+				in := genInstance(t, seed)
+				byArrival, perSlot := streamPlan(in)
+
+				seq, err := core.NewOnlineAuction(in.Slots, in.Value, in.AllocateAtLoss)
+				if err != nil {
+					t.Fatal(err)
+				}
+				plan := sweepPlan(int64(seed)*100 + int64(shards))
+				tc := startCluster(t, shards, in.Slots, in.Value, in.AllocateAtLoss, plan, "")
+
+				label := fmt.Sprintf("s=%d seed=%d", shards, seed)
+				for s := core.Slot(1); s <= in.Slots; s++ {
+					want, err := seq.Step(byArrival[s], perSlot[s-1])
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := tc.co.Step(byArrival[s], perSlot[s-1])
+					if err != nil {
+						t.Fatalf("%s slot %d: %v", label, s, err)
+					}
+					sameSlot(t, fmt.Sprintf("%s slot %d", label, s), want, got)
+				}
+				sameOutcome(t, label, seq.Outcome(), tc.co.Outcome())
+				tc.Close()
+				rounds++
+			}
+		}
+		if rounds < 200 {
+			t.Fatalf("differential sweep covered %d rounds, want >= 200", rounds)
+		}
+	})
+
+	t.Run("completions", func(t *testing.T) {
+		for _, seed := range []uint64{1, 7, 42} {
+			in := genInstance(t, seed)
+			rel, err := workload.ChaosModel().Realize(in, seed+100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			byArrival, perSlot := streamPlan(in)
+
+			for _, shards := range []int{1, 2, 4, 8} {
+				ref, err := core.NewOnlineAuction(in.Slots, in.Value, false)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref.TrackCompletions(true)
+				plan := sweepPlan(int64(seed)*1000 + int64(shards))
+				tc := startCluster(t, shards, in.Slots, in.Value, false, plan, "")
+				tc.co.TrackCompletions(true)
+
+				label := fmt.Sprintf("completions s=%d seed=%d", shards, seed)
+				for s := core.Slot(1); s <= in.Slots; s++ {
+					want, err := ref.Step(byArrival[s], perSlot[s-1])
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := tc.co.Step(byArrival[s], perSlot[s-1])
+					if err != nil {
+						t.Fatalf("%s slot %d: %v", label, s, err)
+					}
+					// Resolve mutates the slot result (appends replacement
+					// payments), so run it on both before comparing.
+					wc, wd, err := rel.Resolve(ref, want)
+					if err != nil {
+						t.Fatal(err)
+					}
+					gc, gd, err := rel.Resolve(tc.co, got)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if wc != gc || wd != gd {
+						t.Fatalf("%s slot %d: resolved (%d,%d) != (%d,%d)", label, s, gc, gd, wc, wd)
+					}
+					sameSlot(t, fmt.Sprintf("%s slot %d", label, s), want, got)
+				}
+				sameOutcome(t, label, ref.Outcome(), tc.co.Outcome())
+				if a, b := ref.CompletionCounts(), tc.co.CompletionCounts(); a != b {
+					t.Fatalf("%s: counts %+v != %+v", label, b, a)
+				}
+				for i := 0; i < len(in.Bids); i++ {
+					if a, b := ref.Completion(core.PhoneID(i)), tc.co.Completion(core.PhoneID(i)); a != b {
+						t.Fatalf("%s: phone %d state %+v != %+v", label, i, b, a)
+					}
+				}
+				tc.Close()
+			}
+		}
+	})
+}
+
+// TestDistributedWireJSON repeats a parity round over the JSON frame
+// fallback, pinning that both negotiated formats drive the same
+// replicated-operation semantics.
+func TestDistributedWireJSON(t *testing.T) {
+	in := genInstance(t, 11)
+	byArrival, perSlot := streamPlan(in)
+	seq, err := core.NewOnlineAuction(in.Slots, in.Value, in.AllocateAtLoss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := startCluster(t, 4, in.Slots, in.Value, in.AllocateAtLoss, sweepPlan(77), "json")
+	for s := core.Slot(1); s <= in.Slots; s++ {
+		want, err := seq.Step(byArrival[s], perSlot[s-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tc.co.Step(byArrival[s], perSlot[s-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameSlot(t, fmt.Sprintf("json slot %d", s), want, got)
+	}
+	sameOutcome(t, "json", seq.Outcome(), tc.co.Outcome())
+}
+
+// TestDistributedSnapshotRestore checkpoints a distributed round
+// mid-way, tears the whole cluster down, resumes on a fresh cluster
+// with a different shard count from the snapshot alone, and requires
+// the final outcome to match an uninterrupted sequential run bitwise.
+func TestDistributedSnapshotRestore(t *testing.T) {
+	in := genInstance(t, 7)
+	byArrival, perSlot := streamPlan(in)
+	cut := in.Slots / 2
+
+	seq, err := core.NewOnlineAuction(in.Slots, in.Value, in.AllocateAtLoss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := core.Slot(1); s <= in.Slots; s++ {
+		if _, err := seq.Step(byArrival[s], perSlot[s-1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := seq.Outcome()
+
+	tc := startCluster(t, 4, in.Slots, in.Value, in.AllocateAtLoss, nil, "")
+	for s := core.Slot(1); s <= cut; s++ {
+		if _, err := tc.co.Step(byArrival[s], perSlot[s-1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := tc.co.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.Close()
+
+	for _, shards := range []int{1, 2, 8} {
+		tc2 := startCluster(t, shards, in.Slots, in.Value, in.AllocateAtLoss, nil, "")
+		tc2.co.Close() // replace the fresh coordinator with a restored one
+		addrs := make([]string, shards)
+		for s := range addrs {
+			addrs[s] = "shard-" + strconv.Itoa(s)
+		}
+		co, err := dshard.Restore(snap, dshard.Options{
+			Addrs: addrs, Dial: tc2.dial, Backoff: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("restore with %d shards: %v", shards, err)
+		}
+		tc2.co = co
+		if co.Now() != cut {
+			t.Fatalf("restored clock %d, want %d", co.Now(), cut)
+		}
+		for s := cut + 1; s <= in.Slots; s++ {
+			if _, err := co.Step(byArrival[s], perSlot[s-1]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sameOutcome(t, fmt.Sprintf("restore s=%d", shards), want, co.Outcome())
+		tc2.Close()
+	}
+}
+
+// TestDistributedShardRestart kills one shard-server process mid-round,
+// restarts it empty at the same address, and requires the coordinator
+// to reseed it from its snapshot and finish with the exact sequential
+// outcome — and every winner paid exactly once.
+func TestDistributedShardRestart(t *testing.T) {
+	in := genInstance(t, 13)
+	byArrival, perSlot := streamPlan(in)
+
+	seq, err := core.NewOnlineAuction(in.Slots, in.Value, in.AllocateAtLoss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := startCluster(t, 4, in.Slots, in.Value, in.AllocateAtLoss, nil, "")
+	reg := obs.NewRegistry()
+	inst := dshard.NewMetrics(reg, 4)
+	tc.co.SetInstruments(inst)
+
+	paidCount := make(map[core.PhoneID]int)
+	for s := core.Slot(1); s <= in.Slots; s++ {
+		// A rolling outage: a different shard dies (and is restarted
+		// cold) every few slots, including back-to-back kills.
+		if s%5 == 0 {
+			victim := (int(s) / 5) % 4
+			tc.killShard(victim)
+			tc.restartShard(victim)
+		}
+		want, err := seq.Step(byArrival[s], perSlot[s-1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := tc.co.Step(byArrival[s], perSlot[s-1])
+		if err != nil {
+			t.Fatalf("slot %d: %v", s, err)
+		}
+		sameSlot(t, fmt.Sprintf("slot %d", s), want, got)
+		for _, n := range got.Payments {
+			paidCount[n.Phone]++
+		}
+	}
+	sameOutcome(t, "shard restart", seq.Outcome(), tc.co.Outcome())
+
+	out := tc.co.Outcome()
+	for ph, n := range paidCount {
+		if n != 1 {
+			t.Fatalf("phone %d paid %d times", ph, n)
+		}
+		if out.Allocation.WonAt[ph] == 0 {
+			t.Fatalf("non-winner %d was paid", ph)
+		}
+	}
+	reseeds := uint64(0)
+	for s := 0; s < 4; s++ {
+		reseeds += inst.Reseeds[s].Value()
+	}
+	if reseeds == 0 {
+		t.Fatal("no reseeds recorded — the kills never exercised recovery")
+	}
+}
+
+// TestClusterMechanism sanity-checks the crowdsim adapter: a full
+// batch-instance run through a real cluster matches the sequential
+// mechanism bitwise.
+func TestClusterMechanism(t *testing.T) {
+	baseline := &core.OnlineMechanism{}
+	for _, shards := range []int{1, 3} {
+		mech := &dshard.Mechanism{Shards: shards}
+		for seed := uint64(1); seed <= 2; seed++ {
+			in := genInstance(t, seed)
+			want, err := baseline.Run(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := mech.Run(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameOutcome(t, fmt.Sprintf("mech s=%d seed=%d", shards, seed), want, got)
+		}
+	}
+}
+
+// TestCoordinatorErrors covers construction and step guards.
+func TestCoordinatorErrors(t *testing.T) {
+	if _, err := dshard.New(dshard.Options{Slots: 10, Value: 30}); err == nil {
+		t.Fatal("want error for no addresses")
+	}
+	if _, err := dshard.New(dshard.Options{
+		Addrs: []string{"a"}, Slots: 10, Value: 30, Wire: "bogus",
+		Dial: func(string) (net.Conn, error) { return nil, fmt.Errorf("unused") },
+	}); err == nil {
+		t.Fatal("want error for unknown wire format")
+	}
+	tc := startCluster(t, 2, 1, 30, false, nil, "")
+	if _, err := tc.co.Step(nil, -1); err == nil {
+		t.Fatal("want error for negative task count")
+	}
+	if _, err := tc.co.Step(nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tc.co.Step(nil, 0); err == nil {
+		t.Fatal("want error after round completes")
+	}
+	tc.co.Close()
+	tc2 := startCluster(t, 2, 5, 30, false, nil, "")
+	tc2.co.Close()
+	if _, err := tc2.co.Step(nil, 0); err == nil {
+		t.Fatal("want error after Close")
+	}
+}

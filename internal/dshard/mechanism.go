@@ -1,0 +1,149 @@
+package dshard
+
+import (
+	"fmt"
+	"net"
+
+	"dynacrowd/internal/chaos"
+	"dynacrowd/internal/core"
+)
+
+// Cluster is a self-hosted distributed deployment for tests, sweeps,
+// and crowdsim: S in-process shard Servers over in-memory listeners
+// (chaos.MemListener) plus a Coordinator dialing them. The data path is
+// the real one — every candidate, win, and payment crosses the
+// length-prefixed wire — only the transport is a pipe instead of TCP.
+type Cluster struct {
+	Servers   []*Server
+	Listeners []*chaos.MemListener
+	Co        *Coordinator
+}
+
+// StartCluster boots S shard servers and a coordinator for one round.
+// opts.Addrs and opts.Dial are overwritten to target the in-memory
+// listeners; every other option is honored.
+func StartCluster(shards int, opts Options) (*Cluster, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("dshard: cluster needs at least 1 shard, got %d", shards)
+	}
+	cl := &Cluster{
+		Servers:   make([]*Server, shards),
+		Listeners: make([]*chaos.MemListener, shards),
+	}
+	for s := 0; s < shards; s++ {
+		cl.Listeners[s] = chaos.NewMemListener(8)
+		cl.Servers[s] = &Server{}
+		go cl.Servers[s].Serve(cl.Listeners[s])
+	}
+	opts.Addrs = make([]string, shards)
+	for s := range opts.Addrs {
+		opts.Addrs[s] = fmt.Sprintf("mem://shard/%d", s)
+	}
+	listeners := cl.Listeners
+	opts.Dial = func(addr string) (net.Conn, error) {
+		for s, a := range opts.Addrs {
+			if a == addr {
+				return listeners[s].Dial()
+			}
+		}
+		return nil, fmt.Errorf("dshard: unknown cluster address %s", addr)
+	}
+	co, err := New(opts)
+	if err != nil {
+		cl.Close()
+		return nil, err
+	}
+	cl.Co = co
+	return cl, nil
+}
+
+// Close tears the whole cluster down: coordinator first, then servers.
+func (cl *Cluster) Close() error {
+	if cl.Co != nil {
+		cl.Co.Close()
+	}
+	for _, srv := range cl.Servers {
+		if srv != nil {
+			srv.Close()
+		}
+	}
+	return nil
+}
+
+// Mechanism adapts the distributed deployment to core.Mechanism so
+// sweeps and differential tests can run batch instances through a real
+// coordinator + shard-server cluster. Each Run boots a fresh Cluster
+// (safe for concurrent use) and streams the instance slot by slot,
+// mirroring shard.Mechanism's remapping.
+type Mechanism struct {
+	// Shards is the shard-server count (0 or negative: 1).
+	Shards int
+	// Wire names the frame format (empty: binary).
+	Wire string
+}
+
+// Name implements Mechanism.
+func (dm *Mechanism) Name() string {
+	return fmt.Sprintf("dshard-greedy-s%d", dm.shards())
+}
+
+func (dm *Mechanism) shards() int {
+	if dm.Shards < 1 {
+		return 1
+	}
+	return dm.Shards
+}
+
+// Run implements Mechanism. For arrival-ordered instances (every
+// workload generator's output) phone IDs survive streaming unchanged
+// and the outcome is bit-identical to OnlineMechanism's; otherwise IDs
+// are remapped through the delivery permutation.
+func (dm *Mechanism) Run(in *core.Instance) (*core.Outcome, error) {
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("dshard mechanism: %w", err)
+	}
+	cl, err := StartCluster(dm.shards(), Options{
+		Slots: in.Slots, Value: in.Value, AllocateAtLoss: in.AllocateAtLoss,
+		Wire: dm.Wire,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dshard mechanism: %w", err)
+	}
+	defer cl.Close()
+
+	byArrival := make([][]int, in.Slots+1)
+	for i, b := range in.Bids {
+		byArrival[b.Arrival] = append(byArrival[b.Arrival], i)
+	}
+	perSlot := in.TasksPerSlot()
+	perm := make([]core.PhoneID, 0, len(in.Bids)) // stream ID -> instance ID
+	arriving := make([]core.StreamBid, 0, 8)
+	for t := core.Slot(1); t <= in.Slots; t++ {
+		arriving = arriving[:0]
+		for _, i := range byArrival[t] {
+			arriving = append(arriving, core.StreamBid{Departure: in.Bids[i].Departure, Cost: in.Bids[i].Cost})
+			perm = append(perm, core.PhoneID(i))
+		}
+		if _, err := cl.Co.Step(arriving, perSlot[t-1]); err != nil {
+			return nil, fmt.Errorf("dshard mechanism: slot %d: %w", t, err)
+		}
+	}
+
+	got := cl.Co.Outcome()
+	out := &core.Outcome{
+		Allocation: core.NewAllocation(in.NumTasks(), in.NumPhones()),
+		Payments:   make([]float64, in.NumPhones()),
+	}
+	for k, ph := range got.Allocation.ByTask {
+		if ph != core.NoPhone {
+			out.Allocation.Assign(core.TaskID(k), perm[ph], got.Allocation.WonAt[ph])
+		}
+	}
+	for j, amount := range got.Payments {
+		out.Payments[perm[j]] = amount
+	}
+	out.Welfare = out.Allocation.Welfare(in)
+	return out, nil
+}
+
+var _ core.Mechanism = (*Mechanism)(nil)

@@ -1,0 +1,52 @@
+package dshard
+
+import (
+	"strconv"
+
+	"dynacrowd/internal/obs"
+)
+
+// Metrics is the distributed coordinator's observability bundle. All
+// instruments are nil-safe; a nil *Metrics (or nil registry) disables
+// instrumentation.
+type Metrics struct {
+	// RPCSeconds observes every coordinator RPC round-trip — pull,
+	// top-up, price fan-out, and reseed — end to end including queueing
+	// and the reply read (dynacrowd_dshard_rpc_seconds).
+	RPCSeconds *obs.Histogram
+	// Pulls[s], Topups[s], and Pushbacks[s] count merge traffic per
+	// shard (dynacrowd_dshard_{pulls,topups,pushbacks}_total{shard}).
+	Pulls     []*obs.Counter
+	Topups    []*obs.Counter
+	Pushbacks []*obs.Counter
+	// Reseeds[s] counts snapshot reseeds of shard s — each one is a
+	// shard server lost and recovered
+	// (dynacrowd_dshard_reseeds_total{shard}).
+	Reseeds []*obs.Counter
+}
+
+// NewMetrics registers the coordinator instruments for the given shard
+// count. Registration is idempotent per (name, shard) pair; a nil
+// registry returns a usable all-no-op bundle.
+func NewMetrics(r *obs.Registry, shards int) *Metrics {
+	m := &Metrics{
+		RPCSeconds: r.Histogram("dynacrowd_dshard_rpc_seconds",
+			"Coordinator-to-shard RPC round-trip latency in seconds.", obs.LatencyBuckets),
+		Pulls:     make([]*obs.Counter, shards),
+		Topups:    make([]*obs.Counter, shards),
+		Pushbacks: make([]*obs.Counter, shards),
+		Reseeds:   make([]*obs.Counter, shards),
+	}
+	for s := 0; s < shards; s++ {
+		label := strconv.Itoa(s)
+		m.Pulls[s] = r.Counter("dynacrowd_dshard_pulls_total",
+			"Initial per-slot candidate pulls issued to each shard server.", "shard", label)
+		m.Topups[s] = r.Counter("dynacrowd_dshard_topups_total",
+			"Mid-merge top-up pulls issued to each shard server.", "shard", label)
+		m.Pushbacks[s] = r.Counter("dynacrowd_dshard_pushbacks_total",
+			"Unconsumed candidates pushed back to each shard server.", "shard", label)
+		m.Reseeds[s] = r.Counter("dynacrowd_dshard_reseeds_total",
+			"Snapshot reseeds of each shard server (lost-shard recoveries).", "shard", label)
+	}
+	return m
+}

@@ -1,0 +1,332 @@
+package dshard
+
+import (
+	"context"
+	"encoding/base64"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+	"time"
+
+	"dynacrowd/internal/protocol"
+	"dynacrowd/internal/shard"
+)
+
+// Server is one shard-server process: it accepts coordinator
+// connections and serves the replicated-operation protocol over each.
+// A server is partition-agnostic — the coordinator's shard-join names
+// which partition (and shard count) a connection owns, and the
+// snapshot stream that follows seeds the replica — so one binary
+// (cmd/crowd-shard) serves any slot in any topology, and a restarted
+// server needs no local state to rejoin.
+//
+// Each connection owns an independent replica. A coordinator that
+// loses its connection simply dials again and reseeds; the abandoned
+// session's replica is garbage the moment its connection dies.
+type Server struct {
+	// Logger receives session lifecycle events; nil discards.
+	Logger *slog.Logger
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// Serve accepts coordinator connections on ln until Close (or a fatal
+// listener error). It blocks; run it on its own goroutine when the
+// caller needs to keep working.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return net.ErrClosed
+	}
+	s.ln = ln
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]struct{})
+	}
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed || errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("dshard server: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.session(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+		}()
+	}
+}
+
+// Close stops accepting, severs every live session, and waits for the
+// session goroutines to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) logger() *slog.Logger {
+	if s.Logger != nil {
+		return s.Logger
+	}
+	return slog.New(discardHandler{})
+}
+
+// session runs one coordinator connection: wire negotiation, join +
+// snapshot seed, then the replicated-operation loop. Any protocol or
+// replica error ends the session — the coordinator recovers by
+// redialing and reseeding, so failing fast is always safe.
+func (s *Server) session(conn net.Conn) {
+	defer conn.Close()
+	log := s.logger()
+	r := protocol.NewReader(conn)
+	w := protocol.NewWriter(conn)
+
+	var (
+		rep        *shard.Replica
+		joinShard  = -1
+		joinShards = 0
+		snapBuf    []byte
+		seq        uint64
+		m          protocol.Message
+	)
+	fail := func(err error) {
+		log.Warn("dshard session ended", "remote", conn.RemoteAddr().String(), "err", err.Error())
+		// Best-effort: tell the coordinator why before the close lands.
+		// The deadline keeps a peer that is itself mid-write (and not
+		// reading) from wedging this session against a full pipe.
+		conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
+		w.Send(&protocol.Message{Type: protocol.TypeError, Error: err.Error()})
+	}
+	// needSeq guards request ops: the coordinator stamps each request
+	// with its count of post-seed messages; a mismatch means the two
+	// sides disagree about what has been applied, and the only safe
+	// move is to force a reseed by dropping the session.
+	needSeq := func() error {
+		if rep == nil {
+			return fmt.Errorf("dshard server: %s before snapshot seed", m.Type)
+		}
+		if m.Seq != seq {
+			return fmt.Errorf("dshard server: %s seq %d, applied %d — divergence", m.Type, m.Seq, seq)
+		}
+		seq++
+		return nil
+	}
+	// mutate guards fire-and-forget ops.
+	mutate := func() error {
+		if rep == nil {
+			return fmt.Errorf("dshard server: %s before snapshot seed", m.Type)
+		}
+		seq++
+		return nil
+	}
+
+	for {
+		if err := r.ReceiveInto(&m); err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				log.Warn("dshard session read", "remote", conn.RemoteAddr().String(), "err", err.Error())
+			}
+			return
+		}
+		switch m.Type {
+		case protocol.TypeHello:
+			f, err := protocol.FormatByName(m.Wire)
+			if err != nil {
+				fail(err)
+				return
+			}
+			reply := protocol.Message{Type: protocol.TypeState, Wire: m.Wire}
+			if err := w.Send(&reply); err != nil {
+				return
+			}
+			// The state reply is the last JSON message in either
+			// direction; both sides switch immediately after it.
+			w.SetFormat(f)
+			r.SetFormat(f)
+
+		case protocol.TypeShardJoin:
+			joinShard, joinShards = m.Shard, m.Shards
+			rep, snapBuf, seq = nil, snapBuf[:0], 0
+
+		case protocol.TypeShardSnapshot:
+			if joinShard < 0 {
+				fail(fmt.Errorf("dshard server: snapshot chunk before shard-join"))
+				return
+			}
+			raw, err := base64.StdEncoding.DecodeString(m.Data)
+			if err != nil {
+				fail(fmt.Errorf("dshard server: snapshot chunk: %w", err))
+				return
+			}
+			snapBuf = append(snapBuf, raw...)
+			if m.Count > 0 {
+				continue // more chunks follow
+			}
+			rep, err = shard.RestoreReplica(snapBuf, joinShard, joinShards)
+			if err != nil {
+				fail(err)
+				return
+			}
+			snapBuf, seq = snapBuf[:0], 0
+			log.Info("dshard replica seeded",
+				"remote", conn.RemoteAddr().String(),
+				"shard", joinShard, "shards", joinShards,
+				"now", int(rep.Now()), "pool", rep.PoolDepth())
+			if err := w.Send(&protocol.Message{Type: protocol.TypeAck, Seq: 0}); err != nil {
+				return
+			}
+
+		case protocol.TypePull, protocol.TypeTopup:
+			if err := needSeq(); err != nil {
+				fail(err)
+				return
+			}
+			cands, err := rep.Pull(m.Slot, m.Count)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if err := w.Queue(&protocol.Message{
+				Type: protocol.TypeCands, Slot: m.Slot, Count: len(cands), Seq: seq,
+			}); err != nil {
+				return
+			}
+			for _, ph := range cands {
+				if err := w.Queue(&protocol.Message{Type: protocol.TypeCand, Phone: ph}); err != nil {
+					return
+				}
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+
+		case protocol.TypePrice:
+			if err := needSeq(); err != nil {
+				fail(err)
+				return
+			}
+			amount, err := rep.Price(m.Phone)
+			if err != nil {
+				fail(err)
+				return
+			}
+			// The payment reply's fixed binary layout carries no seq;
+			// the echoed phone is the integrity check on this path.
+			if err := w.Send(&protocol.Message{
+				Type: protocol.TypePayment, Phone: m.Phone, Amount: amount, Slot: rep.Now(),
+			}); err != nil {
+				return
+			}
+
+		case protocol.TypeShardAdmit:
+			if err := apply(mutate, func() error {
+				return rep.Admit(m.Phone, m.Slot, m.Departure, m.Cost)
+			}); err != nil {
+				fail(err)
+				return
+			}
+
+		case protocol.TypePushback:
+			if err := apply(mutate, func() error { return rep.PushBack(m.Phone) }); err != nil {
+				fail(err)
+				return
+			}
+
+		case protocol.TypeShardWin:
+			if err := apply(mutate, func() error {
+				return rep.WinAt(m.Task, m.Phone, m.Runner, m.Slot)
+			}); err != nil {
+				fail(err)
+				return
+			}
+
+		case protocol.TypeShardUnserved:
+			if err := apply(mutate, func() error { return rep.Unserved(m.Slot, m.Count) }); err != nil {
+				fail(err)
+				return
+			}
+
+		case protocol.TypeShardPaid:
+			if err := apply(mutate, func() error { return rep.Paid(m.Phone, m.Amount, m.Slot) }); err != nil {
+				fail(err)
+				return
+			}
+
+		case protocol.TypeShardDefault:
+			if err := apply(mutate, func() error {
+				_, err := rep.Default(m.Phone, m.Slot)
+				return err
+			}); err != nil {
+				fail(err)
+				return
+			}
+
+		case protocol.TypeShardComplete:
+			if err := apply(mutate, func() error { return rep.Complete(m.Phone) }); err != nil {
+				fail(err)
+				return
+			}
+
+		case protocol.TypeShardTrack:
+			if err := apply(mutate, func() error { rep.Track(m.Count == 1); return nil }); err != nil {
+				fail(err)
+				return
+			}
+
+		default:
+			fail(fmt.Errorf("dshard server: unexpected message type %q", m.Type))
+			return
+		}
+	}
+}
+
+// apply runs guard then op, returning the first error.
+func apply(guard func() error, op func() error) error {
+	if err := guard(); err != nil {
+		return err
+	}
+	return op()
+}
+
+// discardHandler is a no-op slog handler (mirrors the platform's).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }

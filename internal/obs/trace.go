@@ -34,6 +34,10 @@ const (
 	// EventShardMerge is emitted by the sharded engine's coordinator
 	// once per allocated slot, with pull/assignment counts in Detail.
 	EventShardMerge EventType = "shard_merge"
+	// EventShardRPC is emitted by the distributed coordinator
+	// (internal/dshard) once per allocated slot, with per-slot RPC
+	// round-trip and reseed counts in Detail.
+	EventShardRPC EventType = "shard_rpc"
 )
 
 // Event is one structured trace record. Phone and Task are only

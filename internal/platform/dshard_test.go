@@ -1,0 +1,171 @@
+package platform
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"testing"
+
+	"dynacrowd/internal/chaos"
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/dshard"
+)
+
+// memShards boots n shard-server processes on in-memory listeners and
+// returns a Config fragment (ShardAddrs + ShardDial) pointing at them.
+// The servers outlive individual coordinators — a multi-round platform
+// re-dials the same fleet for every round, like restarting a round
+// against long-lived crowd-shard processes.
+func memShards(t *testing.T, n int) ([]string, func(string) (net.Conn, error)) {
+	t.Helper()
+	addrs := make([]string, n)
+	listeners := make([]*chaos.MemListener, n)
+	for s := 0; s < n; s++ {
+		addrs[s] = fmt.Sprintf("mem://platform-shard/%d", s)
+		listeners[s] = chaos.NewMemListener(8)
+		srv := &dshard.Server{}
+		go srv.Serve(listeners[s])
+		t.Cleanup(func() { srv.Close() })
+	}
+	dial := func(addr string) (net.Conn, error) {
+		for s, a := range addrs {
+			if a == addr {
+				return listeners[s].Dial()
+			}
+		}
+		return nil, fmt.Errorf("unknown shard address %q", addr)
+	}
+	return addrs, dial
+}
+
+// TestDistributedServerRound runs a full wire-level round with the
+// auction engine living in separate shard-server processes
+// (Config.ShardAddrs): admissions, assignments, critical-value
+// payments, and the end-of-round summary behave exactly as on the
+// sequential in-process engine.
+func TestDistributedServerRound(t *testing.T) {
+	addrs, dial := memShards(t, 3)
+	s := newTestServer(t, Config{Slots: 3, Value: 10, ShardAddrs: addrs, ShardDial: dial})
+	a := dialAgent(t, s.Addr())
+
+	if err := a.SubmitBid("solo", 2, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Tick(1); err != nil { // slot 1: bid admitted, 1 task
+		t.Fatal(err)
+	}
+	w := waitEvent(t, a, EventWelcome)
+	if w.Phone != 0 || w.Slot != 1 || w.Departure != 2 {
+		t.Fatalf("welcome = %+v", w)
+	}
+	asg := waitEvent(t, a, EventAssign)
+	if asg.Task != 0 || asg.Slot != 1 {
+		t.Fatalf("assign = %+v", asg)
+	}
+	if _, err := s.Tick(0); err != nil { // slot 2: departure, payment due
+		t.Fatal(err)
+	}
+	pay := waitEvent(t, a, EventPayment)
+	if pay.Amount != 10 || pay.Slot != 2 {
+		t.Fatalf("payment = %+v (want reserve 10 in slot 2)", pay)
+	}
+	if _, err := s.Tick(0); err != nil { // slot 3: round ends
+		t.Fatal(err)
+	}
+	end := waitEvent(t, a, EventEnd)
+	if end.Welfare != 6 || end.Payments != 10 {
+		t.Fatalf("end = %+v", end)
+	}
+	if !s.Done() {
+		t.Fatal("server not done after final slot")
+	}
+}
+
+// TestDistributedCheckpointResumeCrossEngine checkpoints a sequential
+// server mid-round and resumes it on the distributed engine — the v1
+// snapshot is engine-portable, so the coordinator reseeds the shard
+// fleet from it — then finishes the round and checks the outcome
+// against the batch mechanism on the accumulated instance.
+func TestDistributedCheckpointResumeCrossEngine(t *testing.T) {
+	s1 := newTestServer(t, Config{Slots: 4, Value: 20})
+
+	a1 := dialAgent(t, s1.Addr())
+	if err := a1.SubmitBid("early", 4, 5); err != nil {
+		t.Fatal(err)
+	}
+	a2 := dialAgent(t, s1.Addr())
+	if err := a2.SubmitBid("rival", 4, 9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Tick(1); err != nil {
+		t.Fatal(err)
+	}
+	checkpoint, err := s1.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	addrs, dial := memShards(t, 4)
+	s2, err := Resume("127.0.0.1:0", Config{Slots: 4, Value: 20, ShardAddrs: addrs, ShardDial: dial}, checkpoint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+
+	a3 := dialAgent(t, s2.Addr())
+	if err := a3.SubmitBid("late", 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Tick(1); err != nil {
+		t.Fatal(err)
+	}
+	for !s2.Done() {
+		if _, err := s2.Tick(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	inst := s2.Instance()
+	batch, err := (&core.OnlineMechanism{}).Run(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := s2.Outcome()
+	if math.Float64bits(out.Welfare) != math.Float64bits(batch.Welfare) {
+		t.Fatalf("resumed welfare %g != batch %g", out.Welfare, batch.Welfare)
+	}
+	for i := range batch.Payments {
+		if math.Float64bits(out.Payments[i]) != math.Float64bits(batch.Payments[i]) {
+			t.Fatalf("payment[%d]: %g != %g", i, out.Payments[i], batch.Payments[i])
+		}
+	}
+}
+
+// TestDistributedMultiRound checks that a multi-round server closes the
+// finished round's coordinator (releasing its shard connections) and
+// dials a fresh one against the same shard fleet for the next round.
+func TestDistributedMultiRound(t *testing.T) {
+	addrs, dial := memShards(t, 2)
+	s := newTestServer(t, Config{Slots: 2, Value: 10, Rounds: 2, ShardAddrs: addrs, ShardDial: dial})
+	a := dialAgent(t, s.Addr())
+	if err := a.SubmitBid("r1", 1, 3); err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 2; r++ {
+		for i := 0; i < 2; i++ {
+			if _, err := s.Tick(1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !s.Done() {
+		t.Fatal("server not done after both rounds")
+	}
+	s.mu.Lock()
+	_, distributed := s.auction.(*dshard.Coordinator)
+	s.mu.Unlock()
+	if !distributed {
+		t.Fatal("round 2 auction is not the distributed engine")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"dynacrowd/internal/core"
+	"dynacrowd/internal/dshard"
 	"dynacrowd/internal/obs"
 	"dynacrowd/internal/protocol"
 	"dynacrowd/internal/shard"
@@ -57,6 +58,16 @@ type Config struct {
 	// bit-identical either way (see docs/SHARDING.md), so this is a
 	// throughput knob only.
 	Shards int
+	// ShardAddrs, when non-empty, runs the distributed auction engine
+	// (internal/dshard): one shard-server process per address, driven by
+	// an in-process coordinator performing the exact over-the-wire top-k
+	// merge. Outcomes are bit-identical to the sequential engine (see
+	// docs/DISTRIBUTED.md). Takes precedence over Shards.
+	ShardAddrs []string
+	// ShardDial overrides how the coordinator reaches shard servers;
+	// nil uses plain TCP. Test harnesses inject in-memory transports
+	// (and chaos wrappers) here.
+	ShardDial func(addr string) (net.Conn, error)
 	// PaymentEngine selects how departing winners are priced. Nil uses
 	// core.CascadePayments, which prices from the auction's retained
 	// incremental state without re-simulating the round. All engines
@@ -123,10 +134,31 @@ func (c Config) completionsEnabled() bool { return c.CompletionDeadline > 0 }
 
 // newAuction creates the configured auction engine for one round.
 func (c Config) newAuction() (core.Auction, error) {
+	if len(c.ShardAddrs) > 0 {
+		return dshard.New(c.dshardOptions())
+	}
 	if c.Shards > 1 {
 		return shard.New(c.Shards, c.Slots, c.Value, c.AllocateAtLoss)
 	}
 	return core.NewOnlineAuction(c.Slots, c.Value, c.AllocateAtLoss)
+}
+
+func (c Config) dshardOptions() dshard.Options {
+	return dshard.Options{
+		Addrs:          c.ShardAddrs,
+		Slots:          c.Slots,
+		Value:          c.Value,
+		AllocateAtLoss: c.AllocateAtLoss,
+		Dial:           c.ShardDial,
+	}
+}
+
+// closeAuction releases engine-held resources (the distributed
+// coordinator's shard connections); in-process engines hold none.
+func closeAuction(a core.Auction) {
+	if c, ok := a.(interface{ Close() error }); ok {
+		c.Close()
+	}
 }
 
 // ErrClosed is returned by Tick once the server has been closed.
@@ -211,11 +243,17 @@ func Serve(ln net.Listener, cfg Config) (*Server, error) {
 func Resume(addr string, cfg Config, checkpoint []byte) (*Server, error) {
 	var auction core.Auction
 	var err error
-	if cfg.Shards > 1 {
+	switch {
+	case len(cfg.ShardAddrs) > 0:
+		// The coordinator reseeds every shard server from the
+		// checkpoint; the snapshot format is the same engine-portable
+		// stream the other engines write.
+		auction, err = dshard.Restore(checkpoint, cfg.dshardOptions())
+	case cfg.Shards > 1:
 		// Snapshot formats are engine-portable, so a round checkpointed
 		// by the sequential engine resumes sharded and vice versa.
 		auction, err = shard.Restore(checkpoint, cfg.Shards)
-	} else {
+	default:
 		auction, err = core.RestoreOnlineAuction(checkpoint)
 	}
 	if err != nil {
@@ -303,12 +341,14 @@ func (s *Server) configureAuction(auction core.Auction) {
 // events) when the configured engine is the sharded one. Caller has
 // cfg.Obs non-nil.
 func (s *Server) instrumentShards(auction core.Auction) {
-	sa, ok := auction.(*shard.Auction)
-	if !ok {
-		return
+	switch a := auction.(type) {
+	case *shard.Auction:
+		a.SetInstruments(shard.NewMetrics(s.cfg.Obs.Registry, a.Shards()))
+		a.SetTracer(s.tracer)
+	case *dshard.Coordinator:
+		a.SetInstruments(dshard.NewMetrics(s.cfg.Obs.Registry, a.Shards()))
+		a.SetTracer(s.tracer)
 	}
-	sa.SetInstruments(shard.NewMetrics(s.cfg.Obs.Registry, sa.Shards()))
-	sa.SetTracer(s.tracer)
 }
 
 // Checkpoint serializes the auction state for Resume. Call between
@@ -1020,6 +1060,7 @@ func (s *Server) beginNextRound() error {
 		auction.TrackDepartures(true)
 		s.instrumentShards(auction)
 	}
+	closeAuction(s.auction) // a distributed coordinator holds live shard connections
 	s.auction = auction
 	s.round++
 	s.counters.round.Store(int64(s.round))
@@ -1144,6 +1185,9 @@ func (s *Server) Close() error {
 		sess.shutdown()
 	}
 	s.wg.Wait()
+	s.mu.Lock()
+	closeAuction(s.auction)
+	s.mu.Unlock()
 	// With every producer goroutine drained, flush the trace sinks and
 	// stop the introspection server (bounded by its shutdown deadline).
 	if oerr := s.cfg.Obs.Close(); oerr != nil && err == nil {

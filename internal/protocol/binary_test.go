@@ -32,6 +32,27 @@ func sampleMessages() []Message {
 		{Type: TypeError, Error: "bid rejected: window closed"},
 		{Type: TypeComplete, Phone: 5, Task: 1, Round: 2},
 		{Type: TypeClawback, Phone: 5, Amount: 13.5, Slot: 9},
+
+		// Distributed-shard RPC vocabulary (PR 9).
+		{Type: TypeShardJoin, Shard: 2, Shards: 4},
+		{Type: TypeShardSnapshot, Count: 3, Data: "eyJ2ZXJzaW9uIjoxfQ=="},
+		{Type: TypeShardSnapshot, Count: 0, Data: ""},
+		{Type: TypeShardAdmit, Phone: 7, Slot: 2, Departure: 9, Cost: 4.25},
+		{Type: TypePull, Slot: 3, Count: 5, Seq: 17},
+		{Type: TypeTopup, Slot: 3, Count: 2, Seq: 18},
+		{Type: TypeCands, Slot: 3, Count: 0, Seq: 18},
+		{Type: TypeCands, Slot: 3, Count: 4, Seq: 19},
+		{Type: TypeCand, Phone: 12},
+		{Type: TypePushback, Phone: 12},
+		{Type: TypeShardWin, Task: 6, Phone: 3, Runner: core.NoPhone, Slot: 4},
+		{Type: TypeShardWin, Task: 7, Phone: 0, Runner: 9, Slot: 4},
+		{Type: TypeShardUnserved, Slot: 4, Count: 2},
+		{Type: TypePrice, Phone: 3, Seq: 40},
+		{Type: TypeShardPaid, Phone: 3, Amount: 18.5, Slot: 9},
+		{Type: TypeShardDefault, Phone: 3, Slot: 6},
+		{Type: TypeShardComplete, Phone: 4},
+		{Type: TypeShardTrack, Count: 1},
+		{Type: TypeShardTrack, Count: 0},
 	}
 }
 

@@ -1,0 +1,219 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+	"net"
+	"strings"
+	"testing"
+
+	"dynacrowd/internal/chaos"
+	"dynacrowd/internal/core"
+)
+
+// TestShardRPCValidate drives every rejection arm of the distributed
+// RPC vocabulary: a coordinator or shard server must never accept a
+// frame whose fields could corrupt replica state.
+func TestShardRPCValidate(t *testing.T) {
+	bad := []Message{
+		{Type: TypeShardJoin, Shard: 0, Shards: 0},
+		{Type: TypeShardJoin, Shard: -1, Shards: 4},
+		{Type: TypeShardJoin, Shard: 4, Shards: 4},
+		{Type: TypeShardJoin, Shard: 0, Shards: MaxShards + 1},
+		{Type: TypeShardSnapshot, Count: -1},
+		{Type: TypeShardSnapshot, Count: 0, Data: strings.Repeat("A", MaxSnapshotChunk+1)},
+		{Type: TypeShardAdmit, Phone: -1, Slot: 1, Departure: 1},
+		{Type: TypeShardAdmit, Phone: 0, Slot: 0, Departure: 1},
+		{Type: TypeShardAdmit, Phone: 0, Slot: 3, Departure: 2},
+		{Type: TypeShardAdmit, Phone: 0, Slot: 1, Departure: 2, Cost: -1},
+		{Type: TypePull, Slot: 0, Count: 1},
+		{Type: TypePull, Slot: 1, Count: 0},
+		{Type: TypePull, Slot: 1, Count: MaxPullBatch + 1},
+		{Type: TypeTopup, Slot: 1, Count: -3},
+		{Type: TypeCands, Slot: 0, Count: 0},
+		{Type: TypeCands, Slot: 1, Count: -1},
+		{Type: TypeCands, Slot: 1, Count: MaxPullBatch + 1},
+		{Type: TypeCand, Phone: -1},
+		{Type: TypePushback, Phone: -2},
+		{Type: TypePrice, Phone: -1},
+		{Type: TypeShardComplete, Phone: -1},
+		{Type: TypeShardWin, Task: -1, Phone: 0, Slot: 1},
+		{Type: TypeShardWin, Task: 0, Phone: -1, Slot: 1},
+		{Type: TypeShardWin, Task: 0, Phone: 0, Runner: core.NoPhone - 1, Slot: 1},
+		{Type: TypeShardWin, Task: 0, Phone: 0, Slot: 0},
+		{Type: TypeShardUnserved, Slot: 0, Count: 1},
+		{Type: TypeShardUnserved, Slot: 1, Count: 0},
+		{Type: TypeShardPaid, Phone: -1, Slot: 1},
+		{Type: TypeShardPaid, Phone: 0, Slot: 0},
+		{Type: TypeShardTrack, Count: 2},
+		{Type: TypeShardTrack, Count: -1},
+	}
+	for _, m := range bad {
+		m := m
+		if err := m.Validate(); err == nil {
+			t.Errorf("Validate accepted bad %+v", m)
+		}
+	}
+	good := []Message{
+		{Type: TypeShardJoin, Shard: 0, Shards: 1},
+		{Type: TypeShardJoin, Shard: MaxShards - 1, Shards: MaxShards},
+		{Type: TypeShardSnapshot, Count: 0},
+		{Type: TypeShardAdmit, Phone: 0, Slot: 1, Departure: 1, Cost: 0},
+		{Type: TypePull, Slot: 1, Count: MaxPullBatch},
+		{Type: TypeCands, Slot: 1, Count: 0},
+		{Type: TypeShardWin, Task: 0, Phone: 0, Runner: core.NoPhone, Slot: 1},
+		{Type: TypeShardUnserved, Slot: 1, Count: 1},
+		{Type: TypeShardPaid, Phone: 0, Slot: 1, Amount: 0},
+		{Type: TypeShardTrack, Count: 1},
+	}
+	for _, m := range good {
+		m := m
+		if err := m.Validate(); err != nil {
+			t.Errorf("Validate rejected good %+v: %v", m, err)
+		}
+	}
+}
+
+// TestShardRPCBinaryRejects covers the malformed-frame space specific
+// to the new fixed layouts: wrong body sizes and non-finite floats must
+// be rejected at decode/validate time, never half-parsed.
+func TestShardRPCBinaryRejects(t *testing.T) {
+	frame := func(code uint8, body []byte) []byte {
+		b := binary.LittleEndian.AppendUint32(nil, uint32(1+len(body)))
+		b = append(b, code)
+		return append(b, body...)
+	}
+	nanBits := func() []byte {
+		b := binary.LittleEndian.AppendUint64(nil, 1)                  // phone
+		b = binary.LittleEndian.AppendUint64(b, 1)                     // arrival
+		b = binary.LittleEndian.AppendUint64(b, 1)                     // departure
+		return binary.LittleEndian.AppendUint64(b, 0x7ff8000000000001) // NaN cost
+	}()
+	cases := []struct {
+		name string
+		raw  []byte
+	}{
+		{"admit short body", frame(codeShardAdmit, make([]byte, 31))},
+		{"admit long body", frame(codeShardAdmit, make([]byte, 33))},
+		{"admit zero arrival", frame(codeShardAdmit, make([]byte, 32))},
+		{"admit nan cost", frame(codeShardAdmit, nanBits)},
+		{"pull short body", frame(codePull, make([]byte, 16))},
+		{"pull zero count", frame(codePull, append(binary.LittleEndian.AppendUint64(nil, 1), make([]byte, 16)...))},
+		{"cands long body", frame(codeCands, make([]byte, 25))},
+		{"cand short body", frame(codeCand, make([]byte, 4))},
+		{"win short body", frame(codeShardWin, make([]byte, 24))},
+		{"win zero slot", frame(codeShardWin, make([]byte, 32))},
+		{"unserved zero count", frame(codeShardUnserved, append(binary.LittleEndian.AppendUint64(nil, 1), make([]byte, 8)...))},
+		{"price long body", frame(codePrice, make([]byte, 17))},
+		{"paid zero slot", frame(codeShardPaid, make([]byte, 24))},
+		{"default short body", frame(codeShardDefault, make([]byte, 8))},
+		{"track bad count json", frame(codeShardTrack, []byte(`{"type":"shard-track","count":7}`))},
+		{"join code/type mismatch", frame(codeShardJoin, []byte(`{"type":"ack"}`))},
+		{"snapshot garbage json", frame(codeShardSnapshot, []byte("{nope"))},
+	}
+	for _, tc := range cases {
+		r := NewReader(bytes.NewReader(tc.raw))
+		r.SetFormat(FormatBinary)
+		if m, err := r.Receive(); err == nil {
+			t.Errorf("%s: want error, got %+v", tc.name, m)
+		}
+	}
+}
+
+// FuzzShardRPCFrame is FuzzBinaryFrame's twin for the distributed RPC
+// vocabulary: arbitrary bytes through the binary reader must never
+// panic; every accepted message must Validate, survive dual-format
+// re-encode/re-decode unchanged, and arrive identically when the same
+// stream is delivered in arbitrary chaos-conn chunk sizes.
+func FuzzShardRPCFrame(f *testing.F) {
+	frame := func(m *Message) []byte {
+		b, err := AppendFrame(nil, m, FormatBinary)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}
+	admit := frame(&Message{Type: TypeShardAdmit, Phone: 3, Slot: 2, Departure: 8, Cost: 5.5})
+	pull := frame(&Message{Type: TypePull, Slot: 2, Count: 4, Seq: 9})
+	cands := frame(&Message{Type: TypeCands, Slot: 2, Count: 2, Seq: 9})
+	cand := frame(&Message{Type: TypeCand, Phone: 6})
+	win := frame(&Message{Type: TypeShardWin, Task: 1, Phone: 6, Runner: core.NoPhone, Slot: 2})
+	price := frame(&Message{Type: TypePrice, Phone: 6, Seq: 30})
+	join := frame(&Message{Type: TypeShardJoin, Shard: 1, Shards: 4})
+	snap := frame(&Message{Type: TypeShardSnapshot, Count: 1, Data: "eyJ2ZXJzaW9uIjoxfQ=="})
+	f.Add(append(append([]byte{}, admit...), pull...), uint8(3))
+	f.Add(append(append(append([]byte{}, cands...), cand...), cand...), uint8(1))
+	f.Add(append(append([]byte{}, win...), price...), uint8(5))
+	f.Add(append(append([]byte{}, join...), snap...), uint8(2))
+	f.Add(admit[:len(admit)-3], uint8(4))                     // truncated payload
+	f.Add(pull[:3], uint8(2))                                 // torn header
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f, codePull}, uint8(4)) // oversized length
+	f.Add(frame(&Message{Type: TypeShardTrack, Count: 1}), uint8(6))
+	f.Add(frame(&Message{Type: TypeTopup, Slot: 9, Count: 1, Seq: 2}), uint8(3))
+	f.Add(frame(&Message{Type: TypePushback, Phone: 11}), uint8(1))
+	f.Add(frame(&Message{Type: TypeShardPaid, Phone: 2, Amount: 7.25, Slot: 5}), uint8(2))
+	f.Add(frame(&Message{Type: TypeShardUnserved, Slot: 5, Count: 3}), uint8(3))
+	f.Add(frame(&Message{Type: TypeShardDefault, Phone: 2, Slot: 5}), uint8(2))
+	f.Add(frame(&Message{Type: TypeShardComplete, Phone: 2}), uint8(1))
+
+	f.Fuzz(func(t *testing.T, data []byte, chunk uint8) {
+		r := NewReader(bytes.NewReader(data))
+		r.SetFormat(FormatBinary)
+		var accepted []Message
+		for len(accepted) < 64 {
+			m, err := r.Receive()
+			if err != nil {
+				break // EOF or malformed input — both fine
+			}
+			accepted = append(accepted, *m)
+		}
+		for i := range accepted {
+			m := &accepted[i]
+			if err := m.Validate(); err != nil {
+				t.Fatalf("accepted invalid message %+v: %v", m, err)
+			}
+			for _, format := range []Format{FormatBinary, FormatJSON} {
+				enc, err := AppendFrame(nil, m, format)
+				if err != nil {
+					t.Fatalf("re-encode (%s) of %+v: %v", format, m, err)
+				}
+				rr := NewReader(bytes.NewReader(enc))
+				rr.SetFormat(format)
+				back, err := rr.Receive()
+				if err != nil {
+					t.Fatalf("re-decode (%s) of %+v: %v", format, m, err)
+				}
+				if *back != *m {
+					t.Fatalf("%s round trip changed message: %+v -> %+v", format, m, back)
+				}
+			}
+		}
+
+		// Segmentation independence under a chunking chaos conn, exactly
+		// as FuzzBinaryFrame proves for the agent vocabulary.
+		if len(data) == 0 || len(data) > 4096 {
+			return
+		}
+		server, client := net.Pipe()
+		defer server.Close()
+		go func() {
+			defer client.Close()
+			cc := chaos.WrapConn(client, chaos.Plan{ChunkBytes: int(chunk%7) + 1}, 1)
+			cc.Write(data)
+		}()
+		cr := NewReader(server)
+		cr.SetFormat(FormatBinary)
+		for i := range accepted {
+			m, err := cr.Receive()
+			if err != nil {
+				t.Fatalf("chunked delivery lost message %d: %v", i, err)
+			}
+			if *m != accepted[i] {
+				t.Fatalf("chunked delivery changed message %d: %+v -> %+v", i, accepted[i], m)
+			}
+		}
+		if m, err := cr.Receive(); err == nil && len(accepted) < 64 {
+			t.Fatalf("chunked delivery invented message %+v", m)
+		}
+	})
+}

@@ -1,0 +1,288 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"dynacrowd/internal/core"
+)
+
+// Replica is the distributed deployment's state machine: a full mirror
+// of the sharded auction (ledger + all S pools) driven by explicit
+// replicated operations instead of Step. Both sides of the
+// internal/dshard wire are built on it —
+//
+//   - a shard *server* holds one Replica per connection and serves
+//     pull/top-up/price RPCs out of the pool it owns (shard index
+//     Shard()), while mirroring every other mutation so cascade
+//     pricing sees the full bid set;
+//   - the *coordinator* holds one Replica as its local authoritative
+//     state and applies every mutation locally before replicating it,
+//     so its Snapshot is — at any instant, including mid-slot — exactly
+//     the stream that reseeds a lost shard.
+//
+// Convergence argument: a Replica seeded by RestoreReplica (snapshot +
+// deterministic replay) and a Replica that applied the same operations
+// incrementally hold identical ledgers, and identical owned pools up to
+// lazily-deleted entries that popEligible discards on contact. The
+// allocation-relevant state is therefore identical, which is what the
+// dshard differential and chaos-recovery tests pin.
+//
+// Replica is not safe for concurrent use; each connection (or the
+// coordinator loop) owns one.
+type Replica struct {
+	a     *Auction
+	shard int
+}
+
+// NewReplica creates an empty replica of an S-shard auction, owning
+// partition shard (0 ≤ shard < shards).
+func NewReplica(shard, shards int, m core.Slot, value float64, allocateAtLoss bool) (*Replica, error) {
+	if shard < 0 || shard >= shards {
+		return nil, fmt.Errorf("replica: shard %d outside [0,%d)", shard, shards)
+	}
+	a, err := New(shards, m, value, allocateAtLoss)
+	if err != nil {
+		return nil, err
+	}
+	return &Replica{a: a, shard: shard}, nil
+}
+
+// RestoreReplica reconstructs a replica from an engine-portable v1
+// snapshot by deterministic replay (see Restore). Mid-slot snapshots
+// replay to the identical partial-slot state: bids admit before any
+// allocation within a slot and the greedy winner prefix is determined
+// by the recorded task count, so a snapshot taken between two wins of
+// slot t rebuilds exactly those wins and a pool holding exactly the
+// still-active non-winners.
+func RestoreReplica(data []byte, shard, shards int) (*Replica, error) {
+	if shard < 0 || shard >= shards {
+		return nil, fmt.Errorf("replica: shard %d outside [0,%d)", shard, shards)
+	}
+	a, err := Restore(data, shards)
+	if err != nil {
+		return nil, err
+	}
+	return &Replica{a: a, shard: shard}, nil
+}
+
+// ShardOf exposes the stable partition hash — the distributed
+// coordinator uses it to route per-phone operations to owning shards.
+func ShardOf(p core.PhoneID, shards int) int { return shardOf(p, shards) }
+
+// Shard returns the partition this replica owns; Shards the partition
+// count; Now the furthest slot any operation has named.
+func (r *Replica) Shard() int       { return r.shard }
+func (r *Replica) Shards() int      { return len(r.a.pools) }
+func (r *Replica) Now() core.Slot   { return r.a.now }
+func (r *Replica) Slots() core.Slot { return r.a.ledger.Slots() }
+
+// NumPhones returns the number of admitted bids; Bid the recorded bid
+// of phone p (which must be in range) — the coordinator's merge orders
+// candidates by (Bid(p).Cost, p).
+func (r *Replica) NumPhones() int              { return r.a.ledger.NumPhones() }
+func (r *Replica) Bid(p core.PhoneID) core.Bid { return r.a.ledger.Bid(p) }
+
+// Advance moves the clock to slot t with no other mutation. The
+// coordinator calls it once per Step so empty slots (no arrivals,
+// tasks, or departures) still consume a slot — the snapshot clock must
+// match the round clock or a restore would replay short.
+func (r *Replica) Advance(t core.Slot) error { return r.clock(t) }
+
+// clock advances the replica clock to t; operations never run backwards.
+func (r *Replica) clock(t core.Slot) error {
+	if t < r.a.now {
+		return fmt.Errorf("replica: operation at slot %d behind clock %d", t, r.a.now)
+	}
+	if t > r.a.ledger.Slots() {
+		return fmt.Errorf("replica: slot %d outside round [1,%d]", t, r.a.ledger.Slots())
+	}
+	r.a.now = t
+	return nil
+}
+
+// Admit replicates one admission: phone p (which must be the next dense
+// ID — the coordinator assigns IDs in arrival order) arrives at slot
+// arrival with the given departure and claimed cost. Every replica
+// ledgers the bid; the pool of the phone's owning partition also admits
+// it, exactly as Step's admission fan-out does.
+func (r *Replica) Admit(p core.PhoneID, arrival, departure core.Slot, cost float64) error {
+	if want := core.PhoneID(r.a.ledger.NumPhones()); p != want {
+		return fmt.Errorf("replica: admit phone %d, want next dense id %d", p, want)
+	}
+	if err := r.clock(arrival); err != nil {
+		return err
+	}
+	probe := core.Bid{Phone: p, Arrival: arrival, Departure: departure, Cost: cost}
+	if err := probe.Validate(r.a.ledger.Slots()); err != nil {
+		return fmt.Errorf("replica: %w", err)
+	}
+	id, err := r.a.ledger.AddBid(arrival, core.StreamBid{Departure: departure, Cost: cost})
+	if err != nil {
+		return fmt.Errorf("replica: %w", err)
+	}
+	r.a.pools[shardOf(id, len(r.a.pools))].admit(id)
+	return nil
+}
+
+// Pull pops up to max of the owned pool's cheapest candidates still
+// active in slot t, in ascending (cost, phone ID) order. Ownership of
+// the popped phones transfers to the caller until PushBack.
+func (r *Replica) Pull(t core.Slot, max int) ([]core.PhoneID, error) {
+	if err := r.clock(t); err != nil {
+		return nil, err
+	}
+	var out []core.PhoneID
+	p := r.a.pools[r.shard]
+	for len(out) < max {
+		ph := p.popEligible(t)
+		if ph == core.NoPhone {
+			break
+		}
+		out = append(out, ph)
+	}
+	return out, nil
+}
+
+// PushBack returns an unconsumed pulled candidate to the owned pool.
+func (r *Replica) PushBack(p core.PhoneID) error {
+	if p < 0 || int(p) >= r.a.ledger.NumPhones() {
+		return fmt.Errorf("replica: pushback of unknown phone %d", p)
+	}
+	if own := shardOf(p, len(r.a.pools)); own != r.shard {
+		return fmt.Errorf("replica: pushback of phone %d owned by shard %d, not %d", p, own, r.shard)
+	}
+	r.a.pools[r.shard].push(p)
+	return nil
+}
+
+// Win creates the next task of slot t and records winner (with runner
+// as the pricing runner-up, core.NoPhone if none), returning the new
+// task ID. This is the coordinator-side form; WinAt is the replicated
+// form that verifies the ID instead.
+func (r *Replica) Win(winner, runner core.PhoneID, t core.Slot) (core.TaskID, error) {
+	if err := r.clock(t); err != nil {
+		return 0, err
+	}
+	if winner < 0 || int(winner) >= r.a.ledger.NumPhones() {
+		return 0, fmt.Errorf("replica: win by unknown phone %d", winner)
+	}
+	if runner != core.NoPhone && (runner < 0 || int(runner) >= r.a.ledger.NumPhones()) {
+		return 0, fmt.Errorf("replica: runner-up %d unknown", runner)
+	}
+	id := r.a.ledger.AddTask(t)
+	r.a.ledger.RecordWin(id, winner, runner, t)
+	return id, nil
+}
+
+// WinAt replicates a Win, verifying the task ID assigned locally
+// matches the coordinator's (wins replicate in task-ID order, so any
+// divergence is a protocol error, not a race).
+func (r *Replica) WinAt(task core.TaskID, winner, runner core.PhoneID, t core.Slot) error {
+	id, err := r.Win(winner, runner, t)
+	if err != nil {
+		return err
+	}
+	if id != task {
+		return fmt.Errorf("replica: win replicated as task %d but assigned id %d", task, id)
+	}
+	return nil
+}
+
+// Unserved records count tasks of slot t going unserved (the slot's
+// trailing tasks once the merged candidate supply is exhausted).
+func (r *Replica) Unserved(t core.Slot, count int) error {
+	if err := r.clock(t); err != nil {
+		return err
+	}
+	if count < 1 {
+		return fmt.Errorf("replica: unserved count %d < 1", count)
+	}
+	for i := 0; i < count; i++ {
+		r.a.ledger.AddTask(t)
+		r.a.ledger.RecordUnserved(t)
+	}
+	return nil
+}
+
+// Price computes the critical-value payment of winner p from the
+// replica's own cascade pricer. Read-only: the payment executes only
+// when the coordinator replicates it back via Paid.
+func (r *Replica) Price(p core.PhoneID) (float64, error) {
+	if p < 0 || int(p) >= r.a.ledger.NumPhones() {
+		return 0, fmt.Errorf("replica: price of unknown phone %d", p)
+	}
+	if r.a.ledger.WonAt(p) == 0 {
+		return 0, fmt.Errorf("replica: price of non-winner phone %d", p)
+	}
+	return r.a.pricers[r.shard].Price(p), nil
+}
+
+// Paid replicates an executed payment at clock t.
+func (r *Replica) Paid(p core.PhoneID, amount float64, t core.Slot) error {
+	if p < 0 || int(p) >= r.a.ledger.NumPhones() {
+		return fmt.Errorf("replica: payment to unknown phone %d", p)
+	}
+	if err := r.clock(t); err != nil {
+		return err
+	}
+	r.a.ledger.NotePaid(p, amount, t)
+	return nil
+}
+
+// Departing returns every phone (across all partitions) reporting
+// departure in slot t, ascending by ID — the settlement scan order.
+func (r *Replica) Departing(t core.Slot) []core.PhoneID {
+	var out []core.PhoneID
+	for _, p := range r.a.pools {
+		out = append(out, p.departing(t)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WonAt and Payable expose the settlement filters (see core.Ledger).
+func (r *Replica) WonAt(p core.PhoneID) core.Slot { return r.a.ledger.WonAt(p) }
+func (r *Replica) Payable(p core.PhoneID) bool    { return r.a.ledger.Payable(p) }
+
+// SetEngine selects the payment engine used for outcome assembly and
+// default re-allocation pricing (nil: cascade). Replicated departure
+// pricing always runs the cascade engine on the owning shard; every
+// engine prices identically by the differential contract, so the mix
+// stays bit-identical.
+func (r *Replica) SetEngine(e core.PaymentEngine) { r.a.SetPaymentEngine(e) }
+
+// Track toggles the completion lifecycle.
+func (r *Replica) Track(on bool) { r.a.ledger.TrackCompletions(on) }
+
+// Complete marks phone p's assignment delivered.
+func (r *Replica) Complete(p core.PhoneID) error { return r.a.ledger.Complete(p) }
+
+// Default marks phone p's assignment failed at clock t, re-allocating
+// its task (see core.Ledger.DefaultWinner). Shard servers discard the
+// result — the re-allocation is the replicated effect; the coordinator
+// returns it to the platform.
+func (r *Replica) Default(p core.PhoneID, t core.Slot) (*core.DefaultResult, error) {
+	if err := r.clock(t); err != nil {
+		return nil, err
+	}
+	return r.a.ledger.DefaultWinner(p, t, r.a.out)
+}
+
+// Outcome, Instance, Completion, and CompletionCounts expose the
+// coordinator-side views (identical to Auction's).
+func (r *Replica) Outcome() *core.Outcome                         { return r.a.Outcome() }
+func (r *Replica) Instance() *core.Instance                       { return r.a.ledger.Instance() }
+func (r *Replica) Completion(p core.PhoneID) core.CompletionState { return r.a.ledger.Completion(p) }
+func (r *Replica) CompletionCounts() core.CompletionCounts        { return r.a.ledger.CompletionCounts() }
+
+// Tracking reports whether the completion lifecycle is on.
+func (r *Replica) Tracking() bool { return r.a.ledger.MarshalCompletions() != nil }
+
+// Snapshot serializes the replica's full state in the engine-portable
+// v1 format; this is the reseed stream for a lost shard.
+func (r *Replica) Snapshot() ([]byte, error) { return r.a.Snapshot() }
+
+// PoolDepth returns the owned pool's current size (including lazily
+// dead entries), for observability.
+func (r *Replica) PoolDepth() int { return r.a.pools[r.shard].depth() }
