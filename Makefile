@@ -4,9 +4,9 @@ GO ?= go
 # to record a pre-change reference into the trajectory file.
 BENCHTIME ?= 1x
 BENCH_SECTION ?= current
-BENCH_OUT ?= BENCH_PR9.json
+BENCH_OUT ?= BENCH_PR10.json
 
-.PHONY: all check vet build test race race-hot soak fuzz-smoke diff-sweep dist-diff dist-bench wire-diff loadtest-smoke loadtest bench bench-merge staticcheck profile obs-demo clean
+.PHONY: all check vet build test race race-hot soak fuzz-smoke diff-sweep dist-diff dist-bench wire-diff budget-audit budget-bench loadtest-smoke loadtest bench bench-merge staticcheck profile obs-demo clean
 
 all: check
 
@@ -18,7 +18,7 @@ all: check
 # offline engine can never silently drift from the Hungarian+VCG oracle;
 # dist-diff does the same for the distributed engine's over-the-wire
 # equivalence evidence.
-check: vet build test race-hot race diff-sweep dist-diff wire-diff
+check: vet build test race-hot race diff-sweep dist-diff wire-diff budget-audit
 
 vet:
 	$(GO) vet ./...
@@ -37,7 +37,7 @@ race:
 # fan-out/merge, the platform server, and the lock-free observability
 # primitives.
 race-hot:
-	$(GO) test -race -count=1 ./internal/core/... ./internal/shard/... ./internal/dshard/... ./internal/platform/... ./internal/obs/... ./internal/matching/...
+	$(GO) test -race -count=1 ./internal/core/... ./internal/shard/... ./internal/dshard/... ./internal/platform/... ./internal/obs/... ./internal/matching/... ./internal/budget/...
 
 # soak exercises the unreliable-winner pipeline under the race detector:
 # the chaos soak (realization faults composed with transport faults,
@@ -61,6 +61,7 @@ fuzz-smoke:
 	$(GO) test -race -count=1 -run '^$$' -fuzz FuzzIntervalSolver -fuzztime 5s ./internal/matching/
 	$(GO) test -race -count=1 -run '^$$' -fuzz FuzzBinaryFrame -fuzztime 10s ./internal/protocol/
 	$(GO) test -race -count=1 -run '^$$' -fuzz FuzzShardRPCFrame -fuzztime 10s ./internal/protocol/
+	$(GO) test -race -count=1 -run '^$$' -fuzz FuzzBudgetSnapshot -fuzztime 10s ./internal/budget/
 
 # wire-diff proves the binary framing is transport dressing only: the
 # same scripted multi-round auction (completions, defaults, clawbacks)
@@ -71,6 +72,35 @@ wire-diff:
 	$(GO) test -count=1 -run TestWireDifferentialSwarm -v ./internal/platform/ \
 		| tee /tmp/dynacrowd-wire-diff.out
 	grep -q -- '--- PASS: TestWireDifferentialSwarm' /tmp/dynacrowd-wire-diff.out
+
+# budget-audit is the truthfulness gate for the budgeted mechanism
+# family: the Fig-5-style counterexample (naive budget truncation is
+# manipulable; both budget engines are not), then the exhaustive
+# deviation audit — every phone, every misreport, five seeded rounds per
+# engine and budget level — asserting zero positive-gain deviations,
+# individual rationality, and sum-of-payments <= B on every audited
+# instance. The grep guards fail the target if either battery is
+# filtered out or skipped.
+budget-audit:
+	$(GO) test -count=1 -run 'TestNaiveTruncatedNotTruthful|TestBudgetEnginesPassCounterexample' -v ./internal/budget/ \
+		| tee /tmp/dynacrowd-budget-counterexample.out
+	grep -q -- '--- PASS: TestNaiveTruncatedNotTruthful' /tmp/dynacrowd-budget-counterexample.out
+	grep -q -- '--- PASS: TestBudgetEnginesPassCounterexample' /tmp/dynacrowd-budget-counterexample.out
+	$(GO) test -count=1 -run TestBudgetAuditCampaign -v ./internal/budget/ \
+		| tee /tmp/dynacrowd-budget-audit.out
+	grep -q -- '--- PASS: TestBudgetAuditCampaign' /tmp/dynacrowd-budget-audit.out
+
+# budget-bench records the budgeted engines' per-round throughput
+# against the unbudgeted baseline (counterfactual critical-value
+# pricing is the deliberate cost; see docs/BUDGET.md) plus the
+# welfare-per-budget sweep across the workload zoo.
+budget-bench:
+	$(GO) test -bench BenchmarkBudgetedSlot -benchtime $(BENCHTIME) -run '^$$' ./internal/budget/ \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -out $(BENCH_OUT) -section budget-slot
+	$(GO) test -bench BenchmarkBudgetSweep -benchtime 1x -run '^$$' . \
+		| tee /dev/stderr \
+		| $(GO) run ./cmd/benchjson -out $(BENCH_OUT) -section budget-sweep
 
 # loadtest-smoke is the fast gate for the load harness (docs/LOADTEST.md):
 # a 5k-agent swarm over in-memory pipes in both wire formats, with a

@@ -28,6 +28,7 @@ package dynacrowd_test
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"testing"
 
 	"dynacrowd/internal/core"
@@ -493,5 +494,43 @@ func BenchmarkMarketRounds(b *testing.B) {
 		}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkBudgetSweep records the welfare-per-budget comparison
+// (docs/BUDGET.md): both budget engines at B ∈ {¼, ½, 1} of the
+// unbudgeted mechanism's mean payment against the unbudgeted greedy,
+// one sub-benchmark per workload-zoo scenario, emitting the
+// welfare-per-unit-committed series as custom metrics
+// (wpb_<engine>_f<fraction>, wpb_unbudgeted). Recorded into
+// BENCH_PR10.json by `make budget-bench`.
+func BenchmarkBudgetSweep(b *testing.B) {
+	base := workload.DefaultScenario()
+	for _, src := range experiments.BudgetSources(base) {
+		b.Run("scenario="+src.Name, func(b *testing.B) {
+			opt := experiments.Options{Seeds: 3, Scenario: base}
+			var res *experiments.BudgetSweepResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = experiments.RunBudgetSweep(opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, row := range res.Rows {
+				if row.Scenario != src.Name {
+					continue
+				}
+				if row.Budget == 0 {
+					b.ReportMetric(row.WelfarePerUnit, "wpb_unbudgeted")
+					continue
+				}
+				eng := "stage"
+				if strings.Contains(row.Mechanism, "frugal") {
+					eng = "frugal"
+				}
+				b.ReportMetric(row.WelfarePerUnit, fmt.Sprintf("wpb_%s_f%g", eng, row.Fraction))
+			}
+		})
 	}
 }

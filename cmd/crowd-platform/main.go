@@ -32,6 +32,14 @@
 //	                  re-allocated and any issued payment clawed back
 //	                  (default 0: tracking disabled; forces the cascade
 //	                  payment engine when set)
+//	-budget B         cap the round's total payments at B: the budgeted
+//	                  stage-sampling auction replaces the unbudgeted
+//	                  greedy, winners are paid counterfactual critical
+//	                  values, and bids past exhaustion are rejected with
+//	                  a typed reason (default 0: unbudgeted; incompatible
+//	                  with -shards, -shard-addrs, -completion-deadline;
+//	                  see docs/BUDGET.md)
+//	-budget-engine e  budget threshold engine: stage (default) | frugal
 //	-offline-benchmark e
 //	                  solve each completed round's offline VCG optimum ω*
 //	                  with engine e (interval | hungarian | flow | ssp) and
@@ -54,6 +62,7 @@ import (
 	"strings"
 	"time"
 
+	"dynacrowd/internal/budget"
 	"dynacrowd/internal/core"
 	"dynacrowd/internal/obs"
 	"dynacrowd/internal/platform"
@@ -76,9 +85,11 @@ func main() {
 	obsAddr := flag.String("obs-addr", "", "observability HTTP address (metrics, trace, pprof); empty disables")
 	trace := flag.String("trace", "", "append auction trace events to this JSONL file")
 	offlineBench := flag.String("offline-benchmark", "", "solve each round's offline VCG optimum with this engine: interval | hungarian | flow | ssp (empty disables)")
+	budgetFlag := flag.Float64("budget", 0, "hard round budget B (0 = unbudgeted)")
+	budgetEngine := flag.String("budget-engine", "stage", "budget threshold engine: stage | frugal")
 	flag.Parse()
 
-	if err := run(*addr, *slots, *value, *taskRate, *slotEvery, *seed, *rounds, *shards, *completionDeadline, *checkpoint, *payments, *obsAddr, *trace, *offlineBench, *shardAddrs); err != nil {
+	if err := run(*addr, *slots, *value, *taskRate, *slotEvery, *seed, *rounds, *shards, *completionDeadline, *checkpoint, *payments, *obsAddr, *trace, *offlineBench, *shardAddrs, *budgetFlag, *budgetEngine); err != nil {
 		fmt.Fprintln(os.Stderr, "crowd-platform:", err)
 		os.Exit(1)
 	}
@@ -115,10 +126,20 @@ func paymentEngine(name string) (core.PaymentEngine, error) {
 	}
 }
 
-func run(addr string, slots int, value, taskRate float64, slotEvery time.Duration, seed uint64, rounds, shards, completionDeadline int, checkpoint, payments, obsAddr, trace, offlineBench, shardAddrs string) error {
+func run(addr string, slots int, value, taskRate float64, slotEvery time.Duration, seed uint64, rounds, shards, completionDeadline int, checkpoint, payments, obsAddr, trace, offlineBench, shardAddrs string, budgetB float64, budgetEngine string) error {
 	engine, err := paymentEngine(payments)
 	if err != nil {
 		return err
+	}
+	// Surface bad -budget knobs as the typed errors before any socket or
+	// file is touched; platform.Listen re-checks the combination rules.
+	if budgetB != 0 {
+		if err := budget.ValidateBudget(budgetB); err != nil {
+			return err
+		}
+		if _, err := budget.EngineByName(budgetEngine); err != nil {
+			return err
+		}
 	}
 	var offlineEngine core.OfflineEngine
 	if offlineBench != "" {
@@ -151,6 +172,8 @@ func run(addr string, slots int, value, taskRate float64, slotEvery time.Duratio
 		Logger:             slog.Default(),
 		PaymentEngine:      engine,
 		CompletionDeadline: core.Slot(completionDeadline),
+		Budget:             budgetB,
+		BudgetEngine:       budgetEngine,
 		OfflineBenchmark:   offlineEngine,
 		Obs:                observ, // server owns it: srv.Close flushes and stops it
 	}

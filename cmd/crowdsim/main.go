@@ -9,10 +9,13 @@
 //	crowdsim [flags]
 //
 //	-figure id     figure to run: fig6..fig11, "baselines", "robustness",
-//	               "reserve", "anytime", "quality", or "all"
+//	               "reserve", "anytime", "quality", "budget", or "all"
 //	               (default all; "baselines" adds the extension figure
 //	               comparing second-price / first-price / random /
-//	               greedy-by-cost against the paper's mechanisms)
+//	               greedy-by-cost against the paper's mechanisms;
+//	               "budget" runs the welfare-per-budget comparison of
+//	               the budgeted engines against the unbudgeted greedy
+//	               across the workload zoo, see docs/BUDGET.md)
 //	-seeds n       replications per sweep point (default 20)
 //	-seed base     base seed for the replication set (default 1)
 //	-format f      table | chart | csv (default table)
@@ -25,6 +28,12 @@
 //	               coordinator with n in-process shard servers over an
 //	               in-memory transport (default 0 = off; outcomes are
 //	               bit-identical, see docs/DISTRIBUTED.md)
+//	-budget B      hard round budget: substitute the budgeted online
+//	               mechanism (stage-sampling thresholds, counterfactual
+//	               critical-value payments, Σ payments ≤ B) for the
+//	               paper's online mechanism in every sweep (default 0 =
+//	               unbudgeted; incompatible with -shards/-dshard)
+//	-budget-engine e  budget threshold engine: stage (default) | frugal
 //	-offline-engine e  solver engine for the offline VCG benchmark:
 //	               interval (default, augmenting-path fast path),
 //	               hungarian (dense oracle), flow, or ssp
@@ -52,6 +61,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 
+	"dynacrowd/internal/budget"
 	"dynacrowd/internal/core"
 	"dynacrowd/internal/dshard"
 	"dynacrowd/internal/experiments"
@@ -79,6 +89,8 @@ func run(args []string, out io.Writer) error {
 	value := fs.Float64("value", 0, "per-task value ν override (0 = scenario default)")
 	shards := fs.Int("shards", 1, "bid-pool shards for the online mechanism (1 = sequential)")
 	dshards := fs.Int("dshard", 0, "run the online mechanism through a distributed coordinator with this many in-process shard servers (0 = off)")
+	budgetFlag := fs.Float64("budget", 0, "hard round budget B for the online mechanism (0 = unbudgeted)")
+	budgetEngine := fs.String("budget-engine", "stage", "budget threshold engine: stage | frugal")
 	offlineEngine := fs.String("offline-engine", "", "offline solver engine: interval | hungarian | flow | ssp (default interval)")
 	quick := fs.Bool("quick", false, "3 seeds and thinned sweeps")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -159,6 +171,19 @@ func run(args []string, out io.Writer) error {
 	case *shards > 1:
 		opt.Online = &shard.Mechanism{Shards: *shards}
 	}
+	if *budgetFlag != 0 {
+		if err := budget.ValidateBudget(*budgetFlag); err != nil {
+			return err
+		}
+		eng, err := budget.EngineByName(*budgetEngine)
+		if err != nil {
+			return err
+		}
+		if opt.Online != nil {
+			return fmt.Errorf("-budget is incompatible with -shards and -dshard")
+		}
+		opt.Online = &budget.Mechanism{Budget: *budgetFlag, Engine: eng}
+	}
 	if *offlineEngine != "" {
 		eng, err := core.OfflineEngineByName(*offlineEngine)
 		if err != nil {
@@ -168,6 +193,26 @@ func run(args []string, out io.Writer) error {
 	}
 	if *quick {
 		opt.Seeds = 3
+	}
+
+	if *figure == "budget" {
+		res, err := experiments.RunBudgetSweep(opt)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "welfare per unit budget across the workload zoo (%d seeds; B as a fraction of the unbudgeted payment):\n", opt.Seeds)
+		fmt.Fprintf(out, "%-12s %-22s %8s %10s %10s %8s %8s\n",
+			"scenario", "mechanism", "B", "welfare", "paid", "ω/B", "served")
+		for _, r := range res.Rows {
+			b := "∞"
+			if r.Budget > 0 {
+				b = fmt.Sprintf("%.1f", r.Budget)
+			}
+			fmt.Fprintf(out, "%-12s %-22s %8s %10.1f %10.1f %8.3f %8.2f\n",
+				r.Scenario, r.Mechanism, b, r.Welfare, r.Payment, r.WelfarePerUnit, r.ServiceRate)
+		}
+		fmt.Fprintln(out)
+		return render(res.Figure, *format, out)
 	}
 
 	if *figure == "quality" {

@@ -148,3 +148,50 @@ func TestRunAllWithCheck(t *testing.T) {
 		t.Fatalf("shape checks failed:\n%s", out)
 	}
 }
+
+// TestRunBudgetFigure: -figure budget runs the welfare-per-budget
+// comparison across the workload zoo and renders the table plus the
+// figure.
+func TestRunBudgetFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-figure", "budget"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"default", "heavy-burst", "rush-hour", "budget-stage", "budget-frugal", "online", "ω/B"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunBudgetOverride: -budget swaps the budgeted mechanism into the
+// ordinary paper sweeps.
+func TestRunBudgetOverride(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-figure", "fig6", "-budget", "150", "-budget-engine", "frugal"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "fig6") {
+		t.Fatalf("figure missing:\n%s", buf.String())
+	}
+}
+
+// TestRunBudgetFlagValidation: bad -budget values and combinations are
+// rejected before any sweep starts.
+func TestRunBudgetFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-budget", "-4"},
+		{"-budget", "NaN"},
+		{"-budget", "+Inf"},
+		{"-budget", "5", "-budget-engine", "simplex"},
+		{"-budget", "5", "-shards", "4"},
+		{"-budget", "5", "-dshard", "2"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(append([]string{"-quick", "-figure", "fig6"}, args...), &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package budget
+
+import (
+	"dynacrowd/internal/obs"
+)
+
+// Metrics is the budgeted engine's observability bundle. All
+// instruments are nil-safe, so a nil *Metrics (or a nil registry)
+// disables instrumentation at zero cost.
+type Metrics struct {
+	// Remaining is the uncommitted budget B − reserved
+	// (dynacrowd_budget_remaining).
+	Remaining *obs.FloatGauge
+	// Stage is the current stage index, 1..K
+	// (dynacrowd_budget_stage).
+	Stage *obs.Gauge
+	// StageThreshold is the current stage's raw full-sample threshold
+	// (dynacrowd_budget_stage_threshold).
+	StageThreshold *obs.FloatGauge
+	// Wins counts budget-gated task assignments
+	// (dynacrowd_budget_wins_total).
+	Wins *obs.Counter
+	// ThresholdRejects counts tasks left unserved because the cheapest
+	// phone's bid exceeded its stage threshold
+	// (dynacrowd_budget_gate_rejects_total{gate="threshold"}).
+	ThresholdRejects *obs.Counter
+	// AllowanceRejects counts tasks left unserved because the stage's
+	// cumulative allowance could not cover another reserve
+	// (dynacrowd_budget_gate_rejects_total{gate="allowance"}).
+	AllowanceRejects *obs.Counter
+}
+
+// NewMetrics registers the budgeted engine's instruments. Registration
+// is idempotent, so consecutive rounds on one registry share series. A
+// nil registry returns a usable all-no-op bundle.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Remaining: r.FloatGauge("dynacrowd_budget_remaining",
+			"Uncommitted round budget (B minus reserved payment caps)."),
+		Stage: r.Gauge("dynacrowd_budget_stage",
+			"Current sampling-accept stage index (1..K)."),
+		StageThreshold: r.FloatGauge("dynacrowd_budget_stage_threshold",
+			"Current stage's raw posted-price threshold (full sample)."),
+		Wins: r.Counter("dynacrowd_budget_wins_total",
+			"Task assignments that cleared the budget gates."),
+		ThresholdRejects: r.Counter("dynacrowd_budget_gate_rejects_total",
+			"Tasks left unserved by a budget gate.", "gate", "threshold"),
+		AllowanceRejects: r.Counter("dynacrowd_budget_gate_rejects_total",
+			"Tasks left unserved by a budget gate.", "gate", "allowance"),
+	}
+}

@@ -1,0 +1,182 @@
+package budget
+
+import (
+	"fmt"
+	"testing"
+
+	"dynacrowd/internal/core"
+	"dynacrowd/internal/strategy"
+	"dynacrowd/internal/workload"
+)
+
+// counterexample is the directed Fig-5-style instance on which the
+// naive budget-truncated greedy fails truthfulness and IR: three phones
+// whose unbudgeted critical payments are all ν (each is pivotal under
+// task scarcity), with a budget that covers only part of the bill.
+// Truncation pays in settlement order, so the last winner is paid less
+// than its cost — and can escape the loss by inflating its reported
+// cost past ν, a profitable misreport.
+//
+//	m = 2, ν = 30, B = 40
+//	phone 0: window [1,2], cost 4
+//	phone 1: window [1,2], cost 5
+//	phone 2: window [2,2], cost 8
+//	tasks: two in slot 1, one in slot 2
+func counterexample() *core.Instance {
+	return &core.Instance{
+		Slots: 2,
+		Value: 30,
+		Bids: []core.Bid{
+			{Phone: 0, Arrival: 1, Departure: 2, Cost: 4},
+			{Phone: 1, Arrival: 1, Departure: 2, Cost: 5},
+			{Phone: 2, Arrival: 2, Departure: 2, Cost: 8},
+		},
+		Tasks: []core.Task{
+			{ID: 0, Arrival: 1},
+			{ID: 1, Arrival: 1},
+			{ID: 2, Arrival: 2},
+		},
+	}
+}
+
+const counterexampleBudget = 40
+
+func TestNaiveTruncatedNotTruthful(t *testing.T) {
+	in := counterexample()
+	naive := &NaiveTruncated{Budget: counterexampleBudget}
+
+	out, err := naive.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the unbudgeted payments really exceed the budget (every
+	// winner is pivotal, so each is owed the reserve ν = 30).
+	base, err := (&core.OnlineMechanism{}).Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := base.TotalPayment(); got <= counterexampleBudget {
+		t.Fatalf("counterexample mis-built: unbudgeted bill %g fits budget %d", got, counterexampleBudget)
+	}
+	if got := out.TotalPayment(); got > counterexampleBudget+1e-9 {
+		t.Fatalf("naive truncation overspent: %g > %d", got, counterexampleBudget)
+	}
+
+	// IR violation: the last winner in settlement order is paid below its
+	// cost.
+	if u := out.Utility(2, in.Bids[2].Cost); u >= 0 {
+		t.Fatalf("expected an IR violation for phone 2, utility %g", u)
+	}
+
+	// Truthfulness violation: phone 2 gains by inflating its cost past ν
+	// (it stays out of the auction and avoids the truncated payment).
+	res, err := strategy.AuditPhone(naive, in, 2, strategy.AuditOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Gain() <= 1e-9 {
+		t.Fatalf("naive truncated greedy passed the audit it was built to fail: %+v", res)
+	}
+	if res.BestBid.Cost <= in.Value {
+		t.Fatalf("expected the profitable deviation to flee the auction (cost > ν), got %+v", res.BestBid)
+	}
+}
+
+// TestBudgetEnginesPassCounterexample asserts both budget engines are
+// truthful, IR, and budget-feasible on the exact instance that breaks
+// the naive truncation.
+func TestBudgetEnginesPassCounterexample(t *testing.T) {
+	in := counterexample()
+	for _, eng := range []Engine{StageSampling{}, Frugal{}} {
+		t.Run(eng.Name(), func(t *testing.T) {
+			mech := &Mechanism{Budget: counterexampleBudget, Engine: eng}
+			out, err := mech.Run(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := out.TotalPayment(); got > counterexampleBudget+1e-9 {
+				t.Fatalf("budget violated: %g > %d", got, counterexampleBudget)
+			}
+			for i := range in.Bids {
+				if u := out.Utility(core.PhoneID(i), in.Bids[i].Cost); u < -1e-9 {
+					t.Fatalf("IR violated for phone %d: utility %g", i, u)
+				}
+			}
+			results, err := strategy.Audit(mech, in, strategy.AuditOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ph, gain := strategy.MaxGain(results); gain > 1e-9 {
+				t.Fatalf("phone %d gains %g by misreporting", ph, gain)
+			}
+		})
+	}
+}
+
+// feasibilityMech wraps a budgeted mechanism and fails the run if any
+// outcome — including every misreport outcome the audit explores —
+// breaks budget feasibility (Σ payments ≤ B) or reported-cost IR
+// (winners paid at least their claimed cost).
+type feasibilityMech struct {
+	inner  core.Mechanism
+	budget float64
+	runs   int
+}
+
+func (f *feasibilityMech) Name() string { return f.inner.Name() + "+feasibility" }
+
+func (f *feasibilityMech) Run(in *core.Instance) (*core.Outcome, error) {
+	out, err := f.inner.Run(in)
+	if err != nil {
+		return nil, err
+	}
+	f.runs++
+	if got := out.TotalPayment(); got > f.budget+1e-9 {
+		return nil, fmt.Errorf("budget feasibility violated: paid %g of budget %g", got, f.budget)
+	}
+	for _, i := range out.Allocation.Winners() {
+		if out.Payments[i] < in.Bids[i].Cost-1e-9 {
+			return nil, fmt.Errorf("reported-cost IR violated: phone %d paid %g for claimed cost %g",
+				i, out.Payments[i], in.Bids[i].Cost)
+		}
+	}
+	return out, nil
+}
+
+// TestBudgetAuditCampaign is the budget-audit gate (make budget-audit):
+// a 5-seed exhaustive misreport campaign over both engines at a binding
+// and a loose budget, with budget feasibility and IR asserted on every
+// single run the audit performs.
+func TestBudgetAuditCampaign(t *testing.T) {
+	scn := workload.DefaultScenario()
+	scn.Slots = 6
+	scn.PhoneRate = 1.5
+	scn.TaskRate = 1
+	gen := func(seed uint64) (*core.Instance, error) { return scn.Generate(seed) }
+	seeds := []uint64{1, 2, 3, 4, 5}
+
+	for _, eng := range []Engine{StageSampling{}, Frugal{}} {
+		for _, budget := range []float64{25, 120} {
+			name := fmt.Sprintf("%s-B%g", eng.Name(), budget)
+			t.Run(name, func(t *testing.T) {
+				mech := &feasibilityMech{inner: &Mechanism{Budget: budget, Engine: eng}, budget: budget}
+				res, err := strategy.AuditCampaign(mech, gen, seeds, strategy.AuditOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Instances != len(seeds) || res.PhonesAudited == 0 || res.ReportsSearched == 0 {
+					t.Fatalf("campaign shape: %+v", res)
+				}
+				if !res.Truthful() {
+					t.Fatalf("budget mechanism %s failed the audit: worst gain %g (seed %d phone %d)",
+						name, res.WorstGain, res.WorstSeed, res.WorstPhone)
+				}
+				if mech.runs == 0 {
+					t.Fatal("feasibility wrapper never ran")
+				}
+				t.Logf("%s: %d instances, %d phones, %d reports, %d feasibility-checked runs, worst gain %g",
+					name, res.Instances, res.PhonesAudited, res.ReportsSearched, mech.runs, res.WorstGain)
+			})
+		}
+	}
+}

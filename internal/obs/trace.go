@@ -38,6 +38,11 @@ const (
 	// (internal/dshard) once per allocated slot, with per-slot RPC
 	// round-trip and reseed counts in Detail.
 	EventShardRPC EventType = "shard_rpc"
+	// EventBudgetStage is emitted by the budgeted engine
+	// (internal/budget) when a sampling-accept stage opens, with the
+	// stage index, allowance, threshold, sample size, and reserved
+	// spend in Detail (Amount carries the raw threshold).
+	EventBudgetStage EventType = "budget_stage"
 )
 
 // Event is one structured trace record. Phone and Task are only

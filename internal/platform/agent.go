@@ -68,11 +68,12 @@ type Event struct {
 
 // RoundState is the platform's reply to a hello.
 type RoundState struct {
-	Slot  core.Slot // last processed slot (0 before the first tick)
-	Slots core.Slot // round length m
-	Value float64   // per-task value ν
-	Round int       // current round number (1-based)
-	Wire  string    // wire format in effect after this reply ("" means JSON)
+	Slot   core.Slot // last processed slot (0 before the first tick)
+	Slots  core.Slot // round length m
+	Value  float64   // per-task value ν
+	Round  int       // current round number (1-based)
+	Wire   string    // wire format in effect after this reply ("" means JSON)
+	Budget float64   // round budget B (0 means unbudgeted)
 }
 
 // ReconnectPolicy configures a resilient agent's automatic reconnect:
@@ -448,7 +449,7 @@ func (a *Agent) readConn(conn net.Conn) error {
 				r.SetFormat(protocol.FormatBinary)
 			}
 			select {
-			case a.stateful <- RoundState{Slot: m.Slot, Slots: m.Slots, Value: m.Value, Round: m.Round, Wire: m.Wire}:
+			case a.stateful <- RoundState{Slot: m.Slot, Slots: m.Slots, Value: m.Value, Round: m.Round, Wire: m.Wire, Budget: m.Budget}:
 			default: // unsolicited state replies are dropped
 			}
 		case protocol.TypeWelcome:

@@ -22,6 +22,7 @@ import (
 
 	"dynacrowd/internal/core"
 	"dynacrowd/internal/dshard"
+	"dynacrowd/internal/budget"
 	"dynacrowd/internal/obs"
 	"dynacrowd/internal/protocol"
 	"dynacrowd/internal/shard"
@@ -76,6 +77,20 @@ type Config struct {
 	// set mid-round, and only the cascade engine prices from the
 	// auction's live state, so completion rounds force cascade.
 	PaymentEngine core.PaymentEngine
+	// Budget, when non-zero, runs the round under the budget-feasible
+	// online mechanism (internal/budget): total payments are guaranteed
+	// ≤ Budget, tasks are gated through per-stage posted-price
+	// thresholds, and bids arriving after the budget is fully committed
+	// are rejected with a typed error. Must be a positive finite number
+	// (budget.ErrInvalidBudget otherwise). Incompatible with Shards,
+	// ShardAddrs, and CompletionDeadline (ErrBudgetIncompatible). The
+	// state and end messages carry the budget so agents can see the
+	// regime they are bidding into.
+	Budget float64
+	// BudgetEngine selects the budgeted threshold estimator: "" or
+	// "stage" for the OMG-style proportional-share engine, "frugal" for
+	// the coverage-quantile engine. Ignored unless Budget is set.
+	BudgetEngine string
 	// CompletionDeadline enables the unreliable-winner lifecycle (see
 	// docs/PLATFORM.md): every winner must report its task done, via a
 	// complete message, within this many slots of being assigned. A
@@ -132,8 +147,42 @@ func (c Config) outboundQueue() int {
 
 func (c Config) completionsEnabled() bool { return c.CompletionDeadline > 0 }
 
+func (c Config) budgeted() bool { return c.Budget != 0 }
+
+// ErrBudgetIncompatible reports a budgeted Config that also asks for an
+// engine the budget gates cannot run on: the sharded and distributed
+// engines partition the bid pool (the stage thresholds need the global
+// cost sample), and the completion lifecycle rewrites the winner set
+// after reserves are committed.
+var ErrBudgetIncompatible = errors.New(
+	"Budget is incompatible with Shards, ShardAddrs, and CompletionDeadline")
+
+// validateBudget vets the budget knobs; nil when Budget is unset.
+func (c Config) validateBudget() error {
+	if !c.budgeted() {
+		return nil
+	}
+	if err := budget.ValidateBudget(c.Budget); err != nil {
+		return err
+	}
+	if _, err := budget.EngineByName(c.BudgetEngine); err != nil {
+		return err
+	}
+	if c.Shards > 1 || len(c.ShardAddrs) > 0 || c.completionsEnabled() {
+		return ErrBudgetIncompatible
+	}
+	return nil
+}
+
 // newAuction creates the configured auction engine for one round.
 func (c Config) newAuction() (core.Auction, error) {
+	if err := c.validateBudget(); err != nil {
+		return nil, err
+	}
+	if c.budgeted() {
+		eng, _ := budget.EngineByName(c.BudgetEngine) // vetted above
+		return budget.New(c.Slots, c.Value, c.AllocateAtLoss, c.Budget, eng)
+	}
 	if len(c.ShardAddrs) > 0 {
 		return dshard.New(c.dshardOptions())
 	}
@@ -243,7 +292,14 @@ func Serve(ln net.Listener, cfg Config) (*Server, error) {
 func Resume(addr string, cfg Config, checkpoint []byte) (*Server, error) {
 	var auction core.Auction
 	var err error
+	if err = cfg.validateBudget(); err != nil {
+		return nil, fmt.Errorf("platform: %w", err)
+	}
 	switch {
+	case cfg.budgeted():
+		// The budget section in the snapshot pins the engine and budget
+		// the round started with; the replay rebuilds stage state.
+		auction, err = budget.Restore(checkpoint)
 	case len(cfg.ShardAddrs) > 0:
 		// The coordinator reseeds every shard server from the
 		// checkpoint; the snapshot format is the same engine-portable
@@ -348,6 +404,9 @@ func (s *Server) instrumentShards(auction core.Auction) {
 	case *dshard.Coordinator:
 		a.SetInstruments(dshard.NewMetrics(s.cfg.Obs.Registry, a.Shards()))
 		a.SetTracer(s.tracer)
+	case *budget.Auction:
+		a.SetInstruments(budget.NewMetrics(s.cfg.Obs.Registry))
+		a.SetTracer(s.tracer)
 	}
 }
 
@@ -439,11 +498,12 @@ func (s *Server) serve(sess *session) {
 			round := s.round
 			s.mu.Unlock()
 			reply := &protocol.Message{
-				Type:  protocol.TypeState,
-				Slot:  now,
-				Slots: s.cfg.Slots,
-				Value: s.cfg.Value,
-				Round: round,
+				Type:   protocol.TypeState,
+				Slot:   now,
+				Slots:  s.cfg.Slots,
+				Value:  s.cfg.Value,
+				Round:  round,
+				Budget: s.cfg.Budget,
 			}
 			wire, _ := protocol.FormatByName(m.Wire) // Validate vetted the name
 			if wire == protocol.FormatBinary {
@@ -500,6 +560,12 @@ func (s *Server) enqueueBid(m *protocol.Message, sess *session) error {
 	// bid per round.
 	if sess.bid {
 		return reject("this connection already submitted its bid")
+	}
+	// A budgeted round whose budget is fully committed can never pay
+	// another winner; reject the bid now instead of admitting a phone
+	// that is guaranteed to lose.
+	if ba, ok := s.auction.(*budget.Auction); ok && ba.BudgetExhausted() {
+		return reject(fmt.Sprintf("round budget %g exhausted", s.cfg.Budget))
 	}
 	sess.bid = true
 	s.counters.bidsAccepted.Add(1)
@@ -627,6 +693,7 @@ func (s *Server) handleResume(m *protocol.Message, sess *session) {
 			Welfare:  out.Welfare,
 			Payments: out.TotalPayment(),
 			Round:    s.round,
+			Budget:   s.cfg.Budget,
 		})
 	}
 }
@@ -824,6 +891,7 @@ func (s *Server) finishRound(slot core.Slot) error {
 		Welfare:  out.Welfare,
 		Payments: out.TotalPayment(),
 		Round:    s.round,
+		Budget:   s.cfg.Budget,
 	}
 	if f := s.newBroadcast(end); f != nil {
 		for _, sess := range s.phones {

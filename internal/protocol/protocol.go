@@ -17,15 +17,17 @@
 //
 // Conversation (agent-initiated messages left, platform replies right):
 //
-//	hello{wire?}           -> state{slot, slots, value, wire?}
+//	hello{wire?}           -> state{slot, slots, value, wire?, budget?}
 //	bid{name, duration,    -> ack (bid queued for the next slot tick)
 //	    cost}              -> welcome{phone, slot(=arrival), departure}
-//	                          ... at the next slot tick
+//	                          ... at the next slot tick, or error{...} if a
+//	                          budgeted round has already committed its full
+//	                          budget (the bid could never be paid)
 //	                       <- slot{slot}           every tick
 //	                       <- assign{phone, task, slot}  if the bid wins
 //	                       <- payment{phone, amount, slot} at departure
-//	                       <- end{welfare, payments, round} after each round's
-//	                          last slot
+//	                       <- end{welfare, payments, round, budget?} after
+//	                          each round's last slot
 //	                       <- round{round} when a multi-round platform opens
 //	                          the next round (agents may bid again)
 //	resume{phone, round}   -> replay of the phone's standing: welcome, its
@@ -197,6 +199,7 @@ type Message struct {
 	Amount    float64      `json:"amount,omitempty"`    // payment
 	Welfare   float64      `json:"welfare,omitempty"`   // end
 	Payments  float64      `json:"payments,omitempty"`  // end: total paid
+	Budget    float64      `json:"budget,omitempty"`    // state/end: round budget B (0: unbudgeted)
 	Round     int          `json:"round,omitempty"`     // state/welcome/end/round/resume: round number (1-based)
 	Error     string       `json:"error,omitempty"`     // error
 	// Wire negotiates the framing: on hello it is the format the agent
@@ -282,10 +285,16 @@ func (m *Message) Validate() error {
 		if !finite(m.Value) {
 			return fmt.Errorf("protocol: non-finite state value %g", m.Value)
 		}
+		if !finite(m.Budget) || m.Budget < 0 {
+			return fmt.Errorf("protocol: invalid state budget %g", m.Budget)
+		}
 		return nil
 	case TypeEnd:
 		if !finite(m.Welfare) || !finite(m.Payments) {
 			return fmt.Errorf("protocol: non-finite end totals (welfare %g, payments %g)", m.Welfare, m.Payments)
+		}
+		if !finite(m.Budget) || m.Budget < 0 {
+			return fmt.Errorf("protocol: invalid end budget %g", m.Budget)
 		}
 		return nil
 	case TypeShardJoin:
